@@ -1,0 +1,98 @@
+// Command mutls-bench regenerates the tables and figures of the MUTLS paper
+// (Cao & Verbrugge, "Mixed Model Universal Software Thread-Level
+// Speculation", ICPP 2013).
+//
+// Usage:
+//
+//	mutls-bench                  # everything, quick sizes, virtual timing
+//	mutls-bench -fig 3           # one figure (1, 2 = tables; 3..11 = figures)
+//	mutls-bench -coverage        # the §V-B parallel coverage numbers
+//	mutls-bench -paper           # Table II problem sizes (slow)
+//	mutls-bench -cpus 1,2,4,64   # custom CPU axis
+//	mutls-bench -real            # wall-clock timing instead of the cost model
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/harness"
+	"repro/internal/vclock"
+)
+
+func main() {
+	fig := flag.Int("fig", 0, "regenerate one table (1,2) or figure (3..11); 0 = everything")
+	coverage := flag.Bool("coverage", false, "print the §V-B parallel execution coverage")
+	paper := flag.Bool("paper", false, "use the paper's Table II problem sizes")
+	cpus := flag.String("cpus", "", "comma-separated CPU axis (default 1,2,4,8,16,24,32,48,64)")
+	real := flag.Bool("real", false, "wall-clock timing instead of the virtual cost model")
+	seed := flag.Uint64("seed", 0, "seed for the forced-rollback generators")
+	flag.Parse()
+
+	cfg := harness.DefaultConfig()
+	cfg.Paper = *paper
+	cfg.Seed = *seed
+	if *real {
+		cfg.Timing = vclock.Real
+	}
+	if *cpus != "" {
+		axis, err := parseAxis(*cpus)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		cfg.CPUAxis = axis
+	}
+	h := harness.New(cfg)
+
+	var err error
+	switch {
+	case *coverage:
+		err = h.Coverage(os.Stdout)
+	case *fig == 0:
+		err = h.All(os.Stdout)
+	case *fig == 1:
+		harness.Table1(os.Stdout)
+	case *fig == 2:
+		h.Table2(os.Stdout)
+	case *fig == 3:
+		err = h.Fig3(os.Stdout)
+	case *fig == 4:
+		err = h.Fig4(os.Stdout)
+	case *fig == 5:
+		err = h.Fig5(os.Stdout)
+	case *fig == 6:
+		err = h.Fig6(os.Stdout)
+	case *fig == 7:
+		err = h.Fig7(os.Stdout)
+	case *fig == 8:
+		err = h.Fig8(os.Stdout)
+	case *fig == 9:
+		err = h.Fig9(os.Stdout)
+	case *fig == 10:
+		err = h.Fig10(os.Stdout)
+	case *fig == 11:
+		err = h.Fig11(os.Stdout)
+	default:
+		err = fmt.Errorf("unknown figure %d (valid: 1..11)", *fig)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+func parseAxis(s string) ([]int, error) {
+	var axis []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("bad CPU count %q", part)
+		}
+		axis = append(axis, n)
+	}
+	return axis, nil
+}

@@ -1,0 +1,169 @@
+// Package bench implements the paper's benchmark suite (Table II): 3x+1,
+// mandelbrot and md (computation-intensive loops), bh (memory-intensive
+// loop), fft and matmult (divide and conquer) and nqueen and tsp
+// (depth-first search). Every workload exists in two forms, exactly like
+// the paper's non-speculative/speculative function pairs: a sequential
+// version that runs on the non-speculative thread alone, and a TLS version
+// written in the transformed shape of Figure 2 against the core runtime.
+// Both return a checksum so the harness can verify that speculation
+// preserved sequential semantics.
+package bench
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/gbuf"
+	"repro/internal/lbuf"
+	"repro/internal/mem"
+	"repro/internal/stats"
+	"repro/internal/vclock"
+)
+
+// Size parameterizes a workload run. The meaning of the fields is
+// workload-specific (documented on each workload).
+type Size struct {
+	N     int // primary problem size
+	M     int // secondary size (iterations, bodies, cities…)
+	Steps int // outer time steps, when applicable
+}
+
+// Workload is one Table II row plus its two implementations.
+type Workload struct {
+	Name         string            // Table II "Benchmark"
+	Description  string            // Table II "Description"
+	Pattern      string            // Table II "Pattern"
+	Language     string            // Table II "Language"
+	Class        string            // "computation" or "memory" (Table II grouping)
+	AmountOfData func(Size) string // Table II "Amount of Data"
+
+	// DefaultModel is the forking model the paper uses for the benchmark
+	// (in-order for the loop benchmarks, mixed for tree-form recursion).
+	DefaultModel core.Model
+
+	// CISize finishes in well under a second; PaperSize matches Table II.
+	CISize    Size
+	PaperSize Size
+
+	// HeapBytes sizes the simulated heap for the given problem size.
+	HeapBytes func(Size) int
+
+	// Seq runs the benchmark without speculation and returns a checksum.
+	Seq func(t *core.Thread, s Size) uint64
+	// Spec runs the TLS version under the given forking model.
+	Spec func(t *core.Thread, s Size, model core.Model) uint64
+}
+
+// All lists the benchmarks in Table II order.
+var All = []*Workload{X3P1, Mandelbrot, MD, BH, FFT, MatMult, NQueen, TSP}
+
+// ByName returns the named workload.
+func ByName(name string) (*Workload, error) {
+	for _, w := range All {
+		if w.Name == name {
+			return w, nil
+		}
+	}
+	return nil, fmt.Errorf("bench: unknown workload %q", name)
+}
+
+// ComputationIntensive returns the Figure 3 benchmark set.
+func ComputationIntensive() []*Workload { return []*Workload{X3P1, Mandelbrot, MD} }
+
+// MemoryIntensive returns the Figure 4 benchmark set.
+func MemoryIntensive() []*Workload { return []*Workload{FFT, MatMult, NQueen, TSP, BH} }
+
+// RunConfig bundles everything needed to execute a workload run.
+type RunConfig struct {
+	CPUs         int
+	Size         Size
+	Model        core.Model
+	Timing       vclock.Mode
+	Cost         vclock.CostModel
+	RollbackProb float64
+	Seed         uint64
+	Heuristic    bool
+}
+
+// options builds the core runtime options for a workload.
+func (cfg RunConfig) options(w *Workload) core.Options {
+	heap := w.HeapBytes(cfg.Size)
+	return core.Options{
+		NumCPUs:      cfg.CPUs,
+		Timing:       cfg.Timing,
+		Cost:         cfg.Cost,
+		CollectStats: true,
+		Space: mem.SpaceConfig{
+			StaticBytes: 1 << 16,
+			HeapBytes:   heap,
+			StackBytes:  1 << 16,
+		},
+		GBuf:                  gbuf.Config{LogWords: 16, OverflowCap: 256},
+		LBuf:                  lbuf.Config{RegSlots: 160, StackSlots: 32},
+		RollbackProb:          cfg.RollbackProb,
+		Seed:                  cfg.Seed,
+		AdaptiveForkHeuristic: cfg.Heuristic,
+	}
+}
+
+// Measurement is the result of one run.
+type Measurement struct {
+	Runtime  vclock.Cost
+	Checksum uint64
+	Summary  *stats.Summary
+}
+
+// MeasureSeq runs the sequential version on a 1-CPU runtime and returns the
+// paper's Ts.
+func MeasureSeq(w *Workload, cfg RunConfig) (Measurement, error) {
+	c := cfg
+	c.CPUs = 1
+	rt, err := core.NewRuntime(c.options(w))
+	if err != nil {
+		return Measurement{}, err
+	}
+	defer rt.Close()
+	var sum uint64
+	ts := rt.Run(func(t *core.Thread) { sum = w.Seq(t, cfg.Size) })
+	return Measurement{Runtime: ts, Checksum: sum, Summary: rt.Stats()}, nil
+}
+
+// MeasureSpec runs the TLS version and returns the paper's TN plus the
+// statistics summary for the efficiency figures.
+func MeasureSpec(w *Workload, cfg RunConfig) (Measurement, error) {
+	rt, err := core.NewRuntime(cfg.options(w))
+	if err != nil {
+		return Measurement{}, err
+	}
+	defer rt.Close()
+	model := cfg.Model
+	var sum uint64
+	tn := rt.Run(func(t *core.Thread) { sum = w.Spec(t, cfg.Size, model) })
+	return Measurement{Runtime: tn, Checksum: sum, Summary: rt.Stats()}, nil
+}
+
+// Verify runs both versions and fails if the checksums diverge — the
+// integration safety check behind every figure.
+func Verify(w *Workload, cfg RunConfig) error {
+	seq, err := MeasureSeq(w, cfg)
+	if err != nil {
+		return fmt.Errorf("%s sequential: %w", w.Name, err)
+	}
+	spec, err := MeasureSpec(w, cfg)
+	if err != nil {
+		return fmt.Errorf("%s speculative: %w", w.Name, err)
+	}
+	if seq.Checksum != spec.Checksum {
+		return fmt.Errorf("%s: speculative checksum %#x != sequential %#x (model %v, cpus %d)",
+			w.Name, spec.Checksum, seq.Checksum, cfg.Model, cfg.CPUs)
+	}
+	return nil
+}
+
+// mix folds a value into a running checksum (order-independent for
+// commutative accumulation, which all workloads use).
+func mix(sum, v uint64) uint64 {
+	v *= 0x9E3779B97F4A7C15
+	v ^= v >> 29
+	return sum + v
+}

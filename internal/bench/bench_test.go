@@ -1,0 +1,185 @@
+package bench
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/vclock"
+)
+
+func ciConfig(w *Workload, cpus int) RunConfig {
+	return RunConfig{
+		CPUs:   cpus,
+		Size:   w.CISize,
+		Model:  w.DefaultModel,
+		Timing: vclock.Virtual,
+		Cost:   vclock.DefaultCostModel(),
+	}
+}
+
+// Every workload must produce the sequential checksum under its default
+// model — the integration test behind every figure.
+func TestAllWorkloadsMatchSequential(t *testing.T) {
+	for _, w := range All {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			t.Parallel()
+			if err := Verify(w, ciConfig(w, 4)); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// The same with a single CPU (speculation starved) and many CPUs.
+func TestWorkloadsAcrossCPUCounts(t *testing.T) {
+	for _, w := range All {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			t.Parallel()
+			for _, cpus := range []int{1, 2, 8} {
+				if err := Verify(w, ciConfig(w, cpus)); err != nil {
+					t.Fatalf("cpus=%d: %v", cpus, err)
+				}
+			}
+		})
+	}
+}
+
+// Every workload under every forking model: the result may be computed with
+// less parallelism but never differently.
+func TestWorkloadsAcrossModels(t *testing.T) {
+	for _, w := range All {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			t.Parallel()
+			for _, m := range []core.Model{core.InOrder, core.OutOfOrder, core.Mixed, core.MixedLinear} {
+				cfg := ciConfig(w, 4)
+				cfg.Model = m
+				if err := Verify(w, cfg); err != nil {
+					t.Fatalf("model=%v: %v", m, err)
+				}
+			}
+		})
+	}
+}
+
+// Forced rollbacks (the Figure 11 experiment) must never change results.
+func TestWorkloadsUnderInjectedRollbacks(t *testing.T) {
+	for _, w := range All {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			t.Parallel()
+			for _, prob := range []float64{0.2, 1.0} {
+				cfg := ciConfig(w, 4)
+				cfg.RollbackProb = prob
+				cfg.Seed = 42
+				if err := Verify(w, cfg); err != nil {
+					t.Fatalf("prob=%v: %v", prob, err)
+				}
+			}
+		})
+	}
+}
+
+// Real (wall clock) timing mode end to end.
+func TestWorkloadsRealTiming(t *testing.T) {
+	for _, w := range All {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			t.Parallel()
+			cfg := ciConfig(w, 2)
+			cfg.Timing = vclock.Real
+			if err := Verify(w, cfg); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// Speculation must actually happen: with several CPUs each workload commits
+// at least one speculative execution under its default model.
+func TestWorkloadsActuallySpeculate(t *testing.T) {
+	for _, w := range All {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			t.Parallel()
+			m, err := MeasureSpec(w, ciConfig(w, 8))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if m.Summary.Commits == 0 {
+				t.Fatalf("%s: no committed speculations (%d rollbacks)", w.Name, m.Summary.Rollbacks)
+			}
+		})
+	}
+}
+
+// Speedup sanity under virtual timing: compute-intensive workloads must
+// scale; memory-intensive ones must at least not slow down catastrophically.
+func TestVirtualSpeedupSanity(t *testing.T) {
+	for _, w := range []*Workload{X3P1, Mandelbrot} {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			t.Parallel()
+			seq, err := MeasureSeq(w, ciConfig(w, 1))
+			if err != nil {
+				t.Fatal(err)
+			}
+			spec, err := MeasureSpec(w, ciConfig(w, 8))
+			if err != nil {
+				t.Fatal(err)
+			}
+			speedup := float64(seq.Runtime) / float64(spec.Runtime)
+			if speedup < 2.0 {
+				t.Fatalf("%s: speedup %.2f at 8 CPUs; compute benchmark must scale", w.Name, speedup)
+			}
+		})
+	}
+}
+
+// matmult is the paper's only benchmark with real rollbacks (§V-B): verify
+// they appear with enough CPUs, and that the others stay rollback-free.
+func TestRollbackProfileMatchesPaper(t *testing.T) {
+	m, err := MeasureSpec(MatMult, ciConfig(MatMult, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Summary.Rollbacks == 0 {
+		t.Error("matmult: expected accumulation conflicts to cause rollbacks")
+	}
+	for _, w := range []*Workload{X3P1, NQueen, TSP, FFT} {
+		mm, err := MeasureSpec(w, ciConfig(w, 8))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if mm.Summary.Rollbacks != 0 {
+			t.Errorf("%s: unexpected %d rollbacks (embarrassingly parallel per the paper)",
+				w.Name, mm.Summary.Rollbacks)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	w, err := ByName("fft")
+	if err != nil || w != FFT {
+		t.Fatalf("ByName(fft) = %v, %v", w, err)
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Fatal("unknown name accepted")
+	}
+}
+
+func TestBenchmarkSets(t *testing.T) {
+	if len(All) != 8 {
+		t.Fatalf("Table II has 8 benchmarks, got %d", len(All))
+	}
+	if len(ComputationIntensive()) != 3 || len(MemoryIntensive()) != 5 {
+		t.Fatal("figure 3/4 benchmark sets wrong")
+	}
+	for _, w := range All {
+		if w.AmountOfData(w.PaperSize) == "" || w.Description == "" || w.Pattern == "" {
+			t.Errorf("%s: incomplete Table II row", w.Name)
+		}
+	}
+}

@@ -1,0 +1,158 @@
+package bench
+
+import (
+	"sort"
+
+	"repro/internal/core"
+)
+
+// This file holds the two reusable TLS driving patterns the benchmarks are
+// written in, both direct translations of the paper's transformed code:
+//
+//   - ChunkLoop: loop-level speculation with chained in-order forks (the
+//     3x+1/mandelbrot/md/bh shape). Each chunk's region forks the next
+//     chunk before doing its own work; the non-speculative thread joins the
+//     chain in order, restoring the chained rank from the saved locals and
+//     re-executing rolled-back chunks inline.
+//
+//   - Spawn/DriveSpawns: tree-form recursion (fft/matmult/nqueen/tsp).
+//     Speculative regions fork subtrees and stop with SyncParent at their
+//     first join point, leaving the forked subtree descriptors in their
+//     saved locals (Fig. 2(d)); the non-speculative driver joins the tree
+//     in sequential order, adopting each committed region's spawns and
+//     re-executing rolled-back subtrees inline.
+
+// ChunkLoop executes body(c, idx) for idx in [0, nChunks) under loop-level
+// speculation with the given forking model. body must contain only
+// TLS-instrumented work (memory access through c, compute through c.Tick).
+func ChunkLoop(t0 *core.Thread, nChunks int, model core.Model, body func(c *core.Thread, idx int)) {
+	if nChunks <= 0 {
+		return
+	}
+	var region core.RegionFunc
+	fork := func(c *core.Thread, ranks []core.Rank, next int) {
+		if next >= nChunks {
+			return
+		}
+		if h := c.Fork(ranks, 0, model); h != nil {
+			h.SetRegvarInt64(0, int64(next))
+			h.Start(region)
+		}
+	}
+	region = func(c *core.Thread) uint32 {
+		idx := int(c.GetRegvarInt64(0))
+		ranks := []core.Rank{0}
+		fork(c, ranks, idx+1)
+		body(c, idx)
+		// The chained ranks array is live at the join point: save it for
+		// the joining thread (paper §IV-D).
+		c.SaveRegvarInt64(1, int64(ranks[0]))
+		return 0
+	}
+	ranks := []core.Rank{0}
+	fork(t0, ranks, 1)
+	body(t0, 0)
+	for idx := 1; idx < nChunks; idx++ {
+		res := t0.Join(ranks, 0)
+		if res.Committed() {
+			ranks[0] = core.Rank(res.RegvarInt64(1))
+			continue
+		}
+		// Rolled back or never forked: run the chunk inline, re-forking
+		// the rest of the chain where the model allows.
+		ranks[0] = 0
+		fork(t0, ranks, idx+1)
+		body(t0, idx)
+	}
+}
+
+// Spawn describes one speculated subtree: the child's rank, a key giving
+// the subtree's position in sequential execution order, and up to four
+// benchmark-specific parameters that let the driver re-execute the subtree
+// inline after a rollback.
+type Spawn struct {
+	Rank core.Rank
+	Seq  int64
+	P    [4]int64
+}
+
+// spawnSlots is the register-slot footprint of one saved spawn.
+const spawnSlots = 6
+
+// SaveSpawns stores a region's spawn list in its saved locals before a
+// SyncParent stop. Slot 0 holds the count; each spawn takes spawnSlots.
+func SaveSpawns(c *core.Thread, spawns []Spawn) {
+	c.SaveRegvarInt64(0, int64(len(spawns)))
+	for i, sp := range spawns {
+		base := 1 + spawnSlots*i
+		c.SaveRegvarInt64(base, int64(sp.Rank))
+		c.SaveRegvarInt64(base+1, sp.Seq)
+		for j := 0; j < 4; j++ {
+			c.SaveRegvarInt64(base+2+j, sp.P[j])
+		}
+	}
+}
+
+// ReadSpawns decodes a committed region's spawn list from the join result.
+func ReadSpawns(res core.JoinResult) []Spawn {
+	n := int(res.RegvarInt64(0))
+	out := make([]Spawn, n)
+	for i := range out {
+		base := 1 + spawnSlots*i
+		out[i].Rank = core.Rank(res.RegvarInt64(base))
+		out[i].Seq = res.RegvarInt64(base + 1)
+		for j := 0; j < 4; j++ {
+			out[i].P[j] = res.RegvarInt64(base + 2 + j)
+		}
+	}
+	return out
+}
+
+// FinishRegion ends a tree region: with no spawns it simply completes;
+// otherwise it saves them and hands the continuation to the parent chain at
+// the region's first join point (synchronization counter 1).
+func FinishRegion(c *core.Thread, spawns []Spawn) uint32 {
+	SaveSpawns(c, spawns)
+	if len(spawns) == 0 {
+		return 0
+	}
+	c.SyncParent(1)
+	return 0 // not reached speculatively
+}
+
+// DriveSpawns joins the speculated tree in sequential order. For every
+// spawn it joins the child; on commit the child's own spawns (decoded from
+// the saved locals) are spliced in and onCommit (if non-nil) consumes the
+// join result (e.g. a count carried in the saved locals); on rollback
+// reexec runs the subtree inline and returns any fresh spawns it made.
+// Spawn Seq keys must nest: a child's key lies within its parent's
+// sequential interval.
+func DriveSpawns(t0 *core.Thread, roots []Spawn,
+	reexec func(t0 *core.Thread, sp Spawn) []Spawn,
+	onCommit func(sp Spawn, res core.JoinResult)) {
+	queue := append([]Spawn(nil), roots...)
+	sortSpawns(queue)
+	for len(queue) > 0 {
+		sp := queue[0]
+		queue = queue[1:]
+		rk := []core.Rank{sp.Rank}
+		res := t0.Join(rk, 0)
+		var next []Spawn
+		if res.Committed() {
+			next = ReadSpawns(res)
+			if onCommit != nil {
+				onCommit(sp, res)
+			}
+		} else {
+			next = reexec(t0, sp)
+		}
+		if len(next) > 0 {
+			sortSpawns(next)
+			queue = append(next, queue...)
+		}
+	}
+}
+
+func sortSpawns(s []Spawn) {
+	sort.Slice(s, func(i, j int) bool { return s[i].Seq < s[j].Seq })
+}

@@ -1,0 +1,239 @@
+package bench
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/mem"
+)
+
+// FFT is the paper's recursive Fast Fourier Transform (Table II: 2^20
+// doubles, divide and conquer). The input is bit-reverse permuted up front;
+// the recursion then transforms contiguous halves — the speculative thread
+// executes the second recursive call and is barriered after it (the paper's
+// words), so it never touches data its parent is producing and no rollbacks
+// occur. The butterfly combine of each internal node needs both halves and
+// therefore runs on the non-speculative thread after the subtree's joins,
+// which is exactly why the paper's fft speedup saturates around 3.7 with
+// idle time dominating the speculative path (Figure 9).
+var FFT = &Workload{
+	Name:        "fft",
+	Description: "recursive Fast Fourier Transform",
+	Pattern:     "divide and conquer",
+	Language:    "C",
+	Class:       "memory",
+	AmountOfData: func(s Size) string {
+		return fmt.Sprintf("2^%d doubles", log2(s.N))
+	},
+	DefaultModel: core.Mixed,
+	CISize:       Size{N: 1 << 13},
+	PaperSize:    Size{N: 1 << 20},
+	HeapBytes: func(s Size) int {
+		return 8*2*s.N + (1 << 12)
+	},
+	Seq:  fftSeq,
+	Spec: fftSpec,
+}
+
+const fftMinBlock = 16
+
+func log2(n int) int {
+	k := 0
+	for 1<<k < n {
+		k++
+	}
+	return k
+}
+
+type fftCtx struct {
+	re, im mem.Addr
+	n      int
+}
+
+func fftInit(t *core.Thread, s Size) fftCtx {
+	n := s.N
+	ctx := fftCtx{re: t.Alloc(8 * n), im: t.Alloc(8 * n), n: n}
+	for i := 0; i < n; i++ {
+		ctx.store(t, i, math.Sin(0.3*float64(i))+0.1*float64(i%17), math.Cos(0.7*float64(i)))
+	}
+	return ctx
+}
+
+func (ctx fftCtx) free(t *core.Thread) {
+	t.Free(ctx.re)
+	t.Free(ctx.im)
+}
+
+func (ctx fftCtx) load(c *core.Thread, i int) (float64, float64) {
+	return c.LoadFloat64(ctx.re + mem.Addr(8*i)), c.LoadFloat64(ctx.im + mem.Addr(8*i))
+}
+
+func (ctx fftCtx) store(c *core.Thread, i int, re, im float64) {
+	c.StoreFloat64(ctx.re+mem.Addr(8*i), re)
+	c.StoreFloat64(ctx.im+mem.Addr(8*i), im)
+}
+
+// bitReverse permutes the input so the contiguous-halves recursion computes
+// a decimation-in-time FFT.
+func fftBitReverse(t *core.Thread, ctx fftCtx) {
+	n := ctx.n
+	for i, j := 0, 0; i < n; i++ {
+		if i < j {
+			ar, ai := ctx.load(t, i)
+			br, bi := ctx.load(t, j)
+			ctx.store(t, i, br, bi)
+			ctx.store(t, j, ar, ai)
+		}
+		bit := n >> 1
+		for ; j&bit != 0; bit >>= 1 {
+			j ^= bit
+		}
+		j |= bit
+	}
+	t.Tick(int64(n))
+}
+
+// fftCombine merges two transformed halves of [start, start+length) with
+// twiddle-factor butterflies.
+func fftCombine(c *core.Thread, ctx fftCtx, start, length int) {
+	half := length / 2
+	for j := 0; j < half; j++ {
+		ang := -2 * math.Pi * float64(j) / float64(length)
+		wr, wi := math.Cos(ang), math.Sin(ang)
+		ar, ai := ctx.load(c, start+j)
+		br, bi := ctx.load(c, start+half+j)
+		tr := wr*br - wi*bi
+		ti := wr*bi + wi*br
+		ctx.store(c, start+j, ar+tr, ai+ti)
+		ctx.store(c, start+half+j, ar-tr, ai-ti)
+		c.Tick(40)
+	}
+}
+
+// fftBlock runs the full iterative transform of [lo, lo+m) (input already
+// bit-reversed).
+func fftBlock(c *core.Thread, ctx fftCtx, lo, m int) {
+	for length := 2; length <= m; length <<= 1 {
+		for start := lo; start < lo+m; start += length {
+			fftCombine(c, ctx, start, length)
+		}
+	}
+}
+
+// fftMaxDepth bounds the fork tree at 64 leaf regions; below that the
+// recursion runs inside the region (get_CPU failures already degrade
+// gracefully at low CPU counts).
+func fftMaxDepth(n int) int {
+	d := 0
+	for (n>>(d+1)) >= fftMinBlock && d < 6 {
+		d++
+	}
+	return d
+}
+
+func fftSeq(t *core.Thread, s Size) uint64 {
+	ctx := fftInit(t, s)
+	defer ctx.free(t)
+	fftBitReverse(t, ctx)
+	fftBlock(t, ctx, 0, ctx.n)
+	return fftChecksum(t, ctx)
+}
+
+func fftSpec(t *core.Thread, s Size, model core.Model) uint64 {
+	ctx := fftInit(t, s)
+	defer ctx.free(t)
+	fftBitReverse(t, ctx)
+	maxDepth := fftMaxDepth(ctx.n)
+
+	var region core.RegionFunc
+	var node func(c *core.Thread, lo, m, depth int, spawns *[]Spawn)
+	node = func(c *core.Thread, lo, m, depth int, spawns *[]Spawn) {
+		if depth >= maxDepth || m <= fftMinBlock {
+			fftBlock(c, ctx, lo, m)
+			return
+		}
+		half := m / 2
+		ranks := []core.Rank{0}
+		h := c.Fork(ranks, 0, model)
+		if h != nil {
+			h.SetRegvarInt64(0, int64(lo+half))
+			h.SetRegvarInt64(1, int64(half))
+			h.SetRegvarInt64(2, int64(depth+1))
+			h.Start(region)
+		}
+		nBefore := len(*spawns)
+		node(c, lo, half, depth+1, spawns)
+		entry := Spawn{
+			Seq: int64(lo + half),
+			P:   [4]int64{int64(lo), int64(lo + half), int64(m), int64(depth)},
+		}
+		if h != nil {
+			// The combine needs the speculative half: deferred to the
+			// non-speculative driver after the subtree's joins.
+			entry.Rank = ranks[0]
+			*spawns = append(*spawns, entry)
+			return
+		}
+		// No CPU: transform the right half sequentially here.
+		fftBlock(c, ctx, lo+half, half)
+		if len(*spawns) == nBefore {
+			// Both halves are complete locally: combine now.
+			fftCombine(c, ctx, lo, m)
+			return
+		}
+		// The left half deferred combines: this node's combine must run
+		// after them. Rank 0 marks a combine-only entry for the driver.
+		*spawns = append(*spawns, entry)
+	}
+	region = func(c *core.Thread) uint32 {
+		lo := int(c.GetRegvarInt64(0))
+		m := int(c.GetRegvarInt64(1))
+		depth := int(c.GetRegvarInt64(2))
+		var spawns []Spawn
+		node(c, lo, m, depth, &spawns)
+		return FinishRegion(c, spawns)
+	}
+
+	// The driver completes subtrees in sequential order, running each
+	// node's combine once its right half has joined (reverse in-order
+	// traversal = sequential order, §IV-F).
+	var complete func(sp Spawn)
+	complete = func(sp Spawn) {
+		if sp.Rank == 0 {
+			return // combine-only entry: nothing to join
+		}
+		rk := []core.Rank{sp.Rank}
+		res := t.Join(rk, 0)
+		if res.Committed() {
+			children := ReadSpawns(res)
+			sortSpawns(children)
+			for _, ch := range children {
+				complete(ch)
+				fftCombine(t, ctx, int(ch.P[0]), int(ch.P[2]))
+			}
+			return
+		}
+		// Rolled back: redo the right half sequentially.
+		fftBlock(t, ctx, int(sp.P[1]), int(sp.P[2])/2)
+	}
+
+	var spawns []Spawn
+	node(t, 0, ctx.n, 0, &spawns)
+	sortSpawns(spawns)
+	for _, sp := range spawns {
+		complete(sp)
+		fftCombine(t, ctx, int(sp.P[0]), int(sp.P[2]))
+	}
+	return fftChecksum(t, ctx)
+}
+
+func fftChecksum(t *core.Thread, ctx fftCtx) uint64 {
+	sum := uint64(0)
+	for i := 0; i < ctx.n; i++ {
+		re, im := ctx.load(t, i)
+		sum = mix(sum, math.Float64bits(re))
+		sum = mix(sum, math.Float64bits(im))
+	}
+	return sum
+}

@@ -1,0 +1,95 @@
+package bench
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/mem"
+)
+
+// Mandelbrot is the paper's fractal generation benchmark: an N×N image with
+// up to Size.M iterations per pixel (Table II: 512×512, 80000 iterations).
+// Rows are split into 64 chunks speculated in order; the per-pixel escape
+// loop is pure compute, so the benchmark is computation-intensive despite
+// one buffered store per pixel.
+var Mandelbrot = &Workload{
+	Name:        "mandelbrot",
+	Description: "mandelbrot fractal generation",
+	Pattern:     "loop",
+	Language:    "C/Fortran",
+	Class:       "computation",
+	AmountOfData: func(s Size) string {
+		return fmt.Sprintf("%dx%d image, maximum %d iterations", s.N, s.N, s.M)
+	},
+	DefaultModel: core.InOrder,
+	CISize:       Size{N: 32, M: 300},
+	PaperSize:    Size{N: 512, M: 80_000},
+	HeapBytes: func(s Size) int {
+		return 8*s.N*s.N + (1 << 12)
+	},
+	Seq:  mandelSeq,
+	Spec: mandelSpec,
+}
+
+const mandelChunks = 64
+
+// mandelPixel iterates z = z² + c until escape, charging the work.
+func mandelPixel(c *core.Thread, cr, ci float64, maxIter int) int64 {
+	zr, zi := 0.0, 0.0
+	it := int64(0)
+	for it < int64(maxIter) && zr*zr+zi*zi <= 4.0 {
+		zr, zi = zr*zr-zi*zi+cr, 2*zr*zi+ci
+		it++
+	}
+	c.Tick(it * 4)
+	return it
+}
+
+// mandelRows renders rows y ≡ idx (mod chunks) of the image — strided so
+// the in-set and out-of-set regions spread evenly over the chunks.
+func mandelRows(c *core.Thread, img mem.Addr, s Size, idx, chunks int) {
+	n := s.N
+	for y := idx; y < n; y += chunks {
+		ci := -1.25 + 2.5*float64(y)/float64(n)
+		for x := 0; x < n; x++ {
+			cr := -2.0 + 3.0*float64(x)/float64(n)
+			it := mandelPixel(c, cr, ci, s.M)
+			c.StoreInt64(img+mem.Addr(8*(y*n+x)), it)
+		}
+	}
+}
+
+func mandelChunkCount(s Size) int {
+	if s.N < mandelChunks {
+		return s.N
+	}
+	return mandelChunks
+}
+
+func mandelSeq(t *core.Thread, s Size) uint64 {
+	img := t.Alloc(8 * s.N * s.N)
+	defer t.Free(img)
+	chunks := mandelChunkCount(s)
+	for idx := 0; idx < chunks; idx++ {
+		mandelRows(t, img, s, idx, chunks)
+	}
+	return mandelChecksum(t, img, s)
+}
+
+func mandelSpec(t *core.Thread, s Size, model core.Model) uint64 {
+	img := t.Alloc(8 * s.N * s.N)
+	defer t.Free(img)
+	chunks := mandelChunkCount(s)
+	ChunkLoop(t, chunks, model, func(c *core.Thread, idx int) {
+		mandelRows(c, img, s, idx, chunks)
+	})
+	return mandelChecksum(t, img, s)
+}
+
+func mandelChecksum(t *core.Thread, img mem.Addr, s Size) uint64 {
+	sum := uint64(0)
+	for i := 0; i < s.N*s.N; i++ {
+		sum = mix(sum, uint64(t.LoadInt64(img+mem.Addr(8*i))))
+	}
+	return sum
+}

@@ -1,0 +1,210 @@
+package bench
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/mem"
+)
+
+// MatMult is the paper's block-based matrix multiplication (Table II:
+// 1024×1024 matrices, divide and conquer "like Strassen's algorithm").
+// Each node splits C = A·B into eight half-size sub-products — two
+// accumulating products per C quadrant — forks seven and computes the
+// eighth itself. The two sub-products of one quadrant read and write the
+// same C block, so when sub-tasks split their own sub-tasks the speculative
+// siblings conflict: matmult is the paper's only benchmark that exhibits
+// real rollbacks (§V-B, peaking around 23% at 7 cores).
+var MatMult = &Workload{
+	Name:        "matmult",
+	Description: "block-based matrix multiplication",
+	Pattern:     "divide and conquer",
+	Language:    "C",
+	Class:       "memory",
+	AmountOfData: func(s Size) string {
+		return fmt.Sprintf("%dx%d matrices", s.N, s.N)
+	},
+	DefaultModel: core.Mixed,
+	CISize:       Size{N: 32},
+	PaperSize:    Size{N: 1024},
+	HeapBytes: func(s Size) int {
+		return 8*3*s.N*s.N + (1 << 12)
+	},
+	Seq:  matmultSeq,
+	Spec: matmultSpec,
+}
+
+const matmultBlock = 8
+
+type mmCtx struct {
+	a, b, c mem.Addr
+	n       int
+}
+
+func mmInit(t *core.Thread, s Size) mmCtx {
+	n := s.N
+	ctx := mmCtx{a: t.Alloc(8 * n * n), b: t.Alloc(8 * n * n), c: t.Alloc(8 * n * n), n: n}
+	for i := 0; i < n*n; i++ {
+		t.StoreFloat64(ctx.a+mem.Addr(8*i), float64((i*13)%17)/17.0)
+		t.StoreFloat64(ctx.b+mem.Addr(8*i), float64((i*7)%23)/23.0)
+		t.StoreFloat64(ctx.c+mem.Addr(8*i), 0)
+	}
+	return ctx
+}
+
+func (ctx mmCtx) free(t *core.Thread) {
+	t.Free(ctx.a)
+	t.Free(ctx.b)
+	t.Free(ctx.c)
+}
+
+// mmBase multiplies sz×sz blocks directly: C[cOff] += A[aOff] · B[bOff],
+// with offsets in elements into the row-major n×n arrays.
+func mmBase(c *core.Thread, ctx mmCtx, cOff, aOff, bOff, sz int) {
+	n := ctx.n
+	for i := 0; i < sz; i++ {
+		for j := 0; j < sz; j++ {
+			cAddr := ctx.c + mem.Addr(8*(cOff+i*n+j))
+			acc := c.LoadFloat64(cAddr)
+			for k := 0; k < sz; k++ {
+				av := c.LoadFloat64(ctx.a + mem.Addr(8*(aOff+i*n+k)))
+				bv := c.LoadFloat64(ctx.b + mem.Addr(8*(bOff+k*n+j)))
+				acc += av * bv
+			}
+			c.StoreFloat64(cAddr, acc)
+			c.Tick(int64(2 * sz))
+		}
+	}
+}
+
+// mmSub lists the eight sub-products of a node in sequential order: for
+// each C quadrant (ci, cj), first the k=0 product then the accumulating
+// k=1 product.
+type mmSub struct {
+	cOff, aOff, bOff int
+}
+
+func mmSubs(ctx mmCtx, cOff, aOff, bOff, sz int) [8]mmSub {
+	h := sz / 2
+	n := ctx.n
+	var out [8]mmSub
+	idx := 0
+	for ci := 0; ci < 2; ci++ {
+		for cj := 0; cj < 2; cj++ {
+			for k := 0; k < 2; k++ {
+				out[idx] = mmSub{
+					cOff: cOff + ci*h*n + cj*h,
+					aOff: aOff + ci*h*n + k*h,
+					bOff: bOff + k*h*n + cj*h,
+				}
+				idx++
+			}
+		}
+	}
+	return out
+}
+
+// mmSeqNode multiplies recursively without any speculation.
+func mmSeqNode(t *core.Thread, ctx mmCtx, cOff, aOff, bOff, sz int) {
+	if sz <= matmultBlock {
+		mmBase(t, ctx, cOff, aOff, bOff, sz)
+		return
+	}
+	for _, sub := range mmSubs(ctx, cOff, aOff, bOff, sz) {
+		mmSeqNode(t, ctx, sub.cOff, sub.aOff, sub.bOff, sz/2)
+	}
+}
+
+func matmultSeq(t *core.Thread, s Size) uint64 {
+	ctx := mmInit(t, s)
+	defer ctx.free(t)
+	mmSeqNode(t, ctx, 0, 0, 0, ctx.n)
+	return mmChecksum(t, ctx)
+}
+
+func matmultSpec(t *core.Thread, s Size, model core.Model) uint64 {
+	ctx := mmInit(t, s)
+	defer ctx.free(t)
+
+	// Fork depth bounded at two levels (64 leaf tasks, the paper's scale);
+	// failed get_CPU calls degrade to inline execution at low CPU counts.
+	maxDepth := 0
+	for (ctx.n>>(maxDepth+1)) >= matmultBlock && maxDepth < 2 {
+		maxDepth++
+	}
+
+	var region core.RegionFunc
+	var node func(c *core.Thread, cOff, aOff, bOff, sz, depth int, seq, span int64, spawns *[]Spawn)
+	node = func(c *core.Thread, cOff, aOff, bOff, sz, depth int, seq, span int64, spawns *[]Spawn) {
+		if depth >= maxDepth || sz <= matmultBlock {
+			mmSeqNode(c, ctx, cOff, aOff, bOff, sz)
+			return
+		}
+		subs := mmSubs(ctx, cOff, aOff, bOff, sz)
+		sub := span / 8
+		// Fork sub-products 7..1 in reverse sequential order (later forked
+		// = logically earlier, §IV-F), compute sub-product 0 ourselves.
+		ranks := make([]core.Rank, 8)
+		for i := 7; i >= 1; i-- {
+			h := c.Fork(ranks, i, model)
+			if h == nil {
+				continue
+			}
+			h.SetRegvarInt64(0, int64(subs[i].cOff))
+			h.SetRegvarInt64(1, int64(subs[i].aOff))
+			h.SetRegvarInt64(2, int64(subs[i].bOff))
+			h.SetRegvarInt64(3, int64(sz/2))
+			h.SetRegvarInt64(4, int64(depth+1))
+			h.SetRegvarInt64(5, seq+int64(i)*sub)
+			h.SetRegvarInt64(6, sub)
+			h.Start(region)
+		}
+		node(c, subs[0].cOff, subs[0].aOff, subs[0].bOff, sz/2, depth+1, seq, sub, spawns)
+		// Un-forked sub-products run inline, in order.
+		for i := 1; i <= 7; i++ {
+			if ranks[i] == 0 {
+				mmSeqNode(c, ctx, subs[i].cOff, subs[i].aOff, subs[i].bOff, sz/2)
+				continue
+			}
+			*spawns = append(*spawns, Spawn{
+				Rank: ranks[i],
+				Seq:  seq + int64(i)*sub,
+				P:    [4]int64{int64(subs[i].cOff), int64(subs[i].aOff), int64(subs[i].bOff), int64(sz / 2)},
+			})
+		}
+	}
+	region = func(c *core.Thread) uint32 {
+		cOff := int(c.GetRegvarInt64(0))
+		aOff := int(c.GetRegvarInt64(1))
+		bOff := int(c.GetRegvarInt64(2))
+		sz := int(c.GetRegvarInt64(3))
+		depth := int(c.GetRegvarInt64(4))
+		seq := c.GetRegvarInt64(5)
+		span := c.GetRegvarInt64(6)
+		var spawns []Spawn
+		node(c, cOff, aOff, bOff, sz, depth, seq, span, &spawns)
+		return FinishRegion(c, spawns)
+	}
+
+	var spawns []Spawn
+	span := int64(1) << 62
+	node(t, 0, 0, 0, ctx.n, 0, 0, span, &spawns)
+	DriveSpawns(t, spawns, func(t0 *core.Thread, sp Spawn) []Spawn {
+		mmSeqNode(t0, ctx, int(sp.P[0]), int(sp.P[1]), int(sp.P[2]), int(sp.P[3]))
+		return nil
+	}, nil)
+	return mmChecksum(t, ctx)
+}
+
+func mmChecksum(t *core.Thread, ctx mmCtx) uint64 {
+	sum := uint64(0)
+	for i := 0; i < ctx.n*ctx.n; i++ {
+		// Quantize: accumulation order differs between the speculative
+		// sub-product schedule and the sequential triple loop only when a
+		// rollback re-executes with different intermediate rounding; the
+		// block schedule itself is identical.
+		v := t.LoadFloat64(ctx.c + mem.Addr(8*i))
+		sum = mix(sum, uint64(int64(v*1024)))
+	}
+	return sum
+}

@@ -1,0 +1,163 @@
+package bench
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/mem"
+)
+
+// MD is the paper's 3D molecular dynamics simulation (Table II: 256
+// particles, 400 time steps). Each step computes all-pairs soft-sphere
+// forces (O(N²) with ~10 floating point operations per pair — computation
+// intensive) and then integrates positions and velocities. Both loops are
+// speculated in chunks; steps are serialized by their joins, which is why
+// the paper's md curve shows the critical path efficiency decaying with
+// more CPUs.
+var MD = &Workload{
+	Name:        "md",
+	Description: "3D molecular dynamics simulation",
+	Pattern:     "loop",
+	Language:    "C/Fortran",
+	Class:       "computation",
+	AmountOfData: func(s Size) string {
+		return fmt.Sprintf("%d particles, %d iteration steps", s.N, s.Steps)
+	},
+	DefaultModel: core.InOrder,
+	CISize:       Size{N: 48, Steps: 3},
+	PaperSize:    Size{N: 256, Steps: 400},
+	HeapBytes: func(s Size) int {
+		return 8*10*s.N + (1 << 12)
+	},
+	Seq:  mdSeq,
+	Spec: mdSpec,
+}
+
+// mdState holds the particle arrays in the simulated address space.
+type mdState struct {
+	pos, vel, force mem.Addr // 3N float64 each
+	n               int
+}
+
+func mdInit(t *core.Thread, s Size) mdState {
+	n := s.N
+	st := mdState{
+		pos:   t.Alloc(8 * 3 * n),
+		vel:   t.Alloc(8 * 3 * n),
+		force: t.Alloc(8 * 3 * n),
+		n:     n,
+	}
+	// Deterministic lattice-ish initial positions, zero velocities.
+	for i := 0; i < n; i++ {
+		for d := 0; d < 3; d++ {
+			v := float64((i*7+d*13)%31)/31.0 + 0.05*float64(d)
+			t.StoreFloat64(st.pos+mem.Addr(8*(3*i+d)), v)
+			t.StoreFloat64(st.vel+mem.Addr(8*(3*i+d)), 0)
+		}
+	}
+	return st
+}
+
+func (st mdState) free(t *core.Thread) {
+	t.Free(st.pos)
+	t.Free(st.vel)
+	t.Free(st.force)
+}
+
+// mdForces computes forces for particles [lo,hi) against all others.
+func mdForces(c *core.Thread, st mdState, lo, hi int) {
+	const eps = 1e-3
+	for i := lo; i < hi; i++ {
+		xi := c.LoadFloat64(st.pos + mem.Addr(8*(3*i)))
+		yi := c.LoadFloat64(st.pos + mem.Addr(8*(3*i+1)))
+		zi := c.LoadFloat64(st.pos + mem.Addr(8*(3*i+2)))
+		var fx, fy, fz float64
+		for j := 0; j < st.n; j++ {
+			if j == i {
+				continue
+			}
+			dx := xi - c.LoadFloat64(st.pos+mem.Addr(8*(3*j)))
+			dy := yi - c.LoadFloat64(st.pos+mem.Addr(8*(3*j+1)))
+			dz := zi - c.LoadFloat64(st.pos+mem.Addr(8*(3*j+2)))
+			r2 := dx*dx + dy*dy + dz*dz + eps
+			inv := 1.0 / (r2 * math.Sqrt(r2))
+			fx += dx * inv
+			fy += dy * inv
+			fz += dz * inv
+		}
+		c.Tick(int64(st.n) * 30)
+		c.StoreFloat64(st.force+mem.Addr(8*(3*i)), fx)
+		c.StoreFloat64(st.force+mem.Addr(8*(3*i+1)), fy)
+		c.StoreFloat64(st.force+mem.Addr(8*(3*i+2)), fz)
+	}
+}
+
+// mdIntegrate advances particles [lo,hi) one time step.
+func mdIntegrate(c *core.Thread, st mdState, lo, hi int) {
+	const dt = 1e-4
+	for i := lo; i < hi; i++ {
+		for d := 0; d < 3; d++ {
+			off := mem.Addr(8 * (3*i + d))
+			v := c.LoadFloat64(st.vel+off) + dt*c.LoadFloat64(st.force+off)
+			c.StoreFloat64(st.vel+off, v)
+			c.StoreFloat64(st.pos+off, c.LoadFloat64(st.pos+off)+dt*v)
+		}
+		c.Tick(12)
+	}
+}
+
+func mdChunks(s Size) int {
+	chunks := s.N / 4
+	if chunks > 64 {
+		chunks = 64
+	}
+	if chunks < 1 {
+		chunks = 1
+	}
+	return chunks
+}
+
+func mdBounds(s Size, idx int) (int, int) {
+	chunks := mdChunks(s)
+	per := s.N / chunks
+	lo := idx * per
+	hi := lo + per
+	if idx == chunks-1 {
+		hi = s.N
+	}
+	return lo, hi
+}
+
+func mdChecksum(t *core.Thread, st mdState) uint64 {
+	sum := uint64(0)
+	for i := 0; i < 3*st.n; i++ {
+		sum = mix(sum, math.Float64bits(t.LoadFloat64(st.pos+mem.Addr(8*i))))
+	}
+	return sum
+}
+
+func mdSeq(t *core.Thread, s Size) uint64 {
+	st := mdInit(t, s)
+	defer st.free(t)
+	for step := 0; step < s.Steps; step++ {
+		mdForces(t, st, 0, st.n)
+		mdIntegrate(t, st, 0, st.n)
+	}
+	return mdChecksum(t, st)
+}
+
+func mdSpec(t *core.Thread, s Size, model core.Model) uint64 {
+	st := mdInit(t, s)
+	defer st.free(t)
+	for step := 0; step < s.Steps; step++ {
+		// The O(N²) force loop is the speculated loop; the O(N) integration
+		// is too small to amortize a fork and runs non-speculatively.
+		ChunkLoop(t, mdChunks(s), model, func(c *core.Thread, idx int) {
+			lo, hi := mdBounds(s, idx)
+			mdForces(c, st, lo, hi)
+		})
+		mdIntegrate(t, st, 0, st.n)
+	}
+	return mdChecksum(t, st)
+}

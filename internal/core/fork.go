@@ -1,0 +1,297 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/mem"
+	"repro/internal/vclock"
+)
+
+// childrenRef returns the thread's children stack: speculative threads keep
+// it in their ThreadData (so the parent can adopt it after a stop), the
+// non-speculative thread keeps it locally.
+func (t *Thread) childrenRef() *[]childRef {
+	if t.speculative {
+		return &t.cpu.td.children
+	}
+	return &t.children
+}
+
+// ForkHandle is the window between MUTLS_get_CPU and MUTLS_speculate: the
+// parent stores the child's live-ins through it (the generated proxy
+// function) and then starts the speculation.
+type ForkHandle struct {
+	t       *Thread
+	child   *cpu
+	started bool
+	nSaved  int
+}
+
+// Fork is __builtin_MUTLS_fork(p, model): it claims an IDLE virtual CPU for
+// a speculative thread at fork/join point p under the given forking model.
+// It returns nil — and the program simply continues non-speculatively — when
+// the point already has a thread (ranks[p] != 0), the model forbids this
+// thread from forking, the adaptive heuristic disabled the point, or no CPU
+// is IDLE. On success ranks[p] holds the child's rank and the child is
+// pushed on this thread's children stack.
+func (t *Thread) Fork(ranks []Rank, p int, model Model) *ForkHandle {
+	if p < 0 || p >= len(ranks) || p >= t.rt.opts.MaxPoints {
+		panic(fmt.Sprintf("core: fork point %d out of range", p))
+	}
+	if ranks[p] != 0 {
+		return nil
+	}
+	if !t.rt.heur.allow(p) {
+		return nil
+	}
+	// Forking-model policy (§II, §IV-F).
+	switch model {
+	case InOrder:
+		if t.rt.inOrderTail.Load() != t.tailWord() {
+			return nil
+		}
+	case OutOfOrder:
+		if t.speculative {
+			return nil
+		}
+	case Mixed, MixedLinear:
+		// Every thread may speculate.
+	default:
+		panic(fmt.Sprintf("core: unknown forking model %v", model))
+	}
+
+	cost := t.clock.Model
+	t.clock.Charge(vclock.FindCPU, cost.FindCPUCost)
+	stop := t.clock.Span(vclock.FindCPU)
+	child := t.rt.claimIdleCPU(t.clock.Now())
+	stop()
+	if child == nil {
+		return nil
+	}
+
+	td := &child.td
+	td.point = p
+	td.model = model
+	td.parentRank.Store(int32(t.rank))
+	td.validStatus.Store(validNull)
+	td.forceInvalid.Store(false)
+	td.syncTime.Store(0)
+	td.stopCounter = 0
+	td.stopTime = 0
+	td.finalTime = 0
+	td.overflowStop = false
+	td.reason = RollbackNone
+	td.children = td.children[:0]
+	for i := range td.forkLive {
+		td.forkLive[i] = false
+	}
+	child.lb.Reset()
+
+	ranks[p] = td.rank
+	ref := childRef{rank: td.rank, epoch: td.epoch()}
+	cs := t.childrenRef()
+	*cs = append(*cs, ref)
+
+	switch model {
+	case InOrder:
+		t.rt.inOrderTail.Store(tailWord(td.rank, ref.epoch))
+	case MixedLinear:
+		t.rt.linearInsert(t.rank, ref)
+	}
+	return &ForkHandle{t: t, child: child}
+}
+
+// tailWord returns this thread's in-order tail identity.
+func (t *Thread) tailWord() uint64 {
+	if !t.speculative {
+		return 0
+	}
+	return tailWord(t.rank, t.cpu.td.epoch())
+}
+
+// claimIdleCPU scans for an IDLE CPU and claims it (MUTLS_get_CPU). A CPU
+// qualifies only when it is also *virtually* idle — its freeAt does not
+// exceed the forker's clock. On the modelled machine a CPU whose last
+// execution ends at a later virtual time would still be busy now; claiming
+// it (just because the 2-core host finished the goroutine early in real
+// time) would serialize the new speculation behind it and destroy the
+// schedule's fidelity.
+func (rt *Runtime) claimIdleCPU(now vclock.Cost) *cpu {
+	for r := 1; r <= rt.opts.NumCPUs; r++ {
+		c := rt.cpus[r]
+		if c.td.state.Load() != cpuIdle || c.freeAt.Load() > now {
+			continue
+		}
+		if c.td.state.CompareAndSwap(cpuIdle, cpuClaimed) {
+			// Re-check under the claim: the pre-scan freeAt read may have
+			// been stale against a release that happened in between.
+			if c.freeAt.Load() > now {
+				c.td.state.Store(cpuIdle)
+				continue
+			}
+			rt.active.Add(1)
+			return c
+		}
+	}
+	return nil
+}
+
+// Rank returns the claimed child's rank.
+func (h *ForkHandle) Rank() Rank { return h.child.td.rank }
+
+// setRegvar is MUTLS_set_regvar_*: the proxy function saving one live-in.
+func (h *ForkHandle) setRegvar(slot int, v uint64) {
+	if h.started {
+		panic("core: SetRegvar after Start")
+	}
+	if err := h.child.lb.SetRegvar(slot, v); err != nil {
+		// Too many live variables: the paper's speculator pass reports an
+		// error and speculation fails; surface it as a panic since it is a
+		// static protocol violation, not a dynamic conflict.
+		panic(err)
+	}
+	h.child.td.forkRegs[slot] = v
+	h.child.td.forkLive[slot] = true
+	h.nSaved++
+	cost := h.t.clock.Model
+	h.t.clock.Charge(vclock.Fork, cost.SaveLocal)
+}
+
+// SetRegvarInt64 saves an int64 live-in for the child.
+func (h *ForkHandle) SetRegvarInt64(slot int, v int64) { h.setRegvar(slot, uint64(v)) }
+
+// SetRegvarInt32 saves an int32 live-in for the child.
+func (h *ForkHandle) SetRegvarInt32(slot int, v int32) { h.setRegvar(slot, uint64(uint32(v))) }
+
+// SetRegvarFloat64 saves a float64 live-in for the child.
+func (h *ForkHandle) SetRegvarFloat64(slot int, v float64) { h.setRegvar(slot, math.Float64bits(v)) }
+
+// SetRegvarAddr saves a pointer live-in for the child.
+func (h *ForkHandle) SetRegvarAddr(slot int, v mem.Addr) { h.setRegvar(slot, uint64(v)) }
+
+// SetStackvar is MUTLS_set_stackvar_*: it copies the stack variable at
+// homeAddr into the child's LocalBuffer.
+func (h *ForkHandle) SetStackvar(slot int, homeAddr mem.Addr, size int) {
+	if h.started {
+		panic("core: SetStackvar after Start")
+	}
+	data := make([]byte, size)
+	h.t.LoadBytes(homeAddr, data)
+	if err := h.child.lb.SetStackvar(slot, homeAddr, data); err != nil {
+		panic(err)
+	}
+	cost := h.t.clock.Model
+	h.t.clock.Charge(vclock.Fork, cost.SaveLocal*vclock.Cost(1+size/mem.Word))
+}
+
+// Start is MUTLS_speculate: it hands the region to the claimed CPU's worker
+// and sets the CPU RUNNING. The child enters through the stub, fetching its
+// live-ins with Thread.GetRegvar*.
+func (h *ForkHandle) Start(region RegionFunc) {
+	if h.started {
+		panic("core: Start called twice")
+	}
+	h.started = true
+	cost := h.t.clock.Model
+	h.t.clock.Charge(vclock.Fork, cost.ForkCost)
+	startAt := h.t.clock.Now()
+	if fa := h.child.freeAt.Load(); fa > startAt {
+		startAt = fa
+	}
+	h.child.td.state.Store(cpuRunning)
+	h.child.tasks <- specTask{region: region, startAt: startAt}
+}
+
+// getRegvar is MUTLS_get_regvar_* on the child side (the stub), or the
+// parent restoring saved locals is handled by JoinResult instead.
+func (t *Thread) getRegvar(slot int) uint64 {
+	if !t.speculative {
+		panic("core: GetRegvar on the non-speculative thread")
+	}
+	v, err := t.cpu.lb.GetRegvar(slot)
+	if err != nil {
+		t.rollbackNow(RollbackUnsafeOp)
+	}
+	cost := t.clock.Model
+	t.clock.Charge(vclock.Fork, cost.RestoreLocal)
+	return v
+}
+
+// GetRegvarInt64 fetches an int64 live-in inside a region.
+func (t *Thread) GetRegvarInt64(slot int) int64 { return int64(t.getRegvar(slot)) }
+
+// GetRegvarInt32 fetches an int32 live-in inside a region.
+func (t *Thread) GetRegvarInt32(slot int) int32 { return int32(uint32(t.getRegvar(slot))) }
+
+// GetRegvarFloat64 fetches a float64 live-in inside a region.
+func (t *Thread) GetRegvarFloat64(slot int) float64 {
+	return math.Float64frombits(t.getRegvar(slot))
+}
+
+// GetRegvarAddr fetches a pointer live-in inside a region.
+func (t *Thread) GetRegvarAddr(slot int) mem.Addr { return mem.Addr(t.getRegvar(slot)) }
+
+// saveRegvar is MUTLS_set_regvar_* on the child side: saving live locals
+// before stopping at a check, barrier or terminate point so the parent can
+// restore them from the synchronization table.
+func (t *Thread) saveRegvar(slot int, v uint64) {
+	if !t.speculative {
+		panic("core: SaveRegvar on the non-speculative thread")
+	}
+	if err := t.cpu.lb.SetRegvar(slot, v); err != nil {
+		panic(err)
+	}
+	cost := t.clock.Model
+	t.clock.Charge(vclock.Work, cost.SaveLocal)
+}
+
+// SaveRegvarInt64 saves an int64 live-out before a stop point.
+func (t *Thread) SaveRegvarInt64(slot int, v int64) { t.saveRegvar(slot, uint64(v)) }
+
+// SaveRegvarInt32 saves an int32 live-out before a stop point.
+func (t *Thread) SaveRegvarInt32(slot int, v int32) { t.saveRegvar(slot, uint64(uint32(v))) }
+
+// SaveRegvarFloat64 saves a float64 live-out before a stop point.
+func (t *Thread) SaveRegvarFloat64(slot int, v float64) { t.saveRegvar(slot, math.Float64bits(v)) }
+
+// SaveRegvarAddr saves a pointer live-out before a stop point.
+func (t *Thread) SaveRegvarAddr(slot int, v mem.Addr) { t.saveRegvar(slot, uint64(v)) }
+
+// GetStackvar materializes a buffered stack variable on the speculative
+// thread's own stack (the stub side of MUTLS_get_stackvar_*): it allocates
+// the child copy, fills it, binds the address for pointer mapping and
+// returns it.
+func (t *Thread) GetStackvar(slot int) mem.Addr {
+	if !t.speculative {
+		panic("core: GetStackvar on the non-speculative thread")
+	}
+	data, err := t.cpu.lb.GetStackvar(slot, mem.NilAddr)
+	if err != nil {
+		t.rollbackNow(RollbackUnsafeOp)
+	}
+	p := t.StackAlloc(len(data))
+	t.StoreBytes(p, data)
+	if _, err := t.cpu.lb.GetStackvar(slot, p); err != nil {
+		t.rollbackNow(RollbackUnsafeOp)
+	}
+	cost := t.clock.Model
+	t.clock.Charge(vclock.Fork, cost.RestoreLocal*vclock.Cost(1+len(data)/mem.Word))
+	return p
+}
+
+// SaveStackvar copies the speculative copy of a stack variable back into
+// the LocalBuffer before a stop point, so a committing join writes the
+// final bytes to the non-speculative home.
+func (t *Thread) SaveStackvar(slot int, specAddr mem.Addr, size int) {
+	if !t.speculative {
+		panic("core: SaveStackvar on the non-speculative thread")
+	}
+	data := make([]byte, size)
+	t.LoadBytes(specAddr, data)
+	if err := t.cpu.lb.UpdateStackvar(slot, data); err != nil {
+		t.rollbackNow(RollbackUnsafeOp)
+	}
+	cost := t.clock.Model
+	t.clock.Charge(vclock.Work, cost.SaveLocal*vclock.Cost(1+size/mem.Word))
+}

@@ -1,0 +1,74 @@
+package core
+
+import "sync/atomic"
+
+// heuristics implements the adaptive fork heuristic sketched as future work
+// in §VI ("different automatic fork heuristics"): each fork point keeps a
+// commit/rollback profile, and once a point has enough samples and a
+// rollback rate above the threshold, further speculation on it is refused —
+// the program simply runs that region non-speculatively.
+type heuristics struct {
+	enabled    bool
+	minSamples int64
+	maxRate    float64
+	points     []pointProfile
+}
+
+type pointProfile struct {
+	commits   atomic.Int64
+	rollbacks atomic.Int64
+	disabled  atomic.Bool
+}
+
+func newHeuristics(o Options) *heuristics {
+	return &heuristics{
+		enabled:    o.AdaptiveForkHeuristic,
+		minSamples: int64(o.HeuristicMinSamples),
+		maxRate:    o.HeuristicMaxRollbackRate,
+		points:     make([]pointProfile, o.MaxPoints),
+	}
+}
+
+// allow reports whether forking at point p is currently permitted.
+func (h *heuristics) allow(p int) bool {
+	if !h.enabled {
+		return true
+	}
+	return !h.points[p].disabled.Load()
+}
+
+// observe records one execution outcome for point p and re-evaluates the
+// disable decision.
+func (h *heuristics) observe(p int, committed bool) {
+	if p < 0 || p >= len(h.points) {
+		return
+	}
+	prof := &h.points[p]
+	if committed {
+		prof.commits.Add(1)
+	} else {
+		prof.rollbacks.Add(1)
+	}
+	if !h.enabled {
+		return
+	}
+	c, r := prof.commits.Load(), prof.rollbacks.Load()
+	if c+r >= h.minSamples && float64(r)/float64(c+r) > h.maxRate {
+		prof.disabled.Store(true)
+	}
+}
+
+// profile returns the counts for a point (for tests and reports).
+func (h *heuristics) profile(p int) (commits, rollbacks int64, disabled bool) {
+	prof := &h.points[p]
+	return prof.commits.Load(), prof.rollbacks.Load(), prof.disabled.Load()
+}
+
+// PointProfile reports a fork point's observed commits, rollbacks and
+// whether the adaptive heuristic disabled it.
+func (rt *Runtime) PointProfile(p int) (commits, rollbacks int64, disabled bool) {
+	if p < 0 || p >= rt.opts.MaxPoints {
+		return 0, 0, false
+	}
+	return rt.heur.profile(p)
+}

@@ -1,0 +1,286 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+
+	"repro/internal/lbuf"
+	"repro/internal/mem"
+	"repro/internal/vclock"
+)
+
+// JoinStatus is the outcome of __builtin_MUTLS_join(p).
+type JoinStatus uint8
+
+const (
+	// JoinNotForked: no thread was speculated on the point; the joining
+	// thread simply executes the region itself.
+	JoinNotForked JoinStatus = iota
+	// JoinCommitted: the speculative thread validated and committed; the
+	// joining thread restores its saved locals and resumes at the returned
+	// synchronization counter.
+	JoinCommitted
+	// JoinRolledBack: the speculative execution was discarded; the joining
+	// thread re-executes the region.
+	JoinRolledBack
+)
+
+// String names the status.
+func (s JoinStatus) String() string {
+	switch s {
+	case JoinNotForked:
+		return "not-forked"
+	case JoinCommitted:
+		return "committed"
+	case JoinRolledBack:
+		return "rolled-back"
+	}
+	return fmt.Sprintf("JoinStatus(%d)", uint8(s))
+}
+
+// JoinResult carries everything the synchronization table needs: the
+// child's stop counter, its saved locals, nested frame records for stack
+// reconstruction, and the pointer mappings for committed stack pointers.
+type JoinResult struct {
+	Status JoinStatus
+	// Counter is the synchronization counter at which the child stopped:
+	// 0 means it ran to the region's end (its barrier); non-zero values
+	// index the resume blocks of the region.
+	Counter uint32
+	// Reason explains a rollback.
+	Reason RollbackReason
+
+	regs    []uint64
+	regLive []bool
+	frames  []lbuf.FrameRecord
+	ptrMap  func(mem.Addr) (mem.Addr, bool)
+}
+
+// ValidateRegvarInt64 is MUTLS_validate_local_int64: the joining thread
+// checks that the value it predicted for a live register at fork time
+// matches the actual value now that it reached the join point. A mismatch
+// forces the speculative thread to roll back.
+func (t *Thread) ValidateRegvarInt64(ranks []Rank, p int, slot int, actual int64) {
+	t.validateRegvar(ranks, p, slot, uint64(actual))
+}
+
+// ValidateRegvarInt32 validates an int32 prediction.
+func (t *Thread) ValidateRegvarInt32(ranks []Rank, p int, slot int, actual int32) {
+	t.validateRegvar(ranks, p, slot, uint64(uint32(actual)))
+}
+
+// ValidateRegvarFloat64 validates a float64 prediction.
+func (t *Thread) ValidateRegvarFloat64(ranks []Rank, p int, slot int, actual float64) {
+	t.validateRegvar(ranks, p, slot, math.Float64bits(actual))
+}
+
+// ValidateRegvarAddr validates a pointer prediction.
+func (t *Thread) ValidateRegvarAddr(ranks []Rank, p int, slot int, actual mem.Addr) {
+	t.validateRegvar(ranks, p, slot, uint64(actual))
+}
+
+func (t *Thread) validateRegvar(ranks []Rank, p int, slot int, actual uint64) {
+	if p < 0 || p >= len(ranks) || ranks[p] == 0 {
+		return
+	}
+	td := &t.rt.cpus[ranks[p]].td
+	if slot < 0 || slot >= len(td.forkRegs) || !td.forkLive[slot] || td.forkRegs[slot] != actual {
+		td.forceInvalid.Store(true)
+	}
+}
+
+// Join is __builtin_MUTLS_join(p) / MUTLS_synchronize: it locates the
+// speculative thread of point p in this thread's children stack following
+// the mixed-model protocol of §IV-F — popping mismatched children (which
+// get NOSYNC and squash their own subtrees), then synchronizing with the
+// match, adopting its children whether it commits or rolls back, and
+// reclaiming its CPU.
+//
+// Only the non-speculative thread synchronizes. A speculative thread that
+// reaches a join point where it forked a child cannot commit that child to
+// main memory (it may itself roll back); per Figure 2(d) it validates the
+// child's predicted locals, saves its own live locals and stops with
+// SyncParent — the non-speculative thread resumes at that counter and
+// performs the join. Joins therefore happen in reverse in-order traversal
+// of the thread tree, which is the sequential execution order, so every
+// ancestor's writes are committed before a descendant validates against
+// main memory.
+func (t *Thread) Join(ranks []Rank, p int) JoinResult {
+	if t.speculative {
+		panic("core: Join on a speculative thread — use SyncParent at speculative join points (Fig. 2(d))")
+	}
+	if p < 0 || p >= len(ranks) {
+		panic(fmt.Sprintf("core: join point %d out of range", p))
+	}
+	want := ranks[p]
+	if want == 0 {
+		return JoinResult{Status: JoinNotForked}
+	}
+	ranks[p] = 0 // allow speculation on the point again, in either case
+
+	cs := t.childrenRef()
+	var ref childRef
+	found := false
+	for len(*cs) > 0 {
+		c := (*cs)[len(*cs)-1]
+		*cs = (*cs)[:len(*cs)-1]
+		if c.rank == want {
+			ref = c
+			found = true
+			break
+		}
+		// The program violated the mixed-model assumption: squash.
+		t.rt.cpus[c.rank].td.signal(c.epoch, syncNoSync)
+	}
+	if !found {
+		// The child was already squashed elsewhere; the paper returns
+		// false and the joining thread re-executes.
+		return JoinResult{Status: JoinRolledBack, Reason: RollbackNoSync}
+	}
+
+	child := t.rt.cpus[want]
+	td := &child.td
+	cost := t.clock.Model
+
+	// Signal SYNC and busy-wait for valid_status (the flag-based barrier).
+	t.clock.Charge(vclock.Join, cost.SyncCost)
+	td.syncTime.Store(t.clock.Now())
+	if !td.signal(ref.epoch, syncSync) {
+		// A third party squashed the child first (linear cascade), or the
+		// epoch is stale because the squashed child already self-released:
+		// the speculation is gone either way.
+		return JoinResult{Status: JoinRolledBack, Reason: RollbackNoSync}
+	}
+	idleStop := t.clock.Span(vclock.Idle)
+	for td.validStatus.Load() == validNull {
+		runtime.Gosched()
+	}
+	idleStop()
+	committed := td.validStatus.Load() == validCommit
+
+	// Adopt the child's children in both outcomes: local conflicts must not
+	// discard the subtree's committed-future work (§IV-F).
+	if len(td.children) > 0 {
+		*cs = append(*cs, td.children...)
+		for _, g := range td.children {
+			gtd := &t.rt.cpus[g.rank].td
+			// Skip stale grandchildren (already squashed and reclaimed):
+			// the epoch check keeps us from touching a new occupant.
+			if gtd.epoch() == g.epoch {
+				gtd.parentRank.Store(int32(t.rank))
+			}
+		}
+		td.children = td.children[:0]
+	}
+
+	// The joining thread idles until the child finishes validation and
+	// commit; under virtual timing the gap is explicit.
+	t.clock.AdvanceTo(td.finalTime, vclock.Idle)
+
+	res := JoinResult{Reason: td.reason}
+	if committed {
+		res.Status = JoinCommitted
+		res.Counter = td.stopCounter
+		regs, live := child.lb.EntryRegs()
+		res.regs, res.regLive = regs, live
+		res.frames = child.lb.Records()
+		nLive := 0
+		for _, l := range live {
+			if l {
+				nLive++
+			}
+		}
+		t.clock.Charge(vclock.Join, cost.RestoreLocal*vclock.Cost(nLive))
+		t.commitStackvars(child)
+		res.ptrMap = stackPtrMapper(child.lb)
+	} else {
+		res.Status = JoinRolledBack
+		if td.model == MixedLinear {
+			// The linear mixed baseline squashes every logically later
+			// thread on a rollback — the cascade the tree model avoids.
+			t.rt.linearSquash(want)
+		}
+	}
+	if td.model == MixedLinear {
+		t.rt.linearRemove(want)
+	}
+	t.rt.heur.observe(td.point, committed)
+	t.rt.releaseCPU(child, td.finalTime)
+	return res
+}
+
+// commitStackvars writes the child's final stack-variable bytes back to
+// their non-speculative homes (the parent side of MUTLS_get_stackvar_*).
+func (t *Thread) commitStackvars(child *cpu) {
+	for _, m := range child.lb.PtrMappings() {
+		data, err := child.lb.EntryStackvarData(m.Slot)
+		if err != nil {
+			continue
+		}
+		t.StoreBytes(m.Home, data)
+	}
+}
+
+// stackPtrMapper snapshots the child's pointer mappings into a standalone
+// translation function usable after the CPU is reclaimed.
+func stackPtrMapper(lb *lbuf.Buffer) func(mem.Addr) (mem.Addr, bool) {
+	ms := lb.PtrMappings()
+	return func(p mem.Addr) (mem.Addr, bool) {
+		for _, m := range ms {
+			if m.Bound != mem.NilAddr && p >= m.Bound && p < m.Bound+mem.Addr(m.Size) {
+				return m.Home + (p - m.Bound), true
+			}
+		}
+		return p, false
+	}
+}
+
+// regvar fetches one restored local from the join result.
+func (r *JoinResult) regvar(slot int) uint64 {
+	if r.Status != JoinCommitted {
+		panic("core: Regvar on a join that did not commit")
+	}
+	if slot < 0 || slot >= len(r.regs) || !r.regLive[slot] {
+		panic(fmt.Sprintf("core: regvar slot %d was not saved by the region", slot))
+	}
+	return r.regs[slot]
+}
+
+// RegvarInt64 restores an int64 the region saved before stopping.
+func (r *JoinResult) RegvarInt64(slot int) int64 { return int64(r.regvar(slot)) }
+
+// RegvarInt32 restores an int32 the region saved before stopping.
+func (r *JoinResult) RegvarInt32(slot int) int32 { return int32(uint32(r.regvar(slot))) }
+
+// RegvarFloat64 restores a float64 the region saved before stopping.
+func (r *JoinResult) RegvarFloat64(slot int) float64 {
+	return math.Float64frombits(r.regvar(slot))
+}
+
+// RegvarAddr restores a pointer the region saved before stopping, applying
+// the paper's pointer mapping mechanism: pointers into the speculative
+// stack are translated to the corresponding non-speculative stack variable.
+func (r *JoinResult) RegvarAddr(slot int) mem.Addr {
+	p := mem.Addr(r.regvar(slot))
+	if r.ptrMap != nil {
+		if mapped, ok := r.ptrMap(p); ok {
+			return mapped
+		}
+	}
+	return p
+}
+
+// RegvarLive reports whether the region saved the given slot.
+func (r *JoinResult) RegvarLive(slot int) bool {
+	return slot >= 0 && slot < len(r.regLive) && r.regLive[slot]
+}
+
+// Frames returns the child's nested frame records (outermost first) for
+// stack frame reconstruction: the joining thread replays the recorded call
+// chain, re-entering each function at its recorded call site
+// (MUTLS_synchronize_entry).
+func (r *JoinResult) Frames() []lbuf.FrameRecord { return r.frames }
+
+// Committed is a convenience predicate.
+func (r *JoinResult) Committed() bool { return r.Status == JoinCommitted }

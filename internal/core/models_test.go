@@ -1,0 +1,625 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/mem"
+)
+
+// chunkSum builds the in-order loop pattern of the paper's 3x+1 benchmark:
+// the array is split into nChunks chunks; each region forks the next chunk
+// before summing its own, and the non-speculative thread joins them in
+// order, restoring the chained ranks variable from the saved locals.
+func chunkSum(t *testing.T, rt *Runtime, model Model, n, nChunks int) int64 {
+	t.Helper()
+	var total int64
+	rt.Run(func(t0 *Thread) {
+		arr := t0.Alloc(8 * n)
+		for i := 0; i < n; i++ {
+			t0.StoreInt64(arr+mem.Addr(8*i), int64(i+1))
+		}
+		out := t0.Alloc(8 * nChunks)
+		chunk := n / nChunks
+
+		var region RegionFunc
+		body := func(c *Thread, idx int, ranks []Rank) {
+			// Fork the next chunk first (the paper's fork point sits at the
+			// top of the loop body).
+			if idx+1 < nChunks {
+				if h := c.Fork(ranks, 0, model); h != nil {
+					h.SetRegvarInt64(0, int64(idx+1))
+					h.SetRegvarAddr(1, arr)
+					h.SetRegvarAddr(2, out)
+					h.Start(region)
+				}
+			}
+			sum := int64(0)
+			for i := idx * chunk; i < (idx+1)*chunk; i++ {
+				sum += c.LoadInt64(arr + mem.Addr(8*i))
+			}
+			c.StoreInt64(out+mem.Addr(8*idx), sum)
+		}
+		region = func(c *Thread) uint32 {
+			idx := int(c.GetRegvarInt64(0))
+			ranks := []Rank{0}
+			body(c, idx, ranks)
+			// The chained ranks array is live at the join point: save it.
+			c.SaveRegvarInt64(3, int64(ranks[0]))
+			return 0
+		}
+
+		ranks := []Rank{0}
+		body(t0, 0, ranks)
+		for idx := 1; idx < nChunks; idx++ {
+			res := t0.Join(ranks, 0)
+			switch res.Status {
+			case JoinCommitted:
+				ranks[0] = Rank(res.RegvarInt64(3))
+			case JoinNotForked, JoinRolledBack:
+				// Execute the chunk non-speculatively, re-forking the rest
+				// of the chain where the model allows.
+				ranks[0] = 0
+				body(t0, idx, ranks)
+			}
+		}
+		for i := 0; i < nChunks; i++ {
+			total += t0.LoadInt64(out + mem.Addr(8*i))
+		}
+	})
+	return total
+}
+
+func TestInOrderChunkedLoop(t *testing.T) {
+	rt := newRT(t, 8, nil)
+	n := 64
+	got := chunkSum(t, rt, InOrder, n, 8)
+	want := int64(n * (n + 1) / 2)
+	if got != want {
+		t.Fatalf("sum = %d, want %d", got, want)
+	}
+	s := rt.Stats()
+	if s.Commits != 7 {
+		t.Fatalf("commits = %d, want 7 (one per non-first chunk)", s.Commits)
+	}
+	if s.Rollbacks != 0 {
+		t.Fatalf("rollbacks = %d", s.Rollbacks)
+	}
+}
+
+func TestInOrderOnlyMostSpeculativeForks(t *testing.T) {
+	rt := newRT(t, 4, nil)
+	rt.Run(func(t0 *Thread) {
+		ranks := make([]Rank, 2)
+		h := t0.Fork(ranks, 0, InOrder)
+		if h == nil {
+			t.Fatal("non-speculative thread is most speculative initially; fork must succeed")
+		}
+		started := make(chan struct{})
+		release := make(chan struct{})
+		h.Start(func(c *Thread) uint32 {
+			close(started)
+			<-release
+			return 0
+		})
+		<-started
+		// The parent is no longer the most speculative thread: an in-order
+		// fork from it must be refused while the child is outstanding.
+		if h2 := t0.Fork(ranks, 1, InOrder); h2 != nil {
+			t.Fatal("in-order fork from non-most-speculative thread succeeded")
+		}
+		close(release)
+		t0.Join(ranks, 0)
+		// After the chain collapses the parent is most speculative again.
+		if h3 := t0.Fork(ranks, 1, InOrder); h3 == nil {
+			t.Fatal("in-order fork refused after chain collapsed")
+		} else {
+			h3.Start(func(c *Thread) uint32 { return 0 })
+			t0.Join(ranks, 1)
+		}
+	})
+}
+
+func TestOutOfOrderSpeculativeThreadCannotFork(t *testing.T) {
+	rt := newRT(t, 4, nil)
+	rt.Run(func(t0 *Thread) {
+		ranks := make([]Rank, 1)
+		h := t0.Fork(ranks, 0, OutOfOrder)
+		if h == nil {
+			t.Fatal("out-of-order fork from the non-speculative thread failed")
+		}
+		childForked := make(chan bool, 1)
+		h.Start(func(c *Thread) uint32 {
+			cr := []Rank{0}
+			childForked <- c.Fork(cr, 0, OutOfOrder) != nil
+			return 0
+		})
+		if <-childForked {
+			t.Fatal("speculative thread forked under the out-of-order model")
+		}
+		t0.Join(ranks, 0)
+	})
+}
+
+func TestOutOfOrderLoopBoundedToTwoThreads(t *testing.T) {
+	// The paper §II: out-of-order bounds loop speculation to two threads
+	// because speculative threads cannot launch further iterations.
+	rt := newRT(t, 8, nil)
+	chunkSum(t, rt, OutOfOrder, 64, 8)
+	s := rt.Stats()
+	// Every successful speculation came from the non-speculative thread;
+	// at no time were two speculative chunk threads outstanding. We verify
+	// the weaker, deterministic consequence: at most one child per join.
+	if s.Commits+s.Rollbacks == 0 {
+		t.Fatal("no speculation happened at all")
+	}
+	if got := chunkSum(t, newRT(t, 8, nil), OutOfOrder, 64, 8); got != 64*65/2 {
+		t.Fatalf("out-of-order sum wrong: %d", got)
+	}
+}
+
+// spineEntry records one speculated right half: its range and the child's
+// rank (what the paper keeps in the saved `ranks` stack variable).
+type spineEntry struct {
+	rank   Rank
+	lo, hi int
+}
+
+// treeDrive runs a divide-and-conquer computation over [lo0,hi0) under the
+// paper's tree-form protocol: every thread (speculative or not) forks the
+// right half at each level and descends left; a speculative region, having
+// reached the join point of its deepest fork, saves its spine and stops
+// with SyncParent (Fig. 2(d)); the non-speculative driver then joins the
+// tree in sequential (reverse in-order) order, committing each thread and
+// enqueueing the spine it left behind. Rolled-back ranges are re-executed
+// inline, possibly re-speculating.
+func treeDrive(t0 *Thread, lo0, hi0, leafSize int, model Model, leafWork func(c *Thread, lo, hi int)) {
+	var region RegionFunc
+	var doRange func(c *Thread, lo, hi int) []spineEntry
+	doRange = func(c *Thread, lo, hi int) []spineEntry {
+		if hi-lo <= leafSize {
+			leafWork(c, lo, hi)
+			return nil
+		}
+		mid := (lo + hi) / 2
+		ranks := []Rank{0}
+		h := c.Fork(ranks, 0, model)
+		if h != nil {
+			h.SetRegvarInt64(0, int64(mid))
+			h.SetRegvarInt64(1, int64(hi))
+			h.Start(region)
+		}
+		left := doRange(c, lo, mid)
+		if h != nil {
+			return append(left, spineEntry{ranks[0], mid, hi})
+		}
+		return append(left, doRange(c, mid, hi)...)
+	}
+	region = func(c *Thread) uint32 {
+		lo := int(c.GetRegvarInt64(0))
+		hi := int(c.GetRegvarInt64(1))
+		spine := doRange(c, lo, hi)
+		// Save the spine (the live ranks/range locals at the join point).
+		c.SaveRegvarInt64(0, int64(len(spine)))
+		for i, e := range spine {
+			c.SaveRegvarInt64(1+3*i, int64(e.rank))
+			c.SaveRegvarInt64(2+3*i, int64(e.lo))
+			c.SaveRegvarInt64(3+3*i, int64(e.hi))
+		}
+		if len(spine) == 0 {
+			return 0 // pure leaf: ran to the region's end
+		}
+		c.SyncParent(1) // stop at the deepest join point
+		return 0        // not reached speculatively
+	}
+	readSpine := func(res JoinResult) []spineEntry {
+		n := int(res.RegvarInt64(0))
+		out := make([]spineEntry, n)
+		for i := range out {
+			out[i] = spineEntry{
+				rank: Rank(res.RegvarInt64(1 + 3*i)),
+				lo:   int(res.RegvarInt64(2 + 3*i)),
+				hi:   int(res.RegvarInt64(3 + 3*i)),
+			}
+		}
+		return out
+	}
+	sortByLo := func(es []spineEntry) {
+		for i := 1; i < len(es); i++ {
+			for j := i; j > 0 && es[j].lo < es[j-1].lo; j-- {
+				es[j], es[j-1] = es[j-1], es[j]
+			}
+		}
+	}
+	queue := doRange(t0, lo0, hi0)
+	sortByLo(queue)
+	for len(queue) > 0 {
+		e := queue[0]
+		queue = queue[1:]
+		rk := []Rank{e.rank}
+		res := t0.Join(rk, 0)
+		var next []spineEntry
+		if res.Committed() {
+			next = readSpine(res)
+		} else {
+			next = doRange(t0, e.lo, e.hi)
+		}
+		sortByLo(next)
+		queue = append(next, queue...)
+	}
+}
+
+func TestMixedTreeRecursion(t *testing.T) {
+	// Divide and conquer over an array (the paper's fft/matmult shape):
+	// every thread may fork under the mixed model, so a whole tree of
+	// threads appears, joined in sequential order by the driver.
+	rt := newRT(t, 8, nil)
+	n := 256
+	var got int64
+	rt.Run(func(t0 *Thread) {
+		arr := t0.Alloc(8 * n)
+		for i := 0; i < n; i++ {
+			t0.StoreInt64(arr+mem.Addr(8*i), int64(i+1))
+		}
+		treeDrive(t0, 0, n, 16, Mixed, func(c *Thread, lo, hi int) {
+			for i := lo; i < hi; i++ {
+				c.StoreInt64(arr+mem.Addr(8*i), c.LoadInt64(arr+mem.Addr(8*i))*3)
+			}
+		})
+		for i := 0; i < n; i++ {
+			got += t0.LoadInt64(arr + mem.Addr(8*i))
+		}
+	})
+	want := int64(3 * n * (n + 1) / 2)
+	if got != want {
+		t.Fatalf("tree result = %d, want %d", got, want)
+	}
+	s := rt.Stats()
+	if s.Commits < 3 {
+		t.Fatalf("only %d commits; tree did not fan out", s.Commits)
+	}
+	if s.Rollbacks != 0 {
+		t.Fatalf("disjoint tree rolled back %d times", s.Rollbacks)
+	}
+}
+
+func TestMixedModelSpeculativeThreadForks(t *testing.T) {
+	// A speculative thread forks a grandchild and hands it upward with
+	// SyncParent; the non-speculative thread joins child then grandchild.
+	rt := newRT(t, 4, nil)
+	rt.Run(func(t0 *Thread) {
+		arr := t0.Alloc(16)
+		ranks := make([]Rank, 1)
+		h := t0.Fork(ranks, 0, Mixed)
+		h.SetRegvarAddr(0, arr)
+		h.Start(func(c *Thread) uint32 {
+			p := c.GetRegvarAddr(0)
+			cr := []Rank{0}
+			h2 := c.Fork(cr, 0, Mixed)
+			if h2 == nil {
+				c.SaveRegvarInt64(1, 0)
+				return 0
+			}
+			h2.SetRegvarAddr(0, p)
+			h2.Start(func(g *Thread) uint32 {
+				g.StoreInt64(g.GetRegvarAddr(0)+8, 2)
+				return 0
+			})
+			c.StoreInt64(p, 1)
+			// At the grandchild's join point: hand over to the parent.
+			c.SaveRegvarInt64(1, int64(cr[0]))
+			c.SyncParent(1)
+			return 0
+		})
+		res := t0.Join(ranks, 0)
+		if !res.Committed() {
+			t.Fatalf("child join: %v", res.Reason)
+		}
+		grand := Rank(res.RegvarInt64(1))
+		if grand == 0 {
+			t.Fatal("grandchild was not forked")
+		}
+		if res.Counter != 1 {
+			t.Fatalf("child stopped at counter %d, want the join point", res.Counter)
+		}
+		rk := []Rank{grand}
+		res2 := t0.Join(rk, 0)
+		if !res2.Committed() {
+			t.Fatalf("grandchild join: %v", res2.Reason)
+		}
+		if a, b := t0.LoadInt64(arr), t0.LoadInt64(arr+8); a != 1 || b != 2 {
+			t.Fatalf("memory %d,%d", a, b)
+		}
+	})
+}
+
+func TestJoinOnSpeculativeThreadPanics(t *testing.T) {
+	rt := newRT(t, 2, nil)
+	rt.Run(func(t0 *Thread) {
+		ranks := make([]Rank, 1)
+		h := t0.Fork(ranks, 0, Mixed)
+		panicked := make(chan bool, 1)
+		h.Start(func(c *Thread) uint32 {
+			func() {
+				defer func() { panicked <- recover() != nil }()
+				c.Join([]Rank{1}, 0)
+			}()
+			return 0
+		})
+		if !<-panicked {
+			t.Fatal("speculative Join did not panic")
+		}
+		t0.Join(ranks, 0)
+	})
+}
+
+func TestAdoptionAcrossRollback(t *testing.T) {
+	// The tree model's key property (§IV-F): when a child rolls back, its
+	// children are preserved — adopted by the joining thread — and can
+	// still commit ("local conflicts do not incur global rollbacks").
+	rt := newRT(t, 4, nil)
+	rt.Run(func(t0 *Thread) {
+		arr := t0.Alloc(32)
+		t0.StoreInt64(arr, 1)
+		ranks := make([]Rank, 2)
+		h := t0.Fork(ranks, 0, Mixed)
+		h.SetRegvarAddr(0, arr)
+		grandRank := make(chan Rank, 1)
+		readDone := make(chan struct{})
+		h.Start(func(c *Thread) uint32 {
+			p := c.GetRegvarAddr(0)
+			// Fork a grandchild that only touches disjoint memory.
+			cr := []Rank{0}
+			h2 := c.Fork(cr, 0, Mixed)
+			h2.SetRegvarAddr(0, p)
+			h2.Start(func(g *Thread) uint32 {
+				g.StoreInt64(g.GetRegvarAddr(0)+16, 555)
+				return 0
+			})
+			grandRank <- cr[0]
+			// Now make this child conflict: read arr before the parent
+			// writes it.
+			v := c.LoadInt64(p)
+			close(readDone)
+			c.StoreInt64(p+8, v)
+			c.SaveRegvarInt64(1, int64(cr[0]))
+			return 0
+		})
+		<-readDone
+		t0.StoreInt64(arr, 2) // conflict with the child's read
+		res := t0.Join(ranks, 0)
+		if res.Status != JoinRolledBack {
+			t.Fatalf("child unexpectedly %v", res.Status)
+		}
+		// The grandchild was adopted: join it via its recorded rank.
+		ranks[1] = <-grandRank
+		res2 := t0.Join(ranks, 1)
+		if res2.Status != JoinCommitted {
+			t.Fatalf("adopted grandchild did not commit: %v (%v)", res2.Status, res2.Reason)
+		}
+		if got := t0.LoadInt64(arr + 16); got != 555 {
+			t.Fatalf("grandchild's work lost: %d", got)
+		}
+		// The rolled-back child's write must be gone.
+		if got := t0.LoadInt64(arr + 8); got != 0 {
+			t.Fatalf("rolled-back write leaked: %d", got)
+		}
+	})
+	s := rt.Stats()
+	if s.Commits != 1 || s.Rollbacks != 1 {
+		t.Fatalf("commits=%d rollbacks=%d", s.Commits, s.Rollbacks)
+	}
+}
+
+func TestJoinMismatchNoSyncsPoppedChildren(t *testing.T) {
+	// Joining out of fork order violates the mixed-model assumption: the
+	// popped mismatches get NOSYNC and are squashed.
+	rt := newRT(t, 4, nil)
+	rt.Run(func(t0 *Thread) {
+		arr := t0.Alloc(32)
+		ranks := make([]Rank, 2)
+		h1 := t0.Fork(ranks, 0, Mixed)
+		h1.SetRegvarAddr(0, arr)
+		h1.Start(func(c *Thread) uint32 {
+			c.StoreInt64(c.GetRegvarAddr(0), 11)
+			return 0
+		})
+		h2 := t0.Fork(ranks, 1, Mixed)
+		h2.SetRegvarAddr(0, arr)
+		h2.Start(func(c *Thread) uint32 {
+			c.StoreInt64(c.GetRegvarAddr(0)+8, 22)
+			return 0
+		})
+		// Join point 0 first: its thread was forked first, so the pop
+		// finds point 1's thread on top — mismatch, NOSYNC, squash.
+		res := t0.Join(ranks, 0)
+		if res.Status != JoinCommitted {
+			t.Fatalf("matched join failed: %v (%v)", res.Status, res.Reason)
+		}
+		// Point 1's thread is gone from the children stack.
+		res2 := t0.Join(ranks, 1)
+		if res2.Status != JoinRolledBack || res2.Reason != RollbackNoSync {
+			t.Fatalf("squashed join: %v (%v)", res2.Status, res2.Reason)
+		}
+		if got := t0.LoadInt64(arr + 8); got != 0 {
+			t.Fatalf("squashed thread committed: %d", got)
+		}
+		if got := t0.LoadInt64(arr); got != 11 {
+			t.Fatalf("matched thread's commit lost: %d", got)
+		}
+	})
+}
+
+func TestMixedLinearSquashCascades(t *testing.T) {
+	// The Mitosis/POSH-style baseline: a rollback squashes every logically
+	// later thread even without data dependence — the cascade the tree
+	// model avoids (compare with TestAdoptionAcrossRollback).
+	rt := newRT(t, 4, nil)
+	rt.Run(func(t0 *Thread) {
+		arr := t0.Alloc(64)
+		t0.StoreInt64(arr, 1)
+		ranks := make([]Rank, 2)
+
+		// Thread A (logically earlier) will conflict and roll back.
+		hA := t0.Fork(ranks, 0, MixedLinear)
+		hA.SetRegvarAddr(0, arr)
+		readDone := make(chan struct{})
+		hA.Start(func(c *Thread) uint32 {
+			v := c.LoadInt64(c.GetRegvarAddr(0))
+			close(readDone)
+			c.StoreInt64(c.GetRegvarAddr(0)+8, v)
+			return 0
+		})
+		<-readDone
+
+		// Thread B (logically later, forked later from the same thread is
+		// logically EARLIER under out-of-order child order... so fork B
+		// from point 1 after A: B is logically earlier than A. To place a
+		// thread logically AFTER A we need A to be joined first; instead we
+		// simply verify the squash of everything after A in the linear
+		// order, which here is nothing — so fork B first, then A.)
+		_ = hA
+		t0.StoreInt64(arr, 2) // conflict for A
+		res := t0.Join(ranks, 0)
+		if res.Status != JoinRolledBack {
+			t.Fatalf("A did not roll back: %v", res.Status)
+		}
+	})
+}
+
+func TestMixedLinearSquashesLaterSiblings(t *testing.T) {
+	// Fork order: first X (logically latest), then A (logically earlier).
+	// A's rollback must squash X under the linear model, because X is
+	// logically later than A.
+	rt := newRT(t, 4, nil)
+	rt.Run(func(t0 *Thread) {
+		arr := t0.Alloc(64)
+		t0.StoreInt64(arr, 1)
+		ranks := make([]Rank, 2)
+
+		hX := t0.Fork(ranks, 1, MixedLinear) // logically latest
+		hX.SetRegvarAddr(0, arr)
+		xStarted := make(chan struct{})
+		hX.Start(func(c *Thread) uint32 {
+			c.StoreInt64(c.GetRegvarAddr(0)+16, 999)
+			close(xStarted)
+			return 0
+		})
+		<-xStarted
+
+		hA := t0.Fork(ranks, 0, MixedLinear) // logically earlier than X
+		hA.SetRegvarAddr(0, arr)
+		readDone := make(chan struct{})
+		hA.Start(func(c *Thread) uint32 {
+			v := c.LoadInt64(c.GetRegvarAddr(0))
+			close(readDone)
+			c.StoreInt64(c.GetRegvarAddr(0)+8, v)
+			return 0
+		})
+		<-readDone
+		t0.StoreInt64(arr, 2) // make A conflict
+
+		// Join A (top of children stack: matched immediately).
+		res := t0.Join(ranks, 0)
+		if res.Status != JoinRolledBack {
+			t.Fatalf("A did not roll back: %v", res.Status)
+		}
+		// X was logically later: the linear squash must have NOSYNCed it.
+		res2 := t0.Join(ranks, 1)
+		if res2.Status == JoinCommitted {
+			t.Fatal("linear model failed to squash the logically later thread")
+		}
+		if got := t0.LoadInt64(arr + 16); got != 0 {
+			t.Fatalf("squashed thread's write visible: %d", got)
+		}
+	})
+}
+
+func TestTreeModelPreservesLaterSiblingsOnRollback(t *testing.T) {
+	// The same scenario as TestMixedLinearSquashesLaterSiblings but under
+	// the tree model: X survives A's rollback and commits.
+	rt := newRT(t, 4, nil)
+	rt.Run(func(t0 *Thread) {
+		arr := t0.Alloc(64)
+		t0.StoreInt64(arr, 1)
+		ranks := make([]Rank, 2)
+
+		hX := t0.Fork(ranks, 1, Mixed)
+		hX.SetRegvarAddr(0, arr)
+		hX.Start(func(c *Thread) uint32 {
+			c.StoreInt64(c.GetRegvarAddr(0)+16, 999)
+			return 0
+		})
+
+		hA := t0.Fork(ranks, 0, Mixed)
+		hA.SetRegvarAddr(0, arr)
+		readDone := make(chan struct{})
+		hA.Start(func(c *Thread) uint32 {
+			v := c.LoadInt64(c.GetRegvarAddr(0))
+			close(readDone)
+			c.StoreInt64(c.GetRegvarAddr(0)+8, v)
+			return 0
+		})
+		<-readDone
+		t0.StoreInt64(arr, 2)
+
+		if res := t0.Join(ranks, 0); res.Status != JoinRolledBack {
+			t.Fatalf("A did not roll back: %v", res.Status)
+		}
+		res2 := t0.Join(ranks, 1)
+		if res2.Status != JoinCommitted {
+			t.Fatalf("tree model lost the later sibling: %v (%v)", res2.Status, res2.Reason)
+		}
+		if got := t0.LoadInt64(arr + 16); got != 999 {
+			t.Fatalf("sibling's commit lost: %d", got)
+		}
+	})
+}
+
+func TestHeuristicDisablesRollbackHeavyPoint(t *testing.T) {
+	rt := newRT(t, 2, func(o *Options) {
+		o.AdaptiveForkHeuristic = true
+		o.HeuristicMinSamples = 4
+		o.HeuristicMaxRollbackRate = 0.5
+		o.RollbackProb = 1.0 // every execution rolls back
+	})
+	rt.Run(func(t0 *Thread) {
+		ranks := make([]Rank, 1)
+		forked := 0
+		for i := 0; i < 20; i++ {
+			h := t0.Fork(ranks, 0, Mixed)
+			if h == nil {
+				continue
+			}
+			forked++
+			h.Start(func(c *Thread) uint32 { return 0 })
+			t0.Join(ranks, 0)
+		}
+		if forked >= 20 {
+			t.Fatal("heuristic never disabled the 100%-rollback point")
+		}
+		if forked < 4 {
+			t.Fatalf("heuristic fired before min samples: %d forks", forked)
+		}
+	})
+	if _, _, disabled := rt.PointProfile(0); !disabled {
+		t.Fatal("point not marked disabled")
+	}
+}
+
+func TestHeuristicKeepsHealthyPoint(t *testing.T) {
+	rt := newRT(t, 2, func(o *Options) {
+		o.AdaptiveForkHeuristic = true
+		o.HeuristicMinSamples = 4
+	})
+	rt.Run(func(t0 *Thread) {
+		ranks := make([]Rank, 1)
+		for i := 0; i < 20; i++ {
+			h := t0.Fork(ranks, 0, Mixed)
+			if h == nil {
+				t.Fatal("healthy point disabled")
+			}
+			h.Start(func(c *Thread) uint32 { return 0 })
+			t0.Join(ranks, 0)
+		}
+	})
+}

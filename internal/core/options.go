@@ -1,0 +1,102 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/gbuf"
+	"repro/internal/lbuf"
+	"repro/internal/mem"
+	"repro/internal/vclock"
+)
+
+// Options configures a Runtime.
+type Options struct {
+	// NumCPUs is the number of speculative virtual CPUs (ranks 1..NumCPUs).
+	// The paper's evaluation machine has 64; virtual timing lets any count
+	// run on any host. Zero disables speculation entirely (every fork is
+	// refused), which is the paper's 1-total-CPU data point: the paper's
+	// x-axis counts the non-speculative thread's CPU as well.
+	NumCPUs int
+
+	// Timing selects virtual (deterministic cost model) or real (wall
+	// clock) time.
+	Timing vclock.Mode
+
+	// Cost prices runtime events under virtual timing. Zero value selects
+	// vclock.DefaultCostModel.
+	Cost vclock.CostModel
+
+	// Space configures the simulated address space. Zero value selects
+	// mem.DefaultSpaceConfig.
+	Space mem.SpaceConfig
+
+	// GBuf configures the per-CPU GlobalBuffers. Zero value selects
+	// gbuf.DefaultConfig.
+	GBuf gbuf.Config
+
+	// LBuf configures the per-CPU LocalBuffers. Zero value selects
+	// lbuf.DefaultConfig.
+	LBuf lbuf.Config
+
+	// RollbackProb forces random rollbacks at validation time with the
+	// given probability — the paper's Figure 11 rollback sensitivity
+	// experiment.
+	RollbackProb float64
+
+	// Seed seeds the per-CPU deterministic generators used for forced
+	// rollbacks.
+	Seed uint64
+
+	// CollectStats enables the per-thread ledgers and execution records
+	// that power Figures 5-9.
+	CollectStats bool
+
+	// AdaptiveForkHeuristic disables fork points whose observed rollback
+	// rate exceeds HeuristicMaxRollbackRate after HeuristicMinSamples
+	// executions (the paper's "different automatic fork heuristics" future
+	// work, §VI).
+	AdaptiveForkHeuristic bool
+	// HeuristicMinSamples is the minimum executions before the heuristic
+	// may disable a point. Zero selects 8.
+	HeuristicMinSamples int
+	// HeuristicMaxRollbackRate is the rollback-rate threshold. Zero
+	// selects 0.5.
+	HeuristicMaxRollbackRate float64
+
+	// MaxPoints bounds fork/join point ids. Zero selects 64.
+	MaxPoints int
+}
+
+// withDefaults fills zero values.
+func (o Options) withDefaults() (Options, error) {
+	if o.NumCPUs < 0 {
+		return o, fmt.Errorf("core: NumCPUs must be non-negative, got %d", o.NumCPUs)
+	}
+	if o.Cost == (vclock.CostModel{}) {
+		o.Cost = vclock.DefaultCostModel()
+	}
+	if o.Space == (mem.SpaceConfig{}) {
+		o.Space = mem.DefaultSpaceConfig(o.NumCPUs + 1)
+	} else {
+		o.Space.NumThreads = o.NumCPUs + 1
+	}
+	if o.GBuf == (gbuf.Config{}) {
+		o.GBuf = gbuf.DefaultConfig()
+	}
+	if o.LBuf == (lbuf.Config{}) {
+		o.LBuf = lbuf.DefaultConfig()
+	}
+	if o.RollbackProb < 0 || o.RollbackProb > 1 {
+		return o, fmt.Errorf("core: RollbackProb %v outside [0,1]", o.RollbackProb)
+	}
+	if o.HeuristicMinSamples <= 0 {
+		o.HeuristicMinSamples = 8
+	}
+	if o.HeuristicMaxRollbackRate <= 0 {
+		o.HeuristicMaxRollbackRate = 0.5
+	}
+	if o.MaxPoints <= 0 {
+		o.MaxPoints = 64
+	}
+	return o, nil
+}

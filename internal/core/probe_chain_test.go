@@ -1,0 +1,47 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/vclock"
+)
+
+func TestProbeChainTiming(t *testing.T) {
+	rt := newRT(t, 63, nil)
+	tn := rt.Run(func(t0 *Thread) {
+		var region RegionFunc
+		fork := func(c *Thread, ranks []Rank, next int64) {
+			if next >= 64 {
+				return
+			}
+			if h := c.Fork(ranks, 0, InOrder); h != nil {
+				h.SetRegvarInt64(0, next)
+				h.Start(region)
+			}
+		}
+		region = func(c *Thread) uint32 {
+			idx := c.GetRegvarInt64(0)
+			ranks := []Rank{0}
+			fork(c, ranks, idx+1)
+			c.Tick(30000)
+			c.SaveRegvarInt64(1, int64(ranks[0]))
+			return 0
+		}
+		ranks := []Rank{0}
+		fork(t0, ranks, 1)
+		t0.Tick(30000)
+		for idx := 1; idx < 64; idx++ {
+			res := t0.Join(ranks, 0)
+			if res.Committed() {
+				ranks[0] = Rank(res.RegvarInt64(1))
+			} else {
+				t.Errorf("chunk %d: %v", idx, res.Status)
+				ranks[0] = 0
+				fork(t0, ranks, int64(idx+1))
+				t0.Tick(30000)
+			}
+		}
+	})
+	s := rt.Stats()
+	t.Logf("Tn=%d (ideal ~30000+overheads) idle=%d commits=%d", tn, s.NonSpecLedger[vclock.Idle], s.Commits)
+}

@@ -1,0 +1,21 @@
+package core
+
+// splitMix64 is a tiny deterministic generator for the Figure 11 forced
+// rollback experiment. Each virtual CPU owns one, so draws never contend
+// and runs are reproducible for a fixed seed.
+type splitMix64 struct{ state uint64 }
+
+func newSplitMix64(seed uint64) splitMix64 { return splitMix64{state: seed} }
+
+func (s *splitMix64) next() uint64 {
+	s.state += 0x9E3779B97F4A7C15
+	z := s.state
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// float64 returns a uniform draw in [0, 1).
+func (s *splitMix64) float64() float64 {
+	return float64(s.next()>>11) / float64(1<<53)
+}

@@ -1,0 +1,605 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/gbuf"
+	"repro/internal/lbuf"
+	"repro/internal/mem"
+	"repro/internal/stats"
+	"repro/internal/vclock"
+)
+
+// CPU states (paper §IV-D): every virtual CPU is RUNNING, IDLE or READY TO
+// RECLAIM, initialized IDLE at program start. cpuClaimed is the transient
+// state between MUTLS_get_CPU and MUTLS_speculate.
+const (
+	cpuIdle int32 = iota
+	cpuClaimed
+	cpuRunning
+	cpuReady // READY TO RECLAIM: results published, waiting for the parent
+)
+
+// sync_status values of the flag-based barrier (§IV-E). They live in the
+// low two bits of threadData.syncWord; the high bits hold the CPU's
+// generation epoch, which makes every signal an epoch-checked CAS and rules
+// out the ABA hazard of signalling a reclaimed CPU (a squashed thread
+// self-releases its CPU, the rank gets re-forked, and a stale reference
+// must not reach the new occupant).
+const (
+	syncNull uint64 = iota
+	syncSync
+	syncNoSync
+
+	syncStatusBits = 2
+	syncStatusMask = 1<<syncStatusBits - 1
+)
+
+// childRef is one entry of a thread's children stack: the child's rank plus
+// the generation epoch under which it was forked.
+type childRef struct {
+	rank  Rank
+	epoch uint64
+}
+
+// valid_status values.
+const (
+	validNull int32 = iota
+	validCommit
+	validRollback
+)
+
+// threadData is the paper's ThreadData module: the status of one
+// speculative thread. Fields below the atomics are owned by the thread
+// while it runs and read by the parent only after valid_status publishes
+// (atomic release/acquire ordering).
+type threadData struct {
+	rank Rank
+
+	state atomic.Int32
+	// syncWord packs (epoch << 2) | sync_status. Signalling SYNC or NOSYNC
+	// is a CAS against (epoch<<2)|NULL, so signals to stale epochs fail
+	// harmlessly.
+	syncWord    atomic.Uint64
+	validStatus atomic.Int32
+	// forceInvalid is set by the parent when MUTLS_validate_local detects a
+	// live register misprediction; the child's validation then fails.
+	forceInvalid atomic.Bool
+	// parentRank tracks the current parent; adoption rewrites it.
+	parentRank atomic.Int32
+	// syncTime is the parent's clock when it signals SYNC (virtual mode).
+	syncTime atomic.Int64
+	// workerDone marks that the worker goroutine has finished all
+	// post-processing of the execution, so the parent may safely reset and
+	// reclaim the CPU (it prevents the parent from clearing sync_status
+	// while the worker is still reading it).
+	workerDone atomic.Bool
+
+	// Owned by the speculating (child) thread while RUNNING; read by the
+	// parent after valid_status != NULL.
+	point        int
+	model        Model
+	children     []childRef
+	stopCounter  uint32
+	stopTime     vclock.Cost
+	finalTime    vclock.Cost
+	overflowStop bool
+	reason       RollbackReason
+	// forkRegs keeps the parent's fork-time register predictions for
+	// MUTLS_validate_local (separate from the LocalBuffer, which the child
+	// overwrites when saving its own locals at a stop point).
+	forkRegs []uint64
+	forkLive []bool
+}
+
+// epoch returns the CPU's current generation.
+func (td *threadData) epoch() uint64 { return td.syncWord.Load() >> syncStatusBits }
+
+// syncStatus returns the current sync_status bits.
+func (td *threadData) syncStatus() uint64 { return td.syncWord.Load() & syncStatusMask }
+
+// signal CASes sync_status from NULL to the given status under the given
+// epoch. It fails — harmlessly — when the epoch is stale (the CPU was
+// reclaimed) or a different signal won the race.
+func (td *threadData) signal(epoch, status uint64) bool {
+	base := epoch << syncStatusBits
+	return td.syncWord.CompareAndSwap(base|syncNull, base|status)
+}
+
+// bumpEpoch starts a new generation with sync_status NULL (done at release).
+func (td *threadData) bumpEpoch() {
+	td.syncWord.Store((td.epoch() + 1) << syncStatusBits)
+}
+
+// tailWord packs a speculative thread's identity for the in-order tail
+// pointer; the non-speculative thread is 0.
+func tailWord(rank Rank, epoch uint64) uint64 {
+	return epoch<<8 | uint64(rank)
+}
+
+// cpu bundles one virtual CPU: its ThreadData, GlobalBuffer and LocalBuffer
+// (the paper's ThreadManager maintains exactly this triple per CPU), plus
+// the worker channel and the virtual time at which the CPU becomes free.
+type cpu struct {
+	td     threadData
+	gb     *gbuf.Buffer
+	lb     *lbuf.Buffer
+	tasks  chan specTask
+	freeAt atomic.Int64 // virtual time when the CPU is next available
+	rng    splitMix64
+	stack  mem.Range // this CPU's speculative stack region
+}
+
+// specTask is one speculation handed to a worker.
+type specTask struct {
+	region  RegionFunc
+	startAt vclock.Cost // child clock at entry (virtual mode)
+}
+
+// RegionFunc is the speculative continuation: the code from a join point to
+// the matching barrier, in the transformed form of Figure 2(d). It fetches
+// live-ins with Thread.GetRegvar*, polls Thread.CheckPoint inside loops, and
+// returns a synchronization counter: 0 when it ran to the region's end, or
+// the counter saved at an early stop so the joining thread can resume there.
+type RegionFunc func(t *Thread) uint32
+
+// Runtime is the ThreadManager: one ThreadData/GlobalBuffer/LocalBuffer per
+// virtual CPU, the simulated address space, the statistics collector, and
+// the global forking-model bookkeeping.
+type Runtime struct {
+	opts  Options
+	space *mem.Space
+	cpus  []*cpu // index 0 unused; ranks are 1-based
+	epoch time.Time
+
+	// inOrderTail identifies the most speculative thread — the only one the
+	// in-order model allows to fork. It packs (epoch<<8 | rank); 0 means
+	// the non-speculative thread. When the tail thread retires, every
+	// earlier chain thread has already been joined (joins are sequential),
+	// so the mantle reverts to the non-speculative thread.
+	inOrderTail atomic.Uint64
+
+	// linear keeps the logical order of MixedLinear threads for the
+	// Mitosis/POSH-style squash baseline.
+	linearMu sync.Mutex
+	linear   []childRef
+
+	heur      *heuristics
+	collector *stats.Collector
+	wg        sync.WaitGroup
+	closed    atomic.Bool
+
+	// active counts claimed-or-running virtual CPUs. Draining waits for it
+	// to reach zero: a sequential all-IDLE scan is not enough, because a
+	// not-yet-squashed thread can fork onto a CPU the scan already passed.
+	active atomic.Int64
+
+	// nonSpecStackTop is the bump pointer of the non-speculative stack.
+	nonSpecStackTop mem.Addr
+}
+
+// NewRuntime builds a runtime with NumCPUs speculative virtual CPUs.
+func NewRuntime(opts Options) (*Runtime, error) {
+	o, err := opts.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	space, err := mem.NewSpace(o.Space)
+	if err != nil {
+		return nil, err
+	}
+	rt := &Runtime{
+		opts:      o,
+		space:     space,
+		cpus:      make([]*cpu, o.NumCPUs+1),
+		epoch:     time.Now(),
+		heur:      newHeuristics(o),
+		collector: stats.NewCollector(o.NumCPUs, o.CollectStats),
+	}
+	r0, err := space.StackRegion(0)
+	if err != nil {
+		return nil, err
+	}
+	rt.nonSpecStackTop = r0.Start
+	for r := 1; r <= o.NumCPUs; r++ {
+		gb, err := gbuf.New(space.Arena, o.GBuf)
+		if err != nil {
+			return nil, err
+		}
+		lb, err := lbuf.New(o.LBuf)
+		if err != nil {
+			return nil, err
+		}
+		stack, err := space.StackRegion(r)
+		if err != nil {
+			return nil, err
+		}
+		c := &cpu{
+			gb:    gb,
+			lb:    lb,
+			tasks: make(chan specTask, 1),
+			rng:   newSplitMix64(o.Seed ^ (uint64(r) * 0x9E3779B97F4A7C15)),
+			stack: stack,
+		}
+		c.td.rank = Rank(r)
+		c.td.forkRegs = make([]uint64, o.LBuf.RegSlots)
+		c.td.forkLive = make([]bool, o.LBuf.RegSlots)
+		rt.cpus[r] = c
+		rt.wg.Add(1)
+		go rt.worker(c)
+	}
+	return rt, nil
+}
+
+// Space exposes the simulated address space (for setup code and tests).
+func (rt *Runtime) Space() *mem.Space { return rt.space }
+
+// Options returns the effective (defaulted) options.
+func (rt *Runtime) Options() Options { return rt.opts }
+
+// NumCPUs returns the number of speculative virtual CPUs.
+func (rt *Runtime) NumCPUs() int { return rt.opts.NumCPUs }
+
+// Run executes fn as the non-speculative thread and returns the paper's
+// TN: the critical-path runtime (virtual units or nanoseconds). Any
+// speculative threads still outstanding when fn returns are squashed, as the
+// paper's runtime does at program exit.
+func (rt *Runtime) Run(fn func(t *Thread)) vclock.Cost {
+	if rt.closed.Load() {
+		panic("core: Run on closed runtime")
+	}
+	model := rt.opts.Cost
+	t := &Thread{
+		rt:    rt,
+		rank:  0,
+		clock: vclock.NewClock(rt.opts.Timing, &model, rt.epoch),
+		stack: mustStackRegion(rt.space, 0),
+	}
+	t.stackTop = t.stack.Start
+	rt.inOrderTail.Store(0)
+	fn(t)
+	rt.drain(t)
+	runtime := t.clock.Now()
+	rt.collector.SetNonSpec(runtime, t.clock.Ledger())
+	return runtime
+}
+
+func mustStackRegion(s *mem.Space, rank int) mem.Range {
+	r, err := s.StackRegion(rank)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// drain squashes every thread the non-speculative thread still owns and
+// waits for all speculation to quiesce. NOSYNC propagates transitively:
+// every outstanding thread is reachable from the non-speculative children
+// stack through adoption, and squashed threads squash their own subtrees.
+func (rt *Runtime) drain(t *Thread) {
+	for _, c := range t.children {
+		rt.cpus[c.rank].td.signal(c.epoch, syncNoSync)
+	}
+	t.children = t.children[:0]
+	for rt.active.Load() != 0 {
+		runtime.Gosched()
+	}
+}
+
+// Stats summarizes the last Run. Only meaningful with CollectStats.
+func (rt *Runtime) Stats() *stats.Summary { return rt.collector.Summarize(rt.opts.NumCPUs) }
+
+// ResetStats clears collected statistics between runs.
+func (rt *Runtime) ResetStats() { rt.collector.Reset() }
+
+// Close shuts the workers down. The runtime must be idle (no outstanding
+// speculation; Run drains before returning).
+func (rt *Runtime) Close() {
+	if rt.closed.Swap(true) {
+		return
+	}
+	for r := 1; r <= rt.opts.NumCPUs; r++ {
+		close(rt.cpus[r].tasks)
+	}
+	rt.wg.Wait()
+}
+
+// worker is a virtual CPU's goroutine: it waits for speculations and runs
+// them through the stop/validate/commit protocol.
+func (rt *Runtime) worker(c *cpu) {
+	defer rt.wg.Done()
+	for task := range c.tasks {
+		rt.runSpec(c, task)
+	}
+}
+
+// regionOutcome describes how a region execution ended.
+type regionOutcome struct {
+	counter    uint32
+	rolledBack bool
+	reason     RollbackReason
+}
+
+// runRegion executes the region, translating the internal stop/rollback
+// panics into an outcome. Unknown panics propagate.
+func runRegion(t *Thread, region RegionFunc) (out regionOutcome) {
+	defer func() {
+		if r := recover(); r != nil {
+			switch sig := r.(type) {
+			case stopSignal:
+				out = regionOutcome{counter: sig.counter}
+			case rollbackSignal:
+				out = regionOutcome{rolledBack: true, reason: sig.reason}
+			default:
+				panic(r)
+			}
+		}
+	}()
+	counter := region(t)
+	return regionOutcome{counter: counter}
+}
+
+// runSpec is the body of one speculative execution: stub entry, region,
+// stop, synchronize, validate, commit/rollback, finalize, publish.
+func (rt *Runtime) runSpec(c *cpu, task specTask) {
+	model := rt.opts.Cost
+	t := &Thread{
+		rt:          rt,
+		rank:        c.td.rank,
+		cpu:         c,
+		clock:       vclock.NewClock(rt.opts.Timing, &model, rt.epoch),
+		stack:       c.stack,
+		speculative: true,
+	}
+	t.stackTop = t.stack.Start
+	t.clock.SetNow(task.startAt)
+	execStart := t.clock.Now()
+
+	out := runRegion(t, task.region)
+
+	td := &c.td
+	if out.rolledBack {
+		// Self-detected rollback (invalid address, overflow exhaustion,
+		// unsafe op): discard buffers now, publish ROLLBACK, then wait for
+		// the verdict so children are handed to exactly one side.
+		rt.finalizeBuffers(t, c)
+		td.reason = out.reason
+		td.stopCounter = 0
+		td.stopTime = t.clock.Now()
+		td.finalTime = t.clock.Now()
+		td.state.Store(cpuReady)
+		td.validStatus.Store(validRollback)
+		rt.awaitVerdict(t, c, execStart)
+		return
+	}
+
+	// Stopped at a check point, barrier point, terminate point or the
+	// region's end. Publish the stop and wait for the join signal.
+	td.stopCounter = out.counter
+	td.overflowStop = c.gb.MustStop()
+	td.stopTime = t.clock.Now()
+	td.state.Store(cpuReady)
+
+	verdict := rt.waitSync(t, c)
+	if verdict == syncNoSync {
+		rt.finishNoSync(t, c, execStart)
+		return
+	}
+
+	// Both threads have stopped: the speculative thread validates and
+	// commits or rolls back (paper §IV-E).
+	waitPhase := vclock.Idle
+	if td.overflowStop {
+		waitPhase = vclock.Overflow
+	}
+	t.clock.AdvanceTo(td.syncTime.Load(), waitPhase)
+
+	committed := rt.validateAndCommit(t, c)
+	rt.finalizeBuffers(t, c)
+	td.finalTime = t.clock.Now()
+	if committed {
+		td.reason = RollbackNone
+		td.validStatus.Store(validCommit)
+	} else {
+		td.validStatus.Store(validRollback)
+	}
+	rt.record(t, c, execStart, committed)
+	// The parent adopts children, copies locals and reclaims the CPU once
+	// the worker signals it is done with the ThreadData.
+	td.workerDone.Store(true)
+}
+
+// waitSync spins until the parent signals SYNC or NOSYNC. In real mode the
+// wait is booked as idle (or overflow) time.
+func (rt *Runtime) waitSync(t *Thread, c *cpu) uint64 {
+	phase := vclock.Idle
+	if c.td.overflowStop {
+		phase = vclock.Overflow
+	}
+	stop := t.clock.Span(phase)
+	for {
+		if s := c.td.syncStatus(); s != syncNull {
+			stop()
+			return s
+		}
+		runtime.Gosched()
+	}
+}
+
+// awaitVerdict handles the tail of a self-rolled-back execution: the parent
+// either SYNCs (and then adopts the children and reclaims the CPU) or
+// NOSYNCs (and the thread cleans up after itself).
+func (rt *Runtime) awaitVerdict(t *Thread, c *cpu, execStart vclock.Cost) {
+	verdict := rt.waitSync(t, c)
+	if verdict == syncNoSync {
+		rt.finishNoSync(t, c, execStart)
+		return
+	}
+	rt.record(t, c, execStart, false)
+	c.td.workerDone.Store(true)
+}
+
+// finishNoSync is the self-cleanup path of a squashed thread: roll back,
+// squash the subtree, release the CPU.
+func (rt *Runtime) finishNoSync(t *Thread, c *cpu, execStart vclock.Cost) {
+	td := &c.td
+	rt.finalizeBuffers(t, c)
+	for _, child := range td.children {
+		rt.cpus[child.rank].td.signal(child.epoch, syncNoSync)
+	}
+	td.children = td.children[:0]
+	td.reason = RollbackNoSync
+	td.finalTime = t.clock.Now()
+	rt.heur.observe(td.point, false)
+	rt.linearRemove(td.rank)
+	rt.record(t, c, execStart, false)
+	// The worker is releasing its own CPU; mark itself done so releaseCPU
+	// does not wait for anyone.
+	td.workerDone.Store(true)
+	rt.releaseCPU(c, td.finalTime)
+}
+
+// validateAndCommit runs local-prediction, injected and read-set validation
+// and, on success, commits the write set. It returns whether the execution
+// committed.
+func (rt *Runtime) validateAndCommit(t *Thread, c *cpu) bool {
+	model := &rt.opts.Cost
+	reads := c.gb.ReadSetSize()
+	writes := c.gb.WriteSetSize()
+	t.clock.Charge(vclock.Validation, vclock.Cost(reads)*model.ValidatePerWord)
+
+	td := &c.td
+	if td.forceInvalid.Load() {
+		td.reason = RollbackLocals
+		return false
+	}
+	if rt.opts.RollbackProb > 0 && c.rng.float64() < rt.opts.RollbackProb {
+		td.reason = RollbackInjected
+		return false
+	}
+	valStop := t.clock.Span(vclock.Validation)
+	ok := c.gb.Validate()
+	valStop()
+	if !ok {
+		td.reason = RollbackValidation
+		return false
+	}
+	t.clock.Charge(vclock.Commit, vclock.Cost(writes)*model.CommitPerWord)
+	commitStop := t.clock.Span(vclock.Commit)
+	c.gb.Commit()
+	commitStop()
+	return true
+}
+
+// finalizeBuffers clears the GlobalBuffer, booking the cost proportional to
+// the slots actually used.
+func (rt *Runtime) finalizeBuffers(t *Thread, c *cpu) {
+	model := &rt.opts.Cost
+	used := c.gb.ReadSetSize() + c.gb.WriteSetSize()
+	t.clock.Charge(vclock.Finalize, vclock.Cost(used)*model.FinalizePerWord)
+	stop := t.clock.Span(vclock.Finalize)
+	c.gb.Finalize()
+	stop()
+}
+
+// record emits the execution's statistics record.
+func (rt *Runtime) record(t *Thread, c *cpu, execStart vclock.Cost, committed bool) {
+	rt.collector.Add(stats.ExecRecord{
+		Rank:      int(c.td.rank),
+		Point:     c.td.point,
+		Start:     execStart,
+		End:       t.clock.Now(),
+		Ledger:    t.clock.Ledger(),
+		Committed: committed,
+	})
+}
+
+// releaseCPU returns a CPU to the IDLE pool at the given virtual free time,
+// updating the most-speculative pointer for the in-order policy. When
+// called by the parent (reclaim), it first waits for the worker to finish
+// its post-processing so no flag is reset under the worker's feet.
+func (rt *Runtime) releaseCPU(c *cpu, freeAt vclock.Cost) {
+	if c.td.state.Load() == cpuReady {
+		for !c.td.workerDone.Load() {
+			runtime.Gosched()
+		}
+	}
+	c.freeAt.Store(freeAt)
+	// If the retiring thread was the in-order tail, the chain is fully
+	// collapsed (joins are sequential) — the non-speculative thread may
+	// fork in-order again.
+	rt.inOrderTail.CompareAndSwap(tailWord(c.td.rank, c.td.epoch()), 0)
+	c.td.validStatus.Store(validNull)
+	c.td.forceInvalid.Store(false)
+	c.td.workerDone.Store(false)
+	c.lb.Reset()
+	// Start a new generation: stale references to the old epoch can no
+	// longer signal this CPU.
+	c.td.bumpEpoch()
+	c.td.state.Store(cpuIdle)
+	rt.active.Add(-1)
+}
+
+// linearInsert places a MixedLinear child immediately after its parent in
+// the logical order (new speculations by the same thread are logically
+// earlier than its previous ones, so closest-to-parent is correct).
+func (rt *Runtime) linearInsert(parent Rank, child childRef) {
+	rt.linearMu.Lock()
+	defer rt.linearMu.Unlock()
+	pos := 0 // non-speculative parent sits before index 0
+	for i, r := range rt.linear {
+		if r.rank == parent {
+			pos = i + 1
+			break
+		}
+	}
+	rt.linear = append(rt.linear, childRef{})
+	copy(rt.linear[pos+1:], rt.linear[pos:])
+	rt.linear[pos] = child
+}
+
+// linearRemove drops a finished thread from the logical order.
+func (rt *Runtime) linearRemove(r Rank) {
+	rt.linearMu.Lock()
+	defer rt.linearMu.Unlock()
+	for i, x := range rt.linear {
+		if x.rank == r {
+			rt.linear = append(rt.linear[:i], rt.linear[i+1:]...)
+			return
+		}
+	}
+}
+
+// linearSquash NOSYNCs every thread logically later than r — the
+// Mitosis/POSH-style cascading rollback the tree model avoids.
+func (rt *Runtime) linearSquash(r Rank) int {
+	rt.linearMu.Lock()
+	var later []childRef
+	for i, x := range rt.linear {
+		if x.rank == r {
+			later = append(later, rt.linear[i+1:]...)
+			rt.linear = rt.linear[:i+1]
+			break
+		}
+	}
+	rt.linearMu.Unlock()
+	for _, x := range later {
+		rt.cpus[x.rank].td.signal(x.epoch, syncNoSync)
+	}
+	return len(later)
+}
+
+// String describes the runtime configuration.
+func (rt *Runtime) String() string {
+	return fmt.Sprintf("mutls.Runtime{cpus: %d, timing: %v}", rt.opts.NumCPUs, rt.opts.Timing)
+}
+
+// ExecRecords returns the collected execution records of a rank (debugging
+// and analysis aid; requires CollectStats).
+func (rt *Runtime) ExecRecords(rank int) []stats.ExecRecord {
+	return rt.collector.Records(rank)
+}

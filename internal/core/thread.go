@@ -1,0 +1,288 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/gbuf"
+	"repro/internal/mem"
+	"repro/internal/vclock"
+)
+
+// stopSignal unwinds a region at a barrier/terminate point; the counter
+// tells the joining thread where to resume.
+type stopSignal struct{ counter uint32 }
+
+// rollbackSignal unwinds a region whose execution must be discarded.
+type rollbackSignal struct{ reason RollbackReason }
+
+// Thread is the execution context handed to non-speculative code (rank 0)
+// and to speculative regions (rank ≥ 1). All memory traffic of the program
+// under speculation flows through it: the non-speculative thread accesses
+// the arena directly while speculative threads are buffered, faulted or
+// stack-directed exactly as §IV-G prescribes.
+type Thread struct {
+	rt          *Runtime
+	rank        Rank
+	cpu         *cpu // nil for the non-speculative thread
+	clock       *vclock.Clock
+	speculative bool
+
+	// children is the paper's per-thread children stack: direct children in
+	// fork order with their fork-time epochs (§IV-F). Speculative threads
+	// keep it in cpu.td.children so the parent can adopt it after the stop.
+	children []childRef
+
+	stack    mem.Range
+	stackTop mem.Addr
+}
+
+// Rank returns the thread's virtual CPU rank (0 = non-speculative).
+func (t *Thread) Rank() Rank { return t.rank }
+
+// Speculative reports whether this is a speculative thread.
+func (t *Thread) Speculative() bool { return t.speculative }
+
+// Runtime returns the owning runtime.
+func (t *Thread) Runtime() *Runtime { return t.rt }
+
+// Tick charges n cost units of pure computation to the virtual clock (a
+// no-op under real timing, where computation takes real time).
+func (t *Thread) Tick(n int64) { t.clock.Charge(vclock.Work, n) }
+
+// Now returns the thread's current (virtual or real) time.
+func (t *Thread) Now() vclock.Cost { return t.clock.Now() }
+
+// rollbackNow abandons the current region.
+func (t *Thread) rollbackNow(reason RollbackReason) {
+	if !t.speculative {
+		panic(fmt.Sprintf("core: non-speculative thread hit %v", reason))
+	}
+	panic(rollbackSignal{reason: reason})
+}
+
+// inOwnStack reports whether [p,p+n) lies in this thread's stack region.
+func (t *Thread) inOwnStack(p mem.Addr, n int) bool {
+	return p >= t.stack.Start && p+mem.Addr(n) <= t.stack.End
+}
+
+// load is the unified read path of MUTLS_load_*: the speculative thread's
+// own stack is accessed directly (the stack acts as its own buffer), global
+// addresses go through the GlobalBuffer, anything else rolls the thread
+// back. Non-speculative threads access the arena directly.
+func (t *Thread) load(p mem.Addr, size int) uint64 {
+	model := t.clock.Model
+	if !t.speculative {
+		t.clock.Charge(vclock.Work, model.DirectAccess)
+		if !t.rt.space.InGlobal(p, size) {
+			panic(fmt.Sprintf("core: non-speculative load of invalid address %d (+%d)", p, size))
+		}
+		return directLoad(t.rt.space.Arena, p, size)
+	}
+	t.clock.Charge(vclock.Work, model.BufferedAccess)
+	if t.inOwnStack(p, size) {
+		return directLoad(t.rt.space.Arena, p, size)
+	}
+	if !t.rt.space.InGlobal(p, size) {
+		t.rollbackNow(RollbackInvalidAddress)
+	}
+	v, st := t.cpu.gb.Load(p, size)
+	t.handleBufferStatus(st)
+	return v
+}
+
+// store is the unified write path of MUTLS_store_*.
+func (t *Thread) store(p mem.Addr, size int, v uint64) {
+	model := t.clock.Model
+	if !t.speculative {
+		t.clock.Charge(vclock.Work, model.DirectAccess)
+		if !t.rt.space.InGlobal(p, size) {
+			panic(fmt.Sprintf("core: non-speculative store to invalid address %d (+%d)", p, size))
+		}
+		directStore(t.rt.space.Arena, p, size, v)
+		return
+	}
+	t.clock.Charge(vclock.Work, model.BufferedAccess)
+	if t.inOwnStack(p, size) {
+		directStore(t.rt.space.Arena, p, size, v)
+		return
+	}
+	if !t.rt.space.InGlobal(p, size) {
+		t.rollbackNow(RollbackInvalidAddress)
+	}
+	t.handleBufferStatus(t.cpu.gb.Store(p, size, v))
+}
+
+func (t *Thread) handleBufferStatus(st gbuf.Status) {
+	switch st {
+	case gbuf.OK, gbuf.Conflict: // Conflict: parked in overflow; stop at next check point.
+	case gbuf.Full:
+		t.rollbackNow(RollbackOverflow)
+	case gbuf.Misaligned:
+		t.rollbackNow(RollbackUnsafeOp)
+	}
+}
+
+func directLoad(a *mem.Arena, p mem.Addr, size int) uint64 {
+	switch size {
+	case 1:
+		return uint64(a.ReadUint8(p))
+	case 2:
+		return uint64(a.ReadUint16(p))
+	case 4:
+		return uint64(a.ReadUint32(p))
+	case 8:
+		return a.ReadWord(p)
+	}
+	panic(fmt.Sprintf("core: direct load of size %d", size))
+}
+
+func directStore(a *mem.Arena, p mem.Addr, size int, v uint64) {
+	switch size {
+	case 1:
+		a.WriteUint8(p, uint8(v))
+	case 2:
+		a.WriteUint16(p, uint16(v))
+	case 4:
+		a.WriteUint32(p, uint32(v))
+	case 8:
+		a.WriteWord(p, v)
+	}
+}
+
+// LoadUint8 reads one byte at p.
+func (t *Thread) LoadUint8(p mem.Addr) uint8 { return uint8(t.load(p, 1)) }
+
+// StoreUint8 writes one byte at p.
+func (t *Thread) StoreUint8(p mem.Addr, v uint8) { t.store(p, 1, uint64(v)) }
+
+// LoadUint16 reads two bytes at p (p must be 2-aligned).
+func (t *Thread) LoadUint16(p mem.Addr) uint16 { return uint16(t.load(p, 2)) }
+
+// StoreUint16 writes two bytes at p.
+func (t *Thread) StoreUint16(p mem.Addr, v uint16) { t.store(p, 2, uint64(v)) }
+
+// LoadInt32 reads a 4-byte signed value at p.
+func (t *Thread) LoadInt32(p mem.Addr) int32 { return int32(uint32(t.load(p, 4))) }
+
+// StoreInt32 writes a 4-byte signed value at p.
+func (t *Thread) StoreInt32(p mem.Addr, v int32) { t.store(p, 4, uint64(uint32(v))) }
+
+// LoadInt64 reads an 8-byte signed value at p.
+func (t *Thread) LoadInt64(p mem.Addr) int64 { return int64(t.load(p, 8)) }
+
+// StoreInt64 writes an 8-byte signed value at p.
+func (t *Thread) StoreInt64(p mem.Addr, v int64) { t.store(p, 8, uint64(v)) }
+
+// LoadFloat64 reads a float64 at p.
+func (t *Thread) LoadFloat64(p mem.Addr) float64 { return math.Float64frombits(t.load(p, 8)) }
+
+// StoreFloat64 writes a float64 at p.
+func (t *Thread) StoreFloat64(p mem.Addr, v float64) { t.store(p, 8, math.Float64bits(v)) }
+
+// LoadFloat32 reads a float32 at p.
+func (t *Thread) LoadFloat32(p mem.Addr) float32 {
+	return math.Float32frombits(uint32(t.load(p, 4)))
+}
+
+// StoreFloat32 writes a float32 at p.
+func (t *Thread) StoreFloat32(p mem.Addr, v float32) { t.store(p, 4, uint64(math.Float32bits(v))) }
+
+// LoadAddr reads a pointer-sized value at p.
+func (t *Thread) LoadAddr(p mem.Addr) mem.Addr { return mem.Addr(t.load(p, 8)) }
+
+// StoreAddr writes a pointer-sized value at p.
+func (t *Thread) StoreAddr(p mem.Addr, v mem.Addr) { t.store(p, 8, uint64(v)) }
+
+// LoadBytes copies n bytes starting at p into dst, decomposed into aligned
+// word and byte accesses (the paper's size>WORD splitting rule).
+func (t *Thread) LoadBytes(p mem.Addr, dst []byte) {
+	i := 0
+	n := len(dst)
+	for i < n && !mem.Aligned(p+mem.Addr(i), mem.Word) {
+		dst[i] = t.LoadUint8(p + mem.Addr(i))
+		i++
+	}
+	for ; i+mem.Word <= n; i += mem.Word {
+		v := t.load(p+mem.Addr(i), mem.Word)
+		for b := 0; b < mem.Word; b++ {
+			dst[i+b] = byte(v >> (8 * b))
+		}
+	}
+	for ; i < n; i++ {
+		dst[i] = t.LoadUint8(p + mem.Addr(i))
+	}
+}
+
+// StoreBytes writes src to p with the same decomposition as LoadBytes.
+func (t *Thread) StoreBytes(p mem.Addr, src []byte) {
+	i := 0
+	n := len(src)
+	for i < n && !mem.Aligned(p+mem.Addr(i), mem.Word) {
+		t.StoreUint8(p+mem.Addr(i), src[i])
+		i++
+	}
+	for ; i+mem.Word <= n; i += mem.Word {
+		var v uint64
+		for b := mem.Word - 1; b >= 0; b-- {
+			v = v<<8 | uint64(src[i+b])
+		}
+		t.store(p+mem.Addr(i), mem.Word, v)
+	}
+	for ; i < n; i++ {
+		t.StoreUint8(p+mem.Addr(i), src[i])
+	}
+}
+
+// Alloc allocates n bytes on the heap. Speculative threads may not allocate
+// (the paper intercepts malloc and forbids it because the thread may roll
+// back); a speculative call is an unsafe operation and rolls back — regions
+// that need memory must stop at a terminate point first.
+func (t *Thread) Alloc(n int) mem.Addr {
+	if t.speculative {
+		t.rollbackNow(RollbackUnsafeOp)
+	}
+	p, err := t.rt.space.Heap.Alloc(n)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Free releases a heap allocation; speculative calls roll back.
+func (t *Thread) Free(p mem.Addr) {
+	if t.speculative {
+		t.rollbackNow(RollbackUnsafeOp)
+	}
+	if err := t.rt.space.Heap.Free(p); err != nil {
+		panic(err)
+	}
+}
+
+// StackAlloc reserves n bytes (word-rounded) on this thread's stack region
+// and returns their address. Speculative stacks are private: other threads
+// fault on them, while the non-speculative stack is global address space.
+func (t *Thread) StackAlloc(n int) mem.Addr {
+	need := mem.Addr((n + mem.Word - 1) &^ (mem.Word - 1))
+	if t.stackTop+need > t.stack.End {
+		if t.speculative {
+			t.rollbackNow(RollbackUnsafeOp)
+		}
+		panic(fmt.Sprintf("core: stack overflow on rank %d", t.rank))
+	}
+	p := t.stackTop
+	t.stackTop += need
+	t.rt.space.Arena.Zero(p, int(need))
+	return p
+}
+
+// StackMark returns the current stack top, to be restored with StackRelease.
+func (t *Thread) StackMark() mem.Addr { return t.stackTop }
+
+// StackRelease pops the stack back to a mark from StackMark.
+func (t *Thread) StackRelease(mark mem.Addr) {
+	if mark < t.stack.Start || mark > t.stackTop {
+		panic("core: bad stack release mark")
+	}
+	t.stackTop = mark
+}

@@ -1,0 +1,435 @@
+// Package gbuf implements the MUTLS GlobalBuffer (paper §IV-G2): per-thread
+// buffering of non-local (static, heap, non-speculative stack) memory
+// accesses in statically allocated read-set and write-set hash maps.
+//
+// Each map follows the paper's design exactly: a byte array `buffer` that is
+// a multiple of the WORD size, a pointer array `addresses`, and an integer
+// stack `offsets`, all with a fixed maximum of N elements. The two arrays
+// implement the hash map while the stack guarantees that validation, commit
+// and finalization of threads touching little data stay fast. A byte array
+// `mark` with the same size as `buffer` supports accesses smaller than a
+// word. On a hash-slot conflict the access is diverted to a small temporary
+// overflow buffer and the thread must wait to be joined at its next check
+// point; if the overflow buffer fills up, the thread rolls back.
+package gbuf
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/mem"
+)
+
+// Status classifies the outcome of a buffered access.
+type Status uint8
+
+const (
+	// OK: the access hit the main hash map.
+	OK Status = iota
+	// Conflict: the hash slot was taken by another address; the access was
+	// absorbed by the overflow buffer and the thread must wait to be joined
+	// at its next check point (paper: "the speculative thread will wait to
+	// be joined at the next check point").
+	Conflict
+	// Full: the overflow buffer is exhausted; the thread must roll back.
+	Full
+	// Misaligned: the address is not aligned by the access size; the access
+	// is unsupported and the thread must roll back.
+	Misaligned
+)
+
+// String returns the status name.
+func (s Status) String() string {
+	switch s {
+	case OK:
+		return "OK"
+	case Conflict:
+		return "Conflict"
+	case Full:
+		return "Full"
+	case Misaligned:
+		return "Misaligned"
+	}
+	return fmt.Sprintf("Status(%d)", uint8(s))
+}
+
+const fullMark = 0xFF
+
+// ovEntry is one word parked in the temporary overflow buffer.
+type ovEntry struct {
+	base mem.Addr // word-aligned address
+	data [mem.Word]byte
+	mark [mem.Word]byte // write entries: which bytes were written
+}
+
+// hashMap is the paper's static-memory map: buffer/addresses/offsets/mark.
+type hashMap struct {
+	buf   []byte     // nWords * Word bytes of buffered data
+	addrs []mem.Addr // nWords word-base addresses; 0 = empty slot
+	mark  []byte     // nWords * Word byte marks (write set only)
+	used  []int32    // stack of occupied slot indices
+	top   int
+	mask  uint64 // nWords - 1
+}
+
+func newHashMap(nWords int, withMarks bool) hashMap {
+	m := hashMap{
+		buf:   make([]byte, nWords*mem.Word),
+		addrs: make([]mem.Addr, nWords),
+		used:  make([]int32, nWords),
+		mask:  uint64(nWords - 1),
+	}
+	if withMarks {
+		m.mark = make([]byte, nWords*mem.Word)
+	}
+	return m
+}
+
+// slot computes the hash slot: the paper uses the lower bits of the address
+// as the buffer offset and divides by WORD for the array index.
+func (m *hashMap) slot(base mem.Addr) int {
+	return int((uint64(base) >> 3) & m.mask)
+}
+
+// lookup returns the slot index if base is present, or -1.
+func (m *hashMap) lookup(base mem.Addr) int {
+	i := m.slot(base)
+	if m.addrs[i] == base {
+		return i
+	}
+	return -1
+}
+
+// insert claims a slot for base. It returns (index, true) on success and
+// (-1, false) when the slot is occupied by a different address.
+func (m *hashMap) insert(base mem.Addr) (int, bool) {
+	i := m.slot(base)
+	switch m.addrs[i] {
+	case base:
+		return i, true
+	case mem.NilAddr:
+		m.addrs[i] = base
+		m.used[m.top] = int32(i)
+		m.top++
+		return i, true
+	}
+	return -1, false
+}
+
+func (m *hashMap) word(i int) []byte { return m.buf[i*mem.Word : i*mem.Word+mem.Word] }
+
+func (m *hashMap) markWord(i int) []byte { return m.mark[i*mem.Word : i*mem.Word+mem.Word] }
+
+// reset clears exactly the used slots (the offsets-stack trick that keeps
+// finalization proportional to the data touched, not the map size).
+func (m *hashMap) reset() {
+	for k := 0; k < m.top; k++ {
+		i := m.used[k]
+		m.addrs[i] = mem.NilAddr
+		w := m.word(int(i))
+		for b := range w {
+			w[b] = 0
+		}
+		if m.mark != nil {
+			mw := m.markWord(int(i))
+			for b := range mw {
+				mw[b] = 0
+			}
+		}
+	}
+	m.top = 0
+}
+
+// Counters accumulates GlobalBuffer activity for the statistics module.
+type Counters struct {
+	Loads          uint64 // buffered load operations
+	Stores         uint64 // buffered store operations
+	ReadSetHits    uint64 // loads served from read or write set
+	Conflicts      uint64 // accesses diverted to the overflow buffer
+	Validations    uint64 // Validate calls
+	ValidationFail uint64 // Validate calls that found a conflict
+	Commits        uint64 // Commit calls
+	WordsCommitted uint64 // whole words applied on the fast path
+	BytesCommitted uint64 // bytes applied on the marked-byte slow path
+}
+
+// Buffer is one speculative thread's GlobalBuffer: a read set, a write set
+// and the shared arena the sets validate against and commit into.
+type Buffer struct {
+	arena    *mem.Arena
+	read     hashMap
+	write    hashMap
+	readOv   []ovEntry
+	writeOv  []ovEntry
+	ovCap    int
+	mustStop bool
+	C        Counters
+}
+
+// Config sizes a GlobalBuffer.
+type Config struct {
+	LogWords    int // the maps hold 1<<LogWords words each
+	OverflowCap int // max parked words per set before rollback
+}
+
+// DefaultConfig returns the size used by the benchmarks: 2^16 words (512 KiB
+// of buffered data per set) and 64 overflow slots.
+func DefaultConfig() Config { return Config{LogWords: 16, OverflowCap: 64} }
+
+// New creates a GlobalBuffer over the given arena.
+func New(arena *mem.Arena, cfg Config) (*Buffer, error) {
+	if cfg.LogWords < 1 || cfg.LogWords > 28 {
+		return nil, fmt.Errorf("gbuf: LogWords %d out of range [1,28]", cfg.LogWords)
+	}
+	if cfg.OverflowCap < 0 {
+		return nil, fmt.Errorf("gbuf: negative overflow capacity")
+	}
+	n := 1 << cfg.LogWords
+	return &Buffer{
+		arena:   arena,
+		read:    newHashMap(n, false),
+		write:   newHashMap(n, true),
+		readOv:  make([]ovEntry, 0, cfg.OverflowCap),
+		writeOv: make([]ovEntry, 0, cfg.OverflowCap),
+		ovCap:   cfg.OverflowCap,
+	}, nil
+}
+
+// MustStop reports whether an overflow entry is in use, which obliges the
+// thread to wait for its join at the next check point.
+func (b *Buffer) MustStop() bool { return b.mustStop }
+
+// ReadSetSize returns the number of buffered read words (map + overflow).
+func (b *Buffer) ReadSetSize() int { return b.read.top + len(b.readOv) }
+
+// WriteSetSize returns the number of buffered written words (map + overflow).
+func (b *Buffer) WriteSetSize() int { return b.write.top + len(b.writeOv) }
+
+// findWriteOv returns the overflow write entry for base, or nil.
+func (b *Buffer) findWriteOv(base mem.Addr) *ovEntry {
+	for i := range b.writeOv {
+		if b.writeOv[i].base == base {
+			return &b.writeOv[i]
+		}
+	}
+	return nil
+}
+
+// findReadOv returns the overflow read entry for base, or nil.
+func (b *Buffer) findReadOv(base mem.Addr) *ovEntry {
+	for i := range b.readOv {
+		if b.readOv[i].base == base {
+			return &b.readOv[i]
+		}
+	}
+	return nil
+}
+
+// writeEntry locates (data, marks) for base in the write set, or nil.
+func (b *Buffer) writeEntry(base mem.Addr) (data, marks []byte) {
+	if i := b.write.lookup(base); i >= 0 {
+		return b.write.word(i), b.write.markWord(i)
+	}
+	if e := b.findWriteOv(base); e != nil {
+		return e.data[:], e.mark[:]
+	}
+	return nil, nil
+}
+
+// readWordEntry returns the read-set snapshot word for base, creating it
+// from the arena on first touch. ok=false means the overflow buffer is full.
+func (b *Buffer) readWordEntry(base mem.Addr) (word []byte, st Status) {
+	if i := b.read.lookup(base); i >= 0 {
+		b.C.ReadSetHits++
+		return b.read.word(i), OK
+	}
+	if e := b.findReadOv(base); e != nil {
+		b.C.ReadSetHits++
+		return e.data[:], OK
+	}
+	if i, ok := b.read.insert(base); ok {
+		w := b.read.word(i)
+		binary.LittleEndian.PutUint64(w, b.arena.ReadWord(base))
+		return w, OK
+	}
+	// Hash conflict: park in the temporary buffer.
+	b.C.Conflicts++
+	if len(b.readOv) >= b.ovCap {
+		return nil, Full
+	}
+	var e ovEntry
+	e.base = base
+	binary.LittleEndian.PutUint64(e.data[:], b.arena.ReadWord(base))
+	b.readOv = append(b.readOv, e)
+	b.mustStop = true
+	return b.readOv[len(b.readOv)-1].data[:], Conflict
+}
+
+// Load performs a buffered read of size bytes (1, 2, 4 or 8) at p, returning
+// the little-endian value. Reads come from the write set if fully written
+// there, otherwise from the read set (loading from the arena on first
+// access) merged with any marked written bytes (paper's read-your-own-writes
+// rule for sub-word data).
+func (b *Buffer) Load(p mem.Addr, size int) (uint64, Status) {
+	if !validSize(size) || !mem.Aligned(p, size) {
+		return 0, Misaligned
+	}
+	b.C.Loads++
+	base := mem.WordBase(p)
+	off := mem.WordOffset(p)
+	wData, wMarks := b.writeEntry(base)
+	if wData != nil && allMarked(wMarks[off:off+size]) {
+		b.C.ReadSetHits++
+		return readLE(wData[off : off+size]), OK
+	}
+	// Need the underlying word: read set (snapshotting it for validation).
+	rWord, st := b.readWordEntry(base)
+	if st == Full {
+		return 0, Full
+	}
+	var tmp [mem.Word]byte
+	copy(tmp[:], rWord)
+	if wData != nil {
+		for i := off; i < off+size; i++ {
+			if wMarks[i] == fullMark {
+				tmp[i] = wData[i]
+			}
+		}
+	}
+	return readLE(tmp[off : off+size]), st
+}
+
+// Store performs a buffered write of size bytes (1, 2, 4 or 8) at p. Whole
+// words overwrite the slot and set every mark; sub-word stores first fill
+// the slot from the arena (as the paper does) and then mark the written
+// bytes so commit applies exactly them.
+func (b *Buffer) Store(p mem.Addr, size int, v uint64) Status {
+	if !validSize(size) || !mem.Aligned(p, size) {
+		return Misaligned
+	}
+	b.C.Stores++
+	base := mem.WordBase(p)
+	off := mem.WordOffset(p)
+	data, marks := b.writeEntry(base)
+	st := OK
+	if data == nil {
+		if i, ok := b.write.insert(base); ok {
+			data, marks = b.write.word(i), b.write.markWord(i)
+		} else {
+			b.C.Conflicts++
+			if len(b.writeOv) >= b.ovCap {
+				return Full
+			}
+			b.writeOv = append(b.writeOv, ovEntry{base: base})
+			e := &b.writeOv[len(b.writeOv)-1]
+			data, marks = e.data[:], e.mark[:]
+			b.mustStop = true
+			st = Conflict
+		}
+		if size < mem.Word {
+			// First touch of a sub-word slot: seed with the arena word.
+			binary.LittleEndian.PutUint64(data, b.arena.ReadWord(base))
+		}
+	}
+	writeLE(data[off:off+size], v, size)
+	for i := off; i < off+size; i++ {
+		marks[i] = fullMark
+	}
+	return st
+}
+
+// Validate checks every read-set word against the arena. Conflicts only
+// occur when the speculative thread read an address before the
+// non-speculative thread wrote it, so equality of the snapshot with current
+// memory is exactly the paper's validation criterion.
+func (b *Buffer) Validate() bool {
+	b.C.Validations++
+	for k := 0; k < b.read.top; k++ {
+		i := int(b.read.used[k])
+		base := b.read.addrs[i]
+		if binary.LittleEndian.Uint64(b.read.word(i)) != b.arena.ReadWord(base) {
+			b.C.ValidationFail++
+			return false
+		}
+	}
+	for k := range b.readOv {
+		e := &b.readOv[k]
+		if binary.LittleEndian.Uint64(e.data[:]) != b.arena.ReadWord(e.base) {
+			b.C.ValidationFail++
+			return false
+		}
+	}
+	return true
+}
+
+// Commit applies the write set to the arena: whole words at once when all
+// eight marks are set (the paper's -1 mark optimization), marked bytes
+// individually otherwise.
+func (b *Buffer) Commit() {
+	b.C.Commits++
+	for k := 0; k < b.write.top; k++ {
+		i := int(b.write.used[k])
+		b.commitWord(b.write.addrs[i], b.write.word(i), b.write.markWord(i))
+	}
+	for k := range b.writeOv {
+		e := &b.writeOv[k]
+		b.commitWord(e.base, e.data[:], e.mark[:])
+	}
+}
+
+func (b *Buffer) commitWord(base mem.Addr, data, marks []byte) {
+	if binary.LittleEndian.Uint64(marks) == ^uint64(0) {
+		b.arena.WriteWord(base, binary.LittleEndian.Uint64(data))
+		b.C.WordsCommitted++
+		return
+	}
+	// Merge the marked bytes into the current memory word. Committers are
+	// serialized by the join protocol, so the read-modify-write is safe.
+	w := b.arena.ReadWord(base)
+	for i := 0; i < mem.Word; i++ {
+		if marks[i] == fullMark {
+			shift := uint(i) * 8
+			w = (w &^ (0xFF << shift)) | uint64(data[i])<<shift
+			b.C.BytesCommitted++
+		}
+	}
+	b.arena.WriteWord(base, w)
+}
+
+// Finalize clears both sets and the overflow buffers, returning the buffer
+// to its initial state for the next speculation. Costs are proportional to
+// the slots actually used.
+func (b *Buffer) Finalize() {
+	b.read.reset()
+	b.write.reset()
+	b.readOv = b.readOv[:0]
+	b.writeOv = b.writeOv[:0]
+	b.mustStop = false
+}
+
+func validSize(size int) bool {
+	return size == 1 || size == 2 || size == 4 || size == 8
+}
+
+func allMarked(m []byte) bool {
+	for _, b := range m {
+		if b != fullMark {
+			return false
+		}
+	}
+	return true
+}
+
+func readLE(b []byte) uint64 {
+	var v uint64
+	for i := len(b) - 1; i >= 0; i-- {
+		v = v<<8 | uint64(b[i])
+	}
+	return v
+}
+
+func writeLE(b []byte, v uint64, size int) {
+	for i := 0; i < size; i++ {
+		b[i] = byte(v >> (8 * i))
+	}
+}

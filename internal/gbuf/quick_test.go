@@ -1,0 +1,219 @@
+package gbuf
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/mem"
+)
+
+// refBuffer is an obviously-correct model of the GlobalBuffer semantics:
+// per-byte written map (write set), per-word read snapshots (read set), and
+// a shadow of the arena for commit checking.
+type refBuffer struct {
+	arena   *mem.Arena
+	written map[mem.Addr]byte   // byte address -> speculative value
+	readSet map[mem.Addr]uint64 // word base -> snapshot
+}
+
+func newRefBuffer(a *mem.Arena) *refBuffer {
+	return &refBuffer{arena: a, written: map[mem.Addr]byte{}, readSet: map[mem.Addr]uint64{}}
+}
+
+func (r *refBuffer) load(p mem.Addr, size int) uint64 {
+	base := mem.WordBase(p)
+	// Does the write set fully cover the access?
+	covered := true
+	for i := 0; i < size; i++ {
+		if _, ok := r.written[p+mem.Addr(i)]; !ok {
+			covered = false
+			break
+		}
+	}
+	if !covered {
+		if _, ok := r.readSet[base]; !ok {
+			r.readSet[base] = r.arena.ReadWord(base)
+		}
+	}
+	var v uint64
+	for i := size - 1; i >= 0; i-- {
+		b, ok := r.written[p+mem.Addr(i)]
+		if !ok {
+			snap := r.readSet[base]
+			b = byte(snap >> (8 * uint(mem.WordOffset(p+mem.Addr(i)))))
+		}
+		v = v<<8 | uint64(b)
+	}
+	return v
+}
+
+func (r *refBuffer) store(p mem.Addr, size int, v uint64) {
+	for i := 0; i < size; i++ {
+		r.written[p+mem.Addr(i)] = byte(v >> (8 * i))
+	}
+}
+
+func (r *refBuffer) validate() bool {
+	for base, snap := range r.readSet {
+		if r.arena.ReadWord(base) != snap {
+			return false
+		}
+	}
+	return true
+}
+
+func (r *refBuffer) commit() {
+	for p, b := range r.written {
+		r.arena.WriteUint8(p, b)
+	}
+}
+
+var accessSizes = []int{1, 2, 4, 8}
+
+// TestQuickBufferMatchesReference drives random aligned load/store sequences
+// through the real buffer and the reference model, comparing every load
+// value, the validation verdict under random non-speculative interference,
+// and the committed arena image.
+func TestQuickBufferMatchesReference(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		arenaA, _ := mem.NewArena(1 << 12)
+		arenaB, _ := mem.NewArena(1 << 12)
+		// Identical random initial contents.
+		for i := 8; i < 1<<12; i++ {
+			v := byte(rng.Intn(256))
+			arenaA.WriteUint8(mem.Addr(i), v)
+			arenaB.WriteUint8(mem.Addr(i), v)
+		}
+		// A large map so hash conflicts cannot occur (overflow semantics are
+		// covered by dedicated tests; the reference has no conflicts).
+		buf, _ := New(arenaA, Config{LogWords: 10, OverflowCap: 4})
+		ref := newRefBuffer(arenaB)
+		for op := 0; op < 300; op++ {
+			size := accessSizes[rng.Intn(len(accessSizes))]
+			slot := rng.Intn(200)
+			p := mem.Addr(8 + slot*8 + rng.Intn(mem.Word/size)*size)
+			if rng.Intn(2) == 0 {
+				v := rng.Uint64()
+				st := buf.Store(p, size, v)
+				if st != OK {
+					t.Logf("store status %v at op %d", st, op)
+					return false
+				}
+				ref.store(p, size, v)
+			} else {
+				got, st := buf.Load(p, size)
+				if st != OK {
+					t.Logf("load status %v at op %d", st, op)
+					return false
+				}
+				want := ref.load(p, size)
+				if got != want {
+					t.Logf("load mismatch at %d size %d: got %#x want %#x (op %d)", p, size, got, want, op)
+					return false
+				}
+			}
+		}
+		// Random non-speculative interference on both arenas.
+		for i := 0; i < 20; i++ {
+			p := mem.Addr(8 + rng.Intn(200)*8)
+			v := rng.Uint64()
+			arenaA.WriteWord(p, v)
+			arenaB.WriteWord(p, v)
+		}
+		okA, okB := buf.Validate(), ref.validate()
+		if okA != okB {
+			t.Logf("validation disagreement: real=%v ref=%v", okA, okB)
+			return false
+		}
+		// Commit both and compare the full arena images.
+		buf.Commit()
+		ref.commit()
+		for i := 8; i < 1<<12; i++ {
+			if arenaA.ReadUint8(mem.Addr(i)) != arenaB.ReadUint8(mem.Addr(i)) {
+				t.Logf("arena divergence at byte %d", i)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickValidationExactness: validation fails iff some read word differs
+// from the arena.
+func TestQuickValidationExactness(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		arena, _ := mem.NewArena(1 << 12)
+		buf, _ := New(arena, Config{LogWords: 10, OverflowCap: 4})
+		read := map[mem.Addr]uint64{}
+		for i := 0; i < 50; i++ {
+			p := mem.Addr(8 + rng.Intn(100)*8)
+			v, _ := buf.Load(p, 8)
+			if _, ok := read[p]; !ok {
+				read[p] = v
+			}
+		}
+		dirty := false
+		for i := 0; i < 10; i++ {
+			p := mem.Addr(8 + rng.Intn(150)*8)
+			nv := rng.Uint64()
+			old, wasRead := read[p]
+			arena.WriteWord(p, nv)
+			if wasRead && nv != old {
+				dirty = true
+			}
+			if wasRead {
+				read[p] = read[p] // snapshot unchanged; arena moved on
+			}
+		}
+		return buf.Validate() == !dirty
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickCommitTouchesOnlyWrittenBytes: after arbitrary stores, commit
+// changes exactly the stored byte addresses.
+func TestQuickCommitTouchesOnlyWrittenBytes(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		arena, _ := mem.NewArena(1 << 12)
+		for i := 8; i < 1<<12; i++ {
+			arena.WriteUint8(mem.Addr(i), byte(rng.Intn(256)))
+		}
+		before := make([]byte, 1<<12)
+		copy(before, arena.Snapshot(1, (1<<12)-1)) // offset by 1; index i-1 = addr i
+		buf, _ := New(arena, Config{LogWords: 10, OverflowCap: 4})
+		written := map[mem.Addr]byte{}
+		for op := 0; op < 100; op++ {
+			size := accessSizes[rng.Intn(len(accessSizes))]
+			p := mem.Addr(8 + rng.Intn(100)*8 + rng.Intn(mem.Word/size)*size)
+			v := rng.Uint64()
+			buf.Store(p, size, v)
+			for i := 0; i < size; i++ {
+				written[p+mem.Addr(i)] = byte(v >> (8 * i))
+			}
+		}
+		buf.Commit()
+		for i := mem.Addr(8); i < 1<<12; i++ {
+			want, ok := written[i]
+			if !ok {
+				want = before[i-1]
+			}
+			if arena.ReadUint8(i) != want {
+				t.Logf("byte %d: got %#x want %#x (written=%v)", i, arena.ReadUint8(i), want, ok)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,205 @@
+// Package mem implements the simulated address space MUTLS buffers against.
+//
+// The paper's runtime hashes raw process addresses into its GlobalBuffer and
+// registers the address space of every static and heap object so that
+// speculative accesses to invalid addresses can be detected and rolled back
+// (paper §IV-G1). Go's garbage collector hides raw pointers, so this package
+// provides the closest equivalent substrate: a flat word-array arena with
+// stable integer addresses, a first-fit allocator with coalescing, and a
+// copy-on-write interval registry of valid "global" (static + heap +
+// non-speculative stack) ranges.
+//
+// Arena concurrency model: software TLS reads shared memory racily by
+// design — speculative threads snapshot words that the non-speculative
+// thread may be writing, and validation (not synchronization) provides
+// safety. Direct arena *writes* are serialized by the TLS protocol itself:
+// only the non-speculative thread stores directly, and a speculative
+// write-set commits only inside a join handshake while the non-speculative
+// thread spins. The arena therefore stores data as words accessed with
+// sync/atomic loads and stores: concurrent readers observe tear-free values
+// (possibly stale, which validation detects) without violating the Go
+// memory model.
+package mem
+
+import (
+	"fmt"
+	"math"
+	"sync/atomic"
+)
+
+// Word is the buffering granularity in bytes, matching the paper's WORD size
+// on the 64-bit evaluation machine.
+const Word = 8
+
+// Addr is an address in the simulated address space. Address 0 is reserved
+// as the nil address and is never valid.
+type Addr uint64
+
+// NilAddr is the invalid zero address.
+const NilAddr Addr = 0
+
+// Arena is a flat simulated memory. Non-speculative code reads and writes it
+// directly; speculative threads only observe it through a GlobalBuffer.
+type Arena struct {
+	words []uint64
+	size  int
+}
+
+// NewArena creates an arena of the given size in bytes (rounded up to whole
+// words). The first Word bytes are reserved so that no object is ever placed
+// at address 0.
+func NewArena(size int) (*Arena, error) {
+	if size < 4*Word {
+		return nil, fmt.Errorf("mem: arena size %d too small", size)
+	}
+	nWords := (size + Word - 1) / Word
+	return &Arena{words: make([]uint64, nWords), size: nWords * Word}, nil
+}
+
+// Size returns the arena size in bytes.
+func (a *Arena) Size() int { return a.size }
+
+// InBounds reports whether [p, p+n) lies inside the arena and does not wrap.
+func (a *Arena) InBounds(p Addr, n int) bool {
+	if p == NilAddr || n < 0 {
+		return false
+	}
+	end := uint64(p) + uint64(n)
+	return end >= uint64(p) && end <= uint64(a.size)
+}
+
+func (a *Arena) check(p Addr, n int) {
+	if !a.InBounds(p, n) {
+		panic(fmt.Sprintf("mem: out-of-bounds access [%d,%d)", p, uint64(p)+uint64(n)))
+	}
+}
+
+// ReadWord returns the 8-byte word at the word-aligned address p.
+func (a *Arena) ReadWord(p Addr) uint64 {
+	a.check(p, Word)
+	if p&(Word-1) != 0 {
+		panic(fmt.Sprintf("mem: unaligned word read at %d", p))
+	}
+	return atomic.LoadUint64(&a.words[p>>3])
+}
+
+// WriteWord stores an 8-byte word at the word-aligned address p.
+func (a *Arena) WriteWord(p Addr, v uint64) {
+	a.check(p, Word)
+	if p&(Word-1) != 0 {
+		panic(fmt.Sprintf("mem: unaligned word write at %d", p))
+	}
+	atomic.StoreUint64(&a.words[p>>3], v)
+}
+
+// readSub returns n bytes (n ≤ Word, not crossing a word boundary) at p.
+func (a *Arena) readSub(p Addr, n int) uint64 {
+	a.check(p, n)
+	w := atomic.LoadUint64(&a.words[p>>3])
+	shift := uint(p&(Word-1)) * 8
+	if n == Word {
+		return w
+	}
+	mask := uint64(1)<<(uint(n)*8) - 1
+	return (w >> shift) & mask
+}
+
+// writeSub writes the low n bytes of v (n ≤ Word, not crossing a word
+// boundary) at p via a read-modify-write on the containing word. Direct
+// writers are serialized by the TLS protocol, so the RMW cannot lose
+// concurrent updates.
+func (a *Arena) writeSub(p Addr, n int, v uint64) {
+	a.check(p, n)
+	if n == Word {
+		atomic.StoreUint64(&a.words[p>>3], v)
+		return
+	}
+	shift := uint(p&(Word-1)) * 8
+	mask := (uint64(1)<<(uint(n)*8) - 1) << shift
+	w := atomic.LoadUint64(&a.words[p>>3])
+	w = (w &^ mask) | ((v << shift) & mask)
+	atomic.StoreUint64(&a.words[p>>3], w)
+}
+
+// ReadUint8 returns the byte at p.
+func (a *Arena) ReadUint8(p Addr) uint8 { return uint8(a.readSub(p, 1)) }
+
+// WriteUint8 stores a byte at p.
+func (a *Arena) WriteUint8(p Addr, v uint8) { a.writeSub(p, 1, uint64(v)) }
+
+// ReadUint16 returns the 2-byte value at the 2-aligned address p.
+func (a *Arena) ReadUint16(p Addr) uint16 { return uint16(a.readSub(p, 2)) }
+
+// WriteUint16 stores a 2-byte value at p.
+func (a *Arena) WriteUint16(p Addr, v uint16) { a.writeSub(p, 2, uint64(v)) }
+
+// ReadUint32 returns the 4-byte value at the 4-aligned address p.
+func (a *Arena) ReadUint32(p Addr) uint32 { return uint32(a.readSub(p, 4)) }
+
+// WriteUint32 stores a 4-byte value at p.
+func (a *Arena) WriteUint32(p Addr, v uint32) { a.writeSub(p, 4, uint64(v)) }
+
+// ReadInt64 returns the 8-byte signed value at p.
+func (a *Arena) ReadInt64(p Addr) int64 { return int64(a.ReadWord(p)) }
+
+// WriteInt64 stores an 8-byte signed value at p.
+func (a *Arena) WriteInt64(p Addr, v int64) { a.WriteWord(p, uint64(v)) }
+
+// ReadFloat64 returns the float64 at p.
+func (a *Arena) ReadFloat64(p Addr) float64 { return math.Float64frombits(a.ReadWord(p)) }
+
+// WriteFloat64 stores a float64 at p.
+func (a *Arena) WriteFloat64(p Addr, v float64) { a.WriteWord(p, math.Float64bits(v)) }
+
+// ReadFloat32 returns the float32 at p.
+func (a *Arena) ReadFloat32(p Addr) float32 { return math.Float32frombits(a.ReadUint32(p)) }
+
+// WriteFloat32 stores a float32 at p.
+func (a *Arena) WriteFloat32(p Addr, v float32) { a.WriteUint32(p, math.Float32bits(v)) }
+
+// Snapshot copies n bytes starting at p into a fresh slice.
+func (a *Arena) Snapshot(p Addr, n int) []byte {
+	a.check(p, n)
+	out := make([]byte, n)
+	for i := 0; i < n; i++ {
+		out[i] = a.ReadUint8(p + Addr(i))
+	}
+	return out
+}
+
+// WriteBytes stores the given bytes starting at p.
+func (a *Arena) WriteBytes(p Addr, data []byte) {
+	a.check(p, len(data))
+	for i, b := range data {
+		a.WriteUint8(p+Addr(i), b)
+	}
+}
+
+// Copy copies n bytes from src to dst inside the arena (memmove semantics).
+func (a *Arena) Copy(dst, src Addr, n int) {
+	a.WriteBytes(dst, a.Snapshot(src, n))
+}
+
+// Zero clears n bytes starting at p.
+func (a *Arena) Zero(p Addr, n int) {
+	a.check(p, n)
+	for i := 0; i < n; i++ {
+		a.WriteUint8(p+Addr(i), 0)
+	}
+}
+
+// Aligned reports whether p is aligned to size bytes. The paper supports
+// accesses whose size and WORD divide one another, with p aligned by size.
+func Aligned(p Addr, size int) bool {
+	if size <= 0 {
+		return false
+	}
+	return uint64(p)%uint64(size) == 0
+}
+
+// WordBase returns p with its low Word bits cleared — the paper's
+// "normalized address" np used for sub-word accesses.
+func WordBase(p Addr) Addr { return p &^ (Word - 1) }
+
+// WordOffset returns the byte offset of p inside its word.
+func WordOffset(p Addr) int { return int(p & (Word - 1)) }

@@ -1,0 +1,146 @@
+// Package predict implements value prediction for live register variables,
+// one of the paper's explicitly named future-work directions (§VI, "This
+// includes value prediction, different automatic fork heuristics…").
+//
+// At a fork point the parent must supply every local live at the join point
+// (§IV-G4); values that are not known yet must be predicted, and the join
+// validates the prediction with MUTLS_validate_local. This package provides
+// the two classic predictors — last value and stride — keyed by (fork point,
+// slot), plus accuracy accounting so the ablation bench can report how
+// prediction quality translates into locals-validation rollbacks.
+package predict
+
+import "sync"
+
+// Kind selects a prediction strategy.
+type Kind uint8
+
+const (
+	// LastValue predicts the value observed at the previous execution.
+	LastValue Kind = iota
+	// Stride predicts last + (last - previous), the classic stride
+	// predictor; it subsumes LastValue when the stride settles to zero.
+	Stride
+)
+
+// String names the predictor.
+func (k Kind) String() string {
+	switch k {
+	case LastValue:
+		return "last-value"
+	case Stride:
+		return "stride"
+	}
+	return "unknown"
+}
+
+type key struct {
+	point int
+	slot  int
+}
+
+type entry struct {
+	last    uint64
+	prev    uint64
+	samples int
+}
+
+// Predictor predicts live register values per (fork point, slot).
+// It is safe for concurrent use: speculative threads fork too.
+type Predictor struct {
+	kind Kind
+
+	mu      sync.Mutex
+	entries map[key]*entry
+
+	hits   uint64
+	misses uint64
+	cold   uint64 // predictions issued with no history
+}
+
+// New creates a predictor of the given kind.
+func New(kind Kind) *Predictor {
+	return &Predictor{kind: kind, entries: make(map[key]*entry)}
+}
+
+// Kind returns the predictor's strategy.
+func (p *Predictor) Kind() Kind { return p.kind }
+
+// Predict returns the predicted value for the slot at the fork point and
+// whether any history backed it (cold predictions return the zero value and
+// false, matching the "uninitialized value" case of §IV-G4).
+func (p *Predictor) Predict(point, slot int) (uint64, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	e, ok := p.entries[key{point, slot}]
+	if !ok || e.samples == 0 {
+		p.cold++
+		return 0, false
+	}
+	switch p.kind {
+	case Stride:
+		if e.samples >= 2 {
+			return e.last + (e.last - e.prev), true
+		}
+		return e.last, true
+	default:
+		return e.last, true
+	}
+}
+
+// Observe records the actual value seen at the join point and scores the
+// prediction that was (or would have been) made.
+func (p *Predictor) Observe(point, slot int, actual uint64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	k := key{point, slot}
+	e, ok := p.entries[k]
+	if !ok {
+		e = &entry{}
+		p.entries[k] = e
+	}
+	if e.samples > 0 {
+		var predicted uint64
+		switch {
+		case p.kind == Stride && e.samples >= 2:
+			predicted = e.last + (e.last - e.prev)
+		default:
+			predicted = e.last
+		}
+		if predicted == actual {
+			p.hits++
+		} else {
+			p.misses++
+		}
+	}
+	e.prev = e.last
+	e.last = actual
+	e.samples++
+}
+
+// Accuracy returns hits/(hits+misses), or 0 with no scored predictions.
+func (p *Predictor) Accuracy() float64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	total := p.hits + p.misses
+	if total == 0 {
+		return 0
+	}
+	return float64(p.hits) / float64(total)
+}
+
+// Stats returns the raw counters: scored hits, scored misses and cold
+// (history-less) predictions.
+func (p *Predictor) Stats() (hits, misses, cold uint64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.hits, p.misses, p.cold
+}
+
+// Reset clears all history and counters.
+func (p *Predictor) Reset() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.entries = make(map[key]*entry)
+	p.hits, p.misses, p.cold = 0, 0, 0
+}

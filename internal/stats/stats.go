@@ -1,0 +1,245 @@
+// Package stats aggregates per-thread execution records into the metrics
+// the paper reports: absolute speedup, critical path efficiency, speculative
+// path efficiency, power efficiency, parallel execution coverage (§V-B) and
+// the critical/speculative path breakdowns of Figures 8 and 9.
+package stats
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/vclock"
+)
+
+// ExecRecord is one finished speculative execution: the interval it occupied
+// its virtual CPU and the phase ledger accumulated during it.
+type ExecRecord struct {
+	Rank      int
+	Point     int // fork/join point id
+	Start     vclock.Cost
+	End       vclock.Cost
+	Ledger    vclock.Ledger
+	Committed bool
+}
+
+// Runtime returns the record's occupied interval length.
+func (r *ExecRecord) Runtime() vclock.Cost { return r.End - r.Start }
+
+// Collector gathers records. Each virtual CPU appends only to its own slice
+// (no locking on the hot path); the non-speculative thread's ledger is set
+// once at the end of the run.
+type Collector struct {
+	Enabled bool
+	perCPU  [][]ExecRecord
+
+	nonSpecRuntime vclock.Cost
+	nonSpecLedger  vclock.Ledger
+}
+
+// NewCollector creates a collector for ranks 1..numCPUs.
+func NewCollector(numCPUs int, enabled bool) *Collector {
+	return &Collector{Enabled: enabled, perCPU: make([][]ExecRecord, numCPUs+1)}
+}
+
+// Add normalizes and stores a record. Two normalizations happen here, both
+// mode-independent:
+//
+//   - The residual of the occupied interval not booked to any phase is
+//     booked as work. In virtual mode the residual is zero (every advance is
+//     ledgered); in real mode the ledger only holds the instrumented
+//     overhead spans, so the residual is precisely the user work time.
+//   - Rolled-back executions convert their work into wasted work, the
+//     paper's Figure 9 category.
+func (c *Collector) Add(rec ExecRecord) {
+	if !c.Enabled || rec.Rank <= 0 || rec.Rank >= len(c.perCPU) {
+		return
+	}
+	if resid := rec.Runtime() - rec.Ledger.Total(); resid > 0 {
+		rec.Ledger[vclock.Work] += resid
+	}
+	if !rec.Committed {
+		rec.Ledger[vclock.Wasted] += rec.Ledger[vclock.Work]
+		rec.Ledger[vclock.Work] = 0
+	}
+	c.perCPU[rec.Rank] = append(c.perCPU[rec.Rank], rec)
+}
+
+// SetNonSpec records the non-speculative (critical path) thread's total
+// runtime and ledger. The same work-residual normalization applies.
+func (c *Collector) SetNonSpec(runtime vclock.Cost, ledger vclock.Ledger) {
+	if resid := runtime - ledger.Total(); resid > 0 {
+		ledger[vclock.Work] += resid
+	}
+	c.nonSpecRuntime = runtime
+	c.nonSpecLedger = ledger
+}
+
+// Reset drops all records for a fresh run.
+func (c *Collector) Reset() {
+	for i := range c.perCPU {
+		c.perCPU[i] = c.perCPU[i][:0]
+	}
+	c.nonSpecRuntime = 0
+	c.nonSpecLedger = vclock.Ledger{}
+}
+
+// Summary condenses a run. All the paper's §V metrics hang off it.
+type Summary struct {
+	NumCPUs        int
+	NonSpecRuntime vclock.Cost
+	NonSpecLedger  vclock.Ledger
+	SpecRuntime    vclock.Cost   // Σ over speculative executions
+	SpecLedger     vclock.Ledger // Σ over speculative executions
+	Executions     int
+	Commits        int
+	Rollbacks      int
+	PerPoint       map[int]PointStats
+}
+
+// PointStats profiles one fork/join point, feeding the adaptive fork
+// heuristic and the ablation benches.
+type PointStats struct {
+	Commits   int
+	Rollbacks int
+	Runtime   vclock.Cost
+}
+
+// Summarize folds the collected records.
+func (c *Collector) Summarize(numCPUs int) *Summary {
+	s := &Summary{
+		NumCPUs:        numCPUs,
+		NonSpecRuntime: c.nonSpecRuntime,
+		NonSpecLedger:  c.nonSpecLedger,
+		PerPoint:       map[int]PointStats{},
+	}
+	for _, recs := range c.perCPU {
+		for i := range recs {
+			r := &recs[i]
+			s.SpecRuntime += r.Runtime()
+			s.SpecLedger.Add(&r.Ledger)
+			s.Executions++
+			ps := s.PerPoint[r.Point]
+			if r.Committed {
+				s.Commits++
+				ps.Commits++
+			} else {
+				s.Rollbacks++
+				ps.Rollbacks++
+			}
+			ps.Runtime += r.Runtime()
+			s.PerPoint[r.Point] = ps
+		}
+	}
+	return s
+}
+
+// CritEfficiency is the paper's ηcrit = Tworktime_nonsp / Truntime_nonsp.
+func (s *Summary) CritEfficiency() float64 {
+	if s.NonSpecRuntime == 0 {
+		return 0
+	}
+	return float64(s.NonSpecLedger[vclock.Work]) / float64(s.NonSpecRuntime)
+}
+
+// SpecEfficiency is ηsp = ΣTworktime_sp / ΣTruntime_sp.
+func (s *Summary) SpecEfficiency() float64 {
+	if s.SpecRuntime == 0 {
+		return 0
+	}
+	return float64(s.SpecLedger[vclock.Work]) / float64(s.SpecRuntime)
+}
+
+// PowerEfficiency is ηpower = Ts / (Truntime_nonsp + ΣTruntime_sp), the
+// paper's inverse measure of relative waste.
+func (s *Summary) PowerEfficiency(ts vclock.Cost) float64 {
+	total := s.NonSpecRuntime + s.SpecRuntime
+	if total == 0 {
+		return 0
+	}
+	return float64(ts) / float64(total)
+}
+
+// Coverage is C = ΣTruntime_sp / Truntime_nonsp, the parallel execution
+// coverage of §V-B.
+func (s *Summary) Coverage() float64 {
+	if s.NonSpecRuntime == 0 {
+		return 0
+	}
+	return float64(s.SpecRuntime) / float64(s.NonSpecRuntime)
+}
+
+// Speedup is the absolute speedup Ts / TN for a given sequential time.
+func (s *Summary) Speedup(ts vclock.Cost) float64 {
+	if s.NonSpecRuntime == 0 {
+		return 0
+	}
+	return float64(ts) / float64(s.NonSpecRuntime)
+}
+
+// CritBreakdownPhases lists the critical-path categories of Figure 8.
+var CritBreakdownPhases = []vclock.Phase{
+	vclock.Work, vclock.Join, vclock.Idle, vclock.Fork, vclock.FindCPU,
+}
+
+// SpecBreakdownPhases lists the speculative-path categories of Figure 9.
+var SpecBreakdownPhases = []vclock.Phase{
+	vclock.Wasted, vclock.Finalize, vclock.Commit, vclock.Validation,
+	vclock.Overflow, vclock.Idle, vclock.Fork, vclock.FindCPU, vclock.Work,
+}
+
+// Breakdown returns each phase's share of the given ledger's total as a
+// fraction in [0,1], for the listed phases (shares of the *runtime*, so the
+// listed phases need not sum to 1 if others are excluded).
+func Breakdown(ledger vclock.Ledger, runtime vclock.Cost, phases []vclock.Phase) map[vclock.Phase]float64 {
+	out := make(map[vclock.Phase]float64, len(phases))
+	if runtime <= 0 {
+		return out
+	}
+	for _, p := range phases {
+		out[p] = float64(ledger[p]) / float64(runtime)
+	}
+	return out
+}
+
+// CritBreakdown returns the Figure 8 percentages for this run.
+func (s *Summary) CritBreakdown() map[vclock.Phase]float64 {
+	return Breakdown(s.NonSpecLedger, s.NonSpecRuntime, CritBreakdownPhases)
+}
+
+// SpecBreakdown returns the Figure 9 percentages for this run.
+func (s *Summary) SpecBreakdown() map[vclock.Phase]float64 {
+	return Breakdown(s.SpecLedger, s.SpecRuntime, SpecBreakdownPhases)
+}
+
+// RollbackRate returns rollbacks / executions, or 0 with no executions.
+func (s *Summary) RollbackRate() float64 {
+	if s.Executions == 0 {
+		return 0
+	}
+	return float64(s.Rollbacks) / float64(s.Executions)
+}
+
+// String renders a compact one-line summary.
+func (s *Summary) String() string {
+	return fmt.Sprintf("cpus=%d Tn=%d specT=%d exec=%d commit=%d rollback=%d ηcrit=%.3f ηsp=%.3f C=%.2f",
+		s.NumCPUs, s.NonSpecRuntime, s.SpecRuntime, s.Executions, s.Commits, s.Rollbacks,
+		s.CritEfficiency(), s.SpecEfficiency(), s.Coverage())
+}
+
+// PointsSorted returns the fork/join point ids with statistics, ascending.
+func (s *Summary) PointsSorted() []int {
+	ids := make([]int, 0, len(s.PerPoint))
+	for id := range s.PerPoint {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	return ids
+}
+
+// Records returns the stored execution records of one rank.
+func (c *Collector) Records(rank int) []ExecRecord {
+	if rank < 0 || rank >= len(c.perCPU) {
+		return nil
+	}
+	return c.perCPU[rank]
+}
