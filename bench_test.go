@@ -13,12 +13,12 @@ import (
 	"testing"
 
 	"repro/internal/bench"
-	"repro/internal/core"
 	"repro/internal/gbuf"
 	"repro/internal/harness"
 	"repro/internal/mem"
 	"repro/internal/predict"
 	"repro/internal/vclock"
+	"repro/mutls"
 )
 
 // benchAxis keeps the figure benches fast while spanning the paper's range.
@@ -63,7 +63,7 @@ func BenchmarkFig9_SpecBreakdown(b *testing.B)   { runFigure(b, newHarness().Fig
 func BenchmarkFig10_ForkModels(b *testing.B) { runFigure(b, newHarness().Fig10) }
 
 func BenchmarkFig11_RollbackSensitivity(b *testing.B) {
-	h := harness.New(harness.Config{CPUAxis: []int{1, 16}, Timing: vclock.Virtual})
+	h := harness.New(harness.Config{CPUAxis: []int{1, 16}, Timing: mutls.Virtual})
 	runFigure(b, h.Fig11)
 }
 
@@ -79,8 +79,8 @@ func benchWorkload(b *testing.B, w *bench.Workload) {
 		CPUs:   8,
 		Size:   w.CISize,
 		Model:  w.DefaultModel,
-		Timing: vclock.Real,
-		Cost:   vclock.DefaultCostModel(),
+		Timing: mutls.Real,
+		Cost:   mutls.DefaultCostModel(),
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -107,12 +107,12 @@ func BenchmarkWorkloadTSP(b *testing.B)        { benchWorkload(b, bench.TSP) }
 func BenchmarkAblation_TreeVsLinear(b *testing.B) {
 	for _, tc := range []struct {
 		name  string
-		model core.Model
-	}{{"tree", core.Mixed}, {"linear", core.MixedLinear}} {
+		model mutls.Model
+	}{{"tree", mutls.Mixed}, {"linear", mutls.MixedLinear}} {
 		b.Run(tc.name, func(b *testing.B) {
 			cfg := bench.RunConfig{
 				CPUs: 8, Size: bench.NQueen.CISize, Model: tc.model,
-				Timing: vclock.Virtual, Cost: vclock.DefaultCostModel(),
+				Timing: mutls.Virtual, Cost: mutls.DefaultCostModel(),
 				RollbackProb: 0.10, Seed: 7,
 			}
 			wasted := int64(0)
@@ -186,8 +186,8 @@ func BenchmarkAblation_ForkHeuristic(b *testing.B) {
 	}{{"off", false}, {"adaptive", true}} {
 		b.Run(tc.name, func(b *testing.B) {
 			cfg := bench.RunConfig{
-				CPUs: 4, Size: bench.MatMult.CISize, Model: core.Mixed,
-				Timing: vclock.Virtual, Cost: vclock.DefaultCostModel(),
+				CPUs: 4, Size: bench.MatMult.CISize, Model: mutls.Mixed,
+				Timing: mutls.Virtual, Cost: mutls.DefaultCostModel(),
 				RollbackProb: 1.0, Seed: 3, Heuristic: tc.on,
 			}
 			var tn int64

@@ -20,7 +20,7 @@ import (
 	"strings"
 
 	"repro/internal/harness"
-	"repro/internal/vclock"
+	"repro/mutls"
 )
 
 func main() {
@@ -36,7 +36,7 @@ func main() {
 	cfg.Paper = *paper
 	cfg.Seed = *seed
 	if *real {
-		cfg.Timing = vclock.Real
+		cfg.Timing = mutls.Real
 	}
 	if *cpus != "" {
 		axis, err := parseAxis(*cpus)

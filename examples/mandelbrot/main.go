@@ -1,18 +1,16 @@
 // Loop-level speculation on a Mandelbrot render: rows are chunked and
-// speculated with chained in-order forks (each chunk's region forks the
-// next chunk before doing its own work), then the image is printed as
-// ASCII art. This is the transformed shape of the paper's Figure 2 applied
-// to a real loop.
+// speculated with chained in-order forks through mutls.For (each chunk's
+// region forks the next chunk before doing its own work), then the image is
+// printed as ASCII art. This is the transformed shape of the paper's
+// Figure 2 applied to a real loop, with the protocol supplied by the
+// library.
 package main
 
 import (
 	"fmt"
 	"log"
 
-	"repro/internal/bench"
-	"repro/internal/core"
-	"repro/internal/mem"
-	"repro/internal/vclock"
+	"repro/mutls"
 )
 
 const (
@@ -25,16 +23,16 @@ const (
 var shades = []byte(" .:-=+*#%@")
 
 func main() {
-	rt, err := core.NewRuntime(core.Options{NumCPUs: 8, Timing: vclock.Virtual, CollectStats: true})
+	rt, err := mutls.New(mutls.Options{CPUs: 8, CollectStats: true})
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer rt.Close()
 
-	var img mem.Addr
-	tn := rt.Run(func(t *core.Thread) {
+	var img mutls.Addr
+	tn := rt.Run(func(t *mutls.Thread) {
 		img = t.Alloc(8 * width * height)
-		bench.ChunkLoop(t, chunks, core.InOrder, func(c *core.Thread, idx int) {
+		mutls.For(t, chunks, mutls.ForOptions{Model: mutls.InOrder}, func(c *mutls.Thread, idx int) {
 			for y := idx; y < height; y += chunks {
 				ci := -1.2 + 2.4*float64(y)/float64(height)
 				for x := 0; x < width; x++ {
@@ -45,7 +43,7 @@ func main() {
 						it++
 					}
 					c.Tick(int64(it))
-					c.StoreInt64(img+mem.Addr(8*(y*width+x)), int64(it))
+					c.StoreInt64(img+mutls.Addr(8*(y*width+x)), int64(it))
 				}
 			}
 		})
@@ -55,7 +53,7 @@ func main() {
 	for y := 0; y < height; y++ {
 		line := make([]byte, width)
 		for x := 0; x < width; x++ {
-			it := arena.ReadInt64(mem.Addr(uint64(img) + uint64(8*(y*width+x))))
+			it := arena.ReadInt64(mutls.Addr(uint64(img) + uint64(8*(y*width+x))))
 			shade := int(it) * (len(shades) - 1) / maxIter
 			line[x] = shades[shade]
 		}

@@ -5,7 +5,8 @@
 //
 // This example runs the same search under all three models and prints the
 // virtual-time speedups side by side, reproducing the Figure 10 story in
-// miniature.
+// miniature. The run configuration is expressed entirely in public mutls
+// types.
 package main
 
 import (
@@ -13,8 +14,7 @@ import (
 	"log"
 
 	"repro/internal/bench"
-	"repro/internal/core"
-	"repro/internal/vclock"
+	"repro/mutls"
 )
 
 func main() {
@@ -24,8 +24,8 @@ func main() {
 	cfg := bench.RunConfig{
 		CPUs:   31, // plus the non-speculative thread: a 32-CPU machine
 		Size:   size,
-		Timing: vclock.Virtual,
-		Cost:   vclock.DefaultCostModel(),
+		Timing: mutls.Virtual,
+		Cost:   mutls.DefaultCostModel(),
 	}
 	seq, err := bench.MeasureSeq(w, cfg)
 	if err != nil {
@@ -34,7 +34,7 @@ func main() {
 	fmt.Printf("%d-queens: %d solutions, sequential virtual time %d\n",
 		size.N, seq.Checksum, seq.Runtime)
 
-	for _, model := range []core.Model{core.InOrder, core.OutOfOrder, core.Mixed} {
+	for _, model := range []mutls.Model{mutls.InOrder, mutls.OutOfOrder, mutls.Mixed} {
 		c := cfg
 		c.Model = model
 		m, err := bench.MeasureSpec(w, c)

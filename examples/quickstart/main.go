@@ -1,66 +1,50 @@
-// Quickstart: the smallest complete MUTLS program. A parent thread forks a
-// speculative thread at a fork point, both sides work on disjoint halves of
-// an array, and the join validates and commits the speculative half —
-// exactly the fork/join/barrier pattern of the paper's Figure 1.
+// Quickstart: the smallest complete MUTLS program, written against the
+// public mutls API. A runtime is created, mutls.For cuts a loop into
+// chunks speculated by chained forks — the fork/join/barrier pattern of
+// the paper's Figure 1, with all protocol plumbing (ranks arrays, register
+// save/restore, join-and-reexecute) handled by the library — and the
+// statistics summary reports how much of the work committed speculatively.
 package main
 
 import (
 	"fmt"
 	"log"
 
-	"repro/internal/core"
-	"repro/internal/mem"
+	"repro/mutls"
 )
 
 func main() {
-	rt, err := core.NewRuntime(core.Options{NumCPUs: 2, CollectStats: true})
+	rt, err := mutls.New(mutls.Options{CPUs: 2, CollectStats: true})
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer rt.Close()
 
 	const n = 1 << 16
-	tn := rt.Run(func(t *core.Thread) {
+	const chunks = 2
+	var sum int64
+	tn := rt.Run(func(t *mutls.Thread) {
 		arr := t.Alloc(8 * n)
 
-		// __builtin_MUTLS_fork(0, mixed): claim a CPU for the second half.
-		ranks := []core.Rank{0}
-		if h := t.Fork(ranks, 0, core.Mixed); h != nil {
-			h.SetRegvarAddr(0, arr) // proxy: save the live-ins
-			h.Start(func(c *core.Thread) uint32 {
-				p := c.GetRegvarAddr(0) // stub: restore the live-ins
-				sum := int64(0)
-				for i := n / 2; i < n; i++ {
-					c.StoreInt64(p+mem.Addr(8*i), int64(i)*3)
-					sum += int64(i) * 3
-				}
-				c.SaveRegvarInt64(1, sum) // live-out for the joiner
-				return 0                  // ran to the region's barrier
-			})
-		}
-
-		// S1: the parent's own half, concurrently with the speculation.
-		sum := int64(0)
-		for i := 0; i < n/2; i++ {
-			t.StoreInt64(arr+mem.Addr(8*i), int64(i)*3)
-			sum += int64(i) * 3
-		}
-
-		// __builtin_MUTLS_join(0): validate and commit the speculation.
-		res := t.Join(ranks, 0)
-		switch res.Status {
-		case core.JoinCommitted:
-			sum += res.RegvarInt64(1)
-		default:
-			// Not forked or rolled back: do the second half ourselves.
-			for i := n / 2; i < n; i++ {
-				t.StoreInt64(arr+mem.Addr(8*i), int64(i)*3)
-				sum += int64(i) * 3
+		// Each chunk fills its half of the array; chunk 1 runs as a
+		// speculative thread while the non-speculative thread works on
+		// chunk 0, and the join validates and commits it.
+		mutls.For(t, chunks, mutls.ForOptions{Model: mutls.Mixed}, func(c *mutls.Thread, idx int) {
+			per := n / chunks
+			for i := idx * per; i < (idx+1)*per; i++ {
+				c.StoreInt64(arr+mutls.Addr(8*i), int64(i)*3)
 			}
+		})
+
+		// Back on the non-speculative thread: every committed store is in
+		// main memory now.
+		sum = 0
+		for i := 0; i < n; i++ {
+			sum += t.LoadInt64(arr + mutls.Addr(8*i))
 		}
-		fmt.Printf("sum = %d (expect %d)\n", sum, int64(3*(n-1)*n/2))
 	})
 
+	fmt.Printf("sum = %d (expect %d)\n", sum, int64(3*(n-1)*n/2))
 	s := rt.Stats()
 	fmt.Printf("virtual runtime %d units, %d committed / %d rolled back speculations\n",
 		tn, s.Commits, s.Rollbacks)

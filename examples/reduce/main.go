@@ -1,18 +1,17 @@
-// Advanced runtime features on a chunked reduction: live-variable value
-// prediction (the accumulator is predicted at each fork and validated with
-// MUTLS_validate_local at the join, §IV-G4 plus the §VI future-work
-// predictor), check-point early stops with resume-at-counter, and the
-// adaptive fork heuristic.
+// Speculative reduction through mutls.Reduce: the accumulator is live
+// across chunk boundaries, so the continuation is forked out-of-order with
+// a value-predicted accumulator (§IV-G4 plus the §VI future-work predictor)
+// that the join validates with MUTLS_validate_local — a misprediction rolls
+// the speculation back and the chunk re-executes inline. With a constant
+// per-chunk increment the stride predictor locks on after two chunks and
+// most speculations commit.
 package main
 
 import (
 	"fmt"
 	"log"
 
-	"repro/internal/core"
-	"repro/internal/mem"
-	"repro/internal/predict"
-	"repro/internal/vclock"
+	"repro/mutls"
 )
 
 const (
@@ -22,9 +21,8 @@ const (
 )
 
 func main() {
-	rt, err := core.NewRuntime(core.Options{
-		NumCPUs:               4,
-		Timing:                vclock.Virtual,
+	rt, err := mutls.New(mutls.Options{
+		CPUs:                  4,
 		CollectStats:          true,
 		AdaptiveForkHeuristic: true,
 	})
@@ -33,74 +31,25 @@ func main() {
 	}
 	defer rt.Close()
 
-	pred := predict.New(predict.Stride)
-
 	var total int64
-	rt.Run(func(t *core.Thread) {
+	rt.Run(func(t *mutls.Thread) {
 		arr := t.Alloc(8 * n)
 		for i := 0; i < n; i++ {
-			t.StoreInt64(arr+mem.Addr(8*i), 7) // constant stride: predictable
+			t.StoreInt64(arr+mutls.Addr(8*i), 7) // constant stride: predictable
 		}
 
-		// Out-of-order speculation on the *continuation*: the region
-		// carries the running total across the chunk boundary, so the
-		// accumulator must be predicted at fork time.
-		sum := int64(0)
-		for idx := 0; idx < chunks; idx++ {
-			ranks := []core.Rank{0}
-			var predicted int64
-			h := t.Fork(ranks, 0, core.OutOfOrder)
-			if h != nil {
-				// Predict the accumulator's value at the join point.
-				raw, _ := pred.Predict(0, 0)
-				predicted = int64(raw)
-				h.SetRegvarInt64(0, predicted)
-				h.SetRegvarInt64(1, int64(idx+1))
-				h.Start(func(c *core.Thread) uint32 {
-					acc := c.GetRegvarInt64(0)
-					next := int(c.GetRegvarInt64(1))
-					if next < chunks {
-						for i := next * per; i < (next+1)*per; i++ {
-							if c.CheckPoint() {
-								// Early join: save progress and stop.
-								c.SaveRegvarInt64(2, acc)
-								c.SaveRegvarInt64(3, int64(i))
-								return 1
-							}
-							acc += c.LoadInt64(arr + mem.Addr(8*i))
-						}
-					}
-					c.SaveRegvarInt64(2, acc)
-					c.SaveRegvarInt64(3, int64((next+1)*per))
-					return 0
-				})
-			}
-			for i := idx * per; i < (idx+1)*per; i++ {
-				sum += t.LoadInt64(arr + mem.Addr(8*i))
-			}
-			if h == nil {
-				continue
-			}
-			// MUTLS_validate_local: was the prediction right?
-			pred.Observe(0, 0, uint64(sum))
-			t.ValidateRegvarInt64(ranks, 0, 0, sum)
-			res := t.Join(ranks, 0)
-			if res.Committed() {
-				sum = res.RegvarInt64(2)
-				// Synchronization table: resume where the region stopped.
-				for i := int(res.RegvarInt64(3)); i < (idx+2)*per && i < n; i++ {
-					sum += t.LoadInt64(arr + mem.Addr(8*i))
+		total = mutls.Reduce(t, chunks, 0,
+			mutls.ReduceOptions{Predictor: mutls.Stride},
+			func(c *mutls.Thread, idx int, acc int64) int64 {
+				for i := idx * per; i < (idx+1)*per; i++ {
+					acc += c.LoadInt64(arr + mutls.Addr(8*i))
 				}
-				idx++ // the region consumed the next chunk
-			}
-		}
-		total = sum
+				return acc
+			})
 	})
 
 	s := rt.Stats()
-	hits, misses, cold := pred.Stats()
 	fmt.Printf("total = %d (expect %d)\n", total, int64(7*n))
-	fmt.Printf("predictor: %d hits, %d misses, %d cold; accuracy %.2f\n", hits, misses, cold, pred.Accuracy())
 	fmt.Printf("speculations: %d committed, %d rolled back (locals mispredictions roll back)\n",
 		s.Commits, s.Rollbacks)
 }

@@ -4,20 +4,16 @@
 // (depth-first search). Every workload exists in two forms, exactly like
 // the paper's non-speculative/speculative function pairs: a sequential
 // version that runs on the non-speculative thread alone, and a TLS version
-// written in the transformed shape of Figure 2 against the core runtime.
-// Both return a checksum so the harness can verify that speculation
-// preserved sequential semantics.
+// written against the public mutls API (For for the loop benchmarks, Tree
+// for the recursive ones). Both return a checksum so the harness can verify
+// that speculation preserved sequential semantics.
 package bench
 
 import (
 	"fmt"
 
-	"repro/internal/core"
-	"repro/internal/gbuf"
-	"repro/internal/lbuf"
-	"repro/internal/mem"
 	"repro/internal/stats"
-	"repro/internal/vclock"
+	"repro/mutls"
 )
 
 // Size parameterizes a workload run. The meaning of the fields is
@@ -39,7 +35,7 @@ type Workload struct {
 
 	// DefaultModel is the forking model the paper uses for the benchmark
 	// (in-order for the loop benchmarks, mixed for tree-form recursion).
-	DefaultModel core.Model
+	DefaultModel mutls.Model
 
 	// CISize finishes in well under a second; PaperSize matches Table II.
 	CISize    Size
@@ -49,9 +45,9 @@ type Workload struct {
 	HeapBytes func(Size) int
 
 	// Seq runs the benchmark without speculation and returns a checksum.
-	Seq func(t *core.Thread, s Size) uint64
+	Seq func(t *mutls.Thread, s Size) uint64
 	// Spec runs the TLS version under the given forking model.
-	Spec func(t *core.Thread, s Size, model core.Model) uint64
+	Spec func(t *mutls.Thread, s Size, model mutls.Model) uint64
 }
 
 // All lists the benchmarks in Table II order.
@@ -73,33 +69,33 @@ func ComputationIntensive() []*Workload { return []*Workload{X3P1, Mandelbrot, M
 // MemoryIntensive returns the Figure 4 benchmark set.
 func MemoryIntensive() []*Workload { return []*Workload{FFT, MatMult, NQueen, TSP, BH} }
 
-// RunConfig bundles everything needed to execute a workload run.
+// RunConfig bundles everything needed to execute a workload run,
+// expressed in public mutls types.
 type RunConfig struct {
 	CPUs         int
 	Size         Size
-	Model        core.Model
-	Timing       vclock.Mode
-	Cost         vclock.CostModel
+	Model        mutls.Model
+	Timing       mutls.TimingMode
+	Cost         mutls.CostModel
 	RollbackProb float64
 	Seed         uint64
 	Heuristic    bool
 }
 
-// options builds the core runtime options for a workload.
-func (cfg RunConfig) options(w *Workload) core.Options {
-	heap := w.HeapBytes(cfg.Size)
-	return core.Options{
-		NumCPUs:      cfg.CPUs,
-		Timing:       cfg.Timing,
-		Cost:         cfg.Cost,
-		CollectStats: true,
-		Space: mem.SpaceConfig{
-			StaticBytes: 1 << 16,
-			HeapBytes:   heap,
-			StackBytes:  1 << 16,
-		},
-		GBuf:                  gbuf.Config{LogWords: 16, OverflowCap: 256},
-		LBuf:                  lbuf.Config{RegSlots: 160, StackSlots: 32},
+// options builds the mutls runtime options for a workload.
+func (cfg RunConfig) options(w *Workload) mutls.Options {
+	return mutls.Options{
+		CPUs:                  cfg.CPUs,
+		Timing:                cfg.Timing,
+		Cost:                  cfg.Cost,
+		CollectStats:          true,
+		StaticBytes:           1 << 16,
+		HeapBytes:             w.HeapBytes(cfg.Size),
+		StackBytes:            1 << 16,
+		GBufLogWords:          16,
+		GBufOverflowCap:       256,
+		RegSlots:              160,
+		StackSlots:            32,
 		RollbackProb:          cfg.RollbackProb,
 		Seed:                  cfg.Seed,
 		AdaptiveForkHeuristic: cfg.Heuristic,
@@ -108,7 +104,7 @@ func (cfg RunConfig) options(w *Workload) core.Options {
 
 // Measurement is the result of one run.
 type Measurement struct {
-	Runtime  vclock.Cost
+	Runtime  mutls.Cost
 	Checksum uint64
 	Summary  *stats.Summary
 }
@@ -118,27 +114,27 @@ type Measurement struct {
 func MeasureSeq(w *Workload, cfg RunConfig) (Measurement, error) {
 	c := cfg
 	c.CPUs = 1
-	rt, err := core.NewRuntime(c.options(w))
+	rt, err := mutls.New(c.options(w))
 	if err != nil {
 		return Measurement{}, err
 	}
 	defer rt.Close()
 	var sum uint64
-	ts := rt.Run(func(t *core.Thread) { sum = w.Seq(t, cfg.Size) })
+	ts := rt.Run(func(t *mutls.Thread) { sum = w.Seq(t, cfg.Size) })
 	return Measurement{Runtime: ts, Checksum: sum, Summary: rt.Stats()}, nil
 }
 
 // MeasureSpec runs the TLS version and returns the paper's TN plus the
 // statistics summary for the efficiency figures.
 func MeasureSpec(w *Workload, cfg RunConfig) (Measurement, error) {
-	rt, err := core.NewRuntime(cfg.options(w))
+	rt, err := mutls.New(cfg.options(w))
 	if err != nil {
 		return Measurement{}, err
 	}
 	defer rt.Close()
 	model := cfg.Model
 	var sum uint64
-	tn := rt.Run(func(t *core.Thread) { sum = w.Spec(t, cfg.Size, model) })
+	tn := rt.Run(func(t *mutls.Thread) { sum = w.Spec(t, cfg.Size, model) })
 	return Measurement{Runtime: tn, Checksum: sum, Summary: rt.Stats()}, nil
 }
 

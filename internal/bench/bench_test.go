@@ -3,8 +3,7 @@ package bench
 import (
 	"testing"
 
-	"repro/internal/core"
-	"repro/internal/vclock"
+	"repro/mutls"
 )
 
 func ciConfig(w *Workload, cpus int) RunConfig {
@@ -12,8 +11,8 @@ func ciConfig(w *Workload, cpus int) RunConfig {
 		CPUs:   cpus,
 		Size:   w.CISize,
 		Model:  w.DefaultModel,
-		Timing: vclock.Virtual,
-		Cost:   vclock.DefaultCostModel(),
+		Timing: mutls.Virtual,
+		Cost:   mutls.DefaultCostModel(),
 	}
 }
 
@@ -53,7 +52,7 @@ func TestWorkloadsAcrossModels(t *testing.T) {
 		w := w
 		t.Run(w.Name, func(t *testing.T) {
 			t.Parallel()
-			for _, m := range []core.Model{core.InOrder, core.OutOfOrder, core.Mixed, core.MixedLinear} {
+			for _, m := range []mutls.Model{mutls.InOrder, mutls.OutOfOrder, mutls.Mixed, mutls.MixedLinear} {
 				cfg := ciConfig(w, 4)
 				cfg.Model = m
 				if err := Verify(w, cfg); err != nil {
@@ -89,7 +88,7 @@ func TestWorkloadsRealTiming(t *testing.T) {
 		t.Run(w.Name, func(t *testing.T) {
 			t.Parallel()
 			cfg := ciConfig(w, 2)
-			cfg.Timing = vclock.Real
+			cfg.Timing = mutls.Real
 			if err := Verify(w, cfg); err != nil {
 				t.Fatal(err)
 			}

@@ -4,8 +4,8 @@ import (
 	"fmt"
 	"math"
 
-	"repro/internal/core"
 	"repro/internal/mem"
+	"repro/mutls"
 )
 
 // BH is the paper's Barnes-Hut N-body simulation (Table II: 12800 bodies,
@@ -23,7 +23,7 @@ var BH = &Workload{
 	AmountOfData: func(s Size) string {
 		return fmt.Sprintf("%d bodies", s.N)
 	},
-	DefaultModel: core.InOrder,
+	DefaultModel: mutls.InOrder,
 	CISize:       Size{N: 96, Steps: 2},
 	PaperSize:    Size{N: 12_800, Steps: 4},
 	HeapBytes: func(s Size) int {
@@ -59,7 +59,7 @@ type bhState struct {
 	nodes           []mem.Addr
 }
 
-func bhInit(t *core.Thread, s Size) *bhState {
+func bhInit(t *mutls.Thread, s Size) *bhState {
 	n := s.N
 	st := &bhState{
 		pos:   t.Alloc(8 * 3 * n),
@@ -83,7 +83,7 @@ func bhInit(t *core.Thread, s Size) *bhState {
 	return st
 }
 
-func (st *bhState) freeAll(t *core.Thread) {
+func (st *bhState) freeAll(t *mutls.Thread) {
 	st.freeTree(t)
 	t.Free(st.pos)
 	t.Free(st.vel)
@@ -92,7 +92,7 @@ func (st *bhState) freeAll(t *core.Thread) {
 	t.Free(st.meta)
 }
 
-func (st *bhState) freeTree(t *core.Thread) {
+func (st *bhState) freeTree(t *mutls.Thread) {
 	for _, p := range st.nodes {
 		t.Free(p)
 	}
@@ -100,7 +100,7 @@ func (st *bhState) freeTree(t *core.Thread) {
 	t.StoreAddr(st.meta, mem.NilAddr)
 }
 
-func (st *bhState) newNode(t *core.Thread, cx, cy, cz float64) mem.Addr {
+func (st *bhState) newNode(t *mutls.Thread, cx, cy, cz float64) mem.Addr {
 	p := t.Alloc(bhNode)
 	st.nodes = append(st.nodes, p)
 	t.StoreFloat64(p+bhMass, 0)
@@ -115,7 +115,7 @@ func (st *bhState) newNode(t *core.Thread, cx, cy, cz float64) mem.Addr {
 }
 
 // buildTree (non-speculative): bounding cube, then insert every body.
-func (st *bhState) buildTree(t *core.Thread) {
+func (st *bhState) buildTree(t *mutls.Thread) {
 	st.freeTree(t)
 	lo, hi := math.Inf(1), math.Inf(-1)
 	for i := 0; i < 3*st.n; i++ {
@@ -134,13 +134,13 @@ func (st *bhState) buildTree(t *core.Thread) {
 	t.StoreFloat64(st.meta+8, half)
 }
 
-func (st *bhState) bodyPos(t *core.Thread, i int) (float64, float64, float64) {
+func (st *bhState) bodyPos(t *mutls.Thread, i int) (float64, float64, float64) {
 	return t.LoadFloat64(st.pos + mem.Addr(8*(3*i))),
 		t.LoadFloat64(st.pos + mem.Addr(8*(3*i+1))),
 		t.LoadFloat64(st.pos + mem.Addr(8*(3*i+2)))
 }
 
-func (st *bhState) octant(t *core.Thread, node mem.Addr, x, y, z float64) int {
+func (st *bhState) octant(t *mutls.Thread, node mem.Addr, x, y, z float64) int {
 	o := 0
 	if x >= t.LoadFloat64(node+bhCX) {
 		o |= 1
@@ -154,7 +154,7 @@ func (st *bhState) octant(t *core.Thread, node mem.Addr, x, y, z float64) int {
 	return o
 }
 
-func (st *bhState) childCenter(t *core.Thread, node mem.Addr, half float64, o int) (float64, float64, float64) {
+func (st *bhState) childCenter(t *mutls.Thread, node mem.Addr, half float64, o int) (float64, float64, float64) {
 	dx, dy, dz := -half/2, -half/2, -half/2
 	if o&1 != 0 {
 		dx = half / 2
@@ -168,7 +168,7 @@ func (st *bhState) childCenter(t *core.Thread, node mem.Addr, half float64, o in
 	return t.LoadFloat64(node+bhCX) + dx, t.LoadFloat64(node+bhCY) + dy, t.LoadFloat64(node+bhCZ) + dz
 }
 
-func (st *bhState) insert(t *core.Thread, node mem.Addr, half float64, i int) {
+func (st *bhState) insert(t *mutls.Thread, node mem.Addr, half float64, i int) {
 	x, y, z := st.bodyPos(t, i)
 	for {
 		if b := t.LoadInt64(node + bhBody); b >= 0 {
@@ -191,7 +191,7 @@ func (st *bhState) insert(t *core.Thread, node mem.Addr, half float64, i int) {
 	}
 }
 
-func (st *bhState) pushDown(t *core.Thread, node mem.Addr, half float64, b int) {
+func (st *bhState) pushDown(t *mutls.Thread, node mem.Addr, half float64, b int) {
 	x, y, z := st.bodyPos(t, b)
 	o := st.octant(t, node, x, y, z)
 	childPtr := node + bhChild + mem.Addr(8*o)
@@ -207,7 +207,7 @@ func (st *bhState) pushDown(t *core.Thread, node mem.Addr, half float64, b int) 
 }
 
 // summarize computes mass and center of mass bottom-up.
-func (st *bhState) summarize(t *core.Thread, node mem.Addr) (float64, float64, float64, float64) {
+func (st *bhState) summarize(t *mutls.Thread, node mem.Addr) (float64, float64, float64, float64) {
 	if b := t.LoadInt64(node + bhBody); b >= 0 {
 		m := t.LoadFloat64(st.mass + mem.Addr(8*b))
 		x, y, z := st.bodyPos(t, int(b))
@@ -245,7 +245,7 @@ func (st *bhState) summarize(t *core.Thread, node mem.Addr) (float64, float64, f
 // criterion half/dist < theta. The visit budget bounds traversals over a
 // torn tree snapshot (a squashed thread racing a rebuild): exceeding it
 // means the snapshot is garbage and the thread rolls back.
-func (st *bhState) bhForce(c *core.Thread, i int) (float64, float64, float64) {
+func (st *bhState) bhForce(c *mutls.Thread, i int) (float64, float64, float64) {
 	const theta = 0.5
 	const eps = 1e-4
 	budget := 64 * (st.n + 8)
@@ -298,7 +298,7 @@ func (st *bhState) bhForce(c *core.Thread, i int) (float64, float64, float64) {
 	return fx, fy, fz
 }
 
-func (st *bhState) forces(c *core.Thread, lo, hi int) {
+func (st *bhState) forces(c *mutls.Thread, lo, hi int) {
 	for i := lo; i < hi; i++ {
 		fx, fy, fz := st.bhForce(c, i)
 		c.StoreFloat64(st.force+mem.Addr(8*(3*i)), fx)
@@ -307,7 +307,7 @@ func (st *bhState) forces(c *core.Thread, lo, hi int) {
 	}
 }
 
-func (st *bhState) integrate(c *core.Thread, lo, hi int) {
+func (st *bhState) integrate(c *mutls.Thread, lo, hi int) {
 	const dt = 1e-4
 	for i := lo; i < hi; i++ {
 		for d := 0; d < 3; d++ {
@@ -320,29 +320,10 @@ func (st *bhState) integrate(c *core.Thread, lo, hi int) {
 	}
 }
 
-func bhChunks(s Size) int {
-	chunks := s.N / 8
-	if chunks > 64 {
-		chunks = 64
-	}
-	if chunks < 1 {
-		chunks = 1
-	}
-	return chunks
-}
+// bhPolicy: at least 8 bodies per chunk, at most the paper's 64 chunks.
+var bhPolicy = mutls.ChunkPolicy{MaxChunks: 64, MinPerChunk: 8}
 
-func bhBounds(s Size, idx int) (int, int) {
-	chunks := bhChunks(s)
-	per := s.N / chunks
-	lo := idx * per
-	hi := lo + per
-	if idx == chunks-1 {
-		hi = s.N
-	}
-	return lo, hi
-}
-
-func bhChecksum(t *core.Thread, st *bhState) uint64 {
+func bhChecksum(t *mutls.Thread, st *bhState) uint64 {
 	sum := uint64(0)
 	for i := 0; i < 3*st.n; i++ {
 		sum = mix(sum, math.Float64bits(t.LoadFloat64(st.pos+mem.Addr(8*i))))
@@ -350,7 +331,7 @@ func bhChecksum(t *core.Thread, st *bhState) uint64 {
 	return sum
 }
 
-func bhSeq(t *core.Thread, s Size) uint64 {
+func bhSeq(t *mutls.Thread, s Size) uint64 {
 	st := bhInit(t, s)
 	defer st.freeAll(t)
 	for step := 0; step < s.Steps; step++ {
@@ -361,13 +342,13 @@ func bhSeq(t *core.Thread, s Size) uint64 {
 	return bhChecksum(t, st)
 }
 
-func bhSpec(t *core.Thread, s Size, model core.Model) uint64 {
+func bhSpec(t *mutls.Thread, s Size, model mutls.Model) uint64 {
 	st := bhInit(t, s)
 	defer st.freeAll(t)
+	opts := mutls.ForOptions{Model: model, Policy: bhPolicy}
 	for step := 0; step < s.Steps; step++ {
 		st.buildTree(t) // allocation-heavy: non-speculative by rule
-		ChunkLoop(t, bhChunks(s), model, func(c *core.Thread, idx int) {
-			lo, hi := bhBounds(s, idx)
+		mutls.ForRange(t, st.n, opts, func(c *mutls.Thread, lo, hi int) {
 			st.forces(c, lo, hi)
 		})
 		st.integrate(t, 0, st.n) // O(N): not worth a fork

@@ -4,8 +4,8 @@ import (
 	"fmt"
 	"math"
 
-	"repro/internal/core"
 	"repro/internal/mem"
+	"repro/mutls"
 )
 
 // FFT is the paper's recursive Fast Fourier Transform (Table II: 2^20
@@ -26,7 +26,7 @@ var FFT = &Workload{
 	AmountOfData: func(s Size) string {
 		return fmt.Sprintf("2^%d doubles", log2(s.N))
 	},
-	DefaultModel: core.Mixed,
+	DefaultModel: mutls.Mixed,
 	CISize:       Size{N: 1 << 13},
 	PaperSize:    Size{N: 1 << 20},
 	HeapBytes: func(s Size) int {
@@ -51,7 +51,7 @@ type fftCtx struct {
 	n      int
 }
 
-func fftInit(t *core.Thread, s Size) fftCtx {
+func fftInit(t *mutls.Thread, s Size) fftCtx {
 	n := s.N
 	ctx := fftCtx{re: t.Alloc(8 * n), im: t.Alloc(8 * n), n: n}
 	for i := 0; i < n; i++ {
@@ -60,23 +60,23 @@ func fftInit(t *core.Thread, s Size) fftCtx {
 	return ctx
 }
 
-func (ctx fftCtx) free(t *core.Thread) {
+func (ctx fftCtx) free(t *mutls.Thread) {
 	t.Free(ctx.re)
 	t.Free(ctx.im)
 }
 
-func (ctx fftCtx) load(c *core.Thread, i int) (float64, float64) {
+func (ctx fftCtx) load(c *mutls.Thread, i int) (float64, float64) {
 	return c.LoadFloat64(ctx.re + mem.Addr(8*i)), c.LoadFloat64(ctx.im + mem.Addr(8*i))
 }
 
-func (ctx fftCtx) store(c *core.Thread, i int, re, im float64) {
+func (ctx fftCtx) store(c *mutls.Thread, i int, re, im float64) {
 	c.StoreFloat64(ctx.re+mem.Addr(8*i), re)
 	c.StoreFloat64(ctx.im+mem.Addr(8*i), im)
 }
 
 // bitReverse permutes the input so the contiguous-halves recursion computes
 // a decimation-in-time FFT.
-func fftBitReverse(t *core.Thread, ctx fftCtx) {
+func fftBitReverse(t *mutls.Thread, ctx fftCtx) {
 	n := ctx.n
 	for i, j := 0, 0; i < n; i++ {
 		if i < j {
@@ -96,7 +96,7 @@ func fftBitReverse(t *core.Thread, ctx fftCtx) {
 
 // fftCombine merges two transformed halves of [start, start+length) with
 // twiddle-factor butterflies.
-func fftCombine(c *core.Thread, ctx fftCtx, start, length int) {
+func fftCombine(c *mutls.Thread, ctx fftCtx, start, length int) {
 	half := length / 2
 	for j := 0; j < half; j++ {
 		ang := -2 * math.Pi * float64(j) / float64(length)
@@ -113,7 +113,7 @@ func fftCombine(c *core.Thread, ctx fftCtx, start, length int) {
 
 // fftBlock runs the full iterative transform of [lo, lo+m) (input already
 // bit-reversed).
-func fftBlock(c *core.Thread, ctx fftCtx, lo, m int) {
+func fftBlock(c *mutls.Thread, ctx fftCtx, lo, m int) {
 	for length := 2; length <= m; length <<= 1 {
 		for start := lo; start < lo+m; start += length {
 			fftCombine(c, ctx, start, length)
@@ -132,7 +132,7 @@ func fftMaxDepth(n int) int {
 	return d
 }
 
-func fftSeq(t *core.Thread, s Size) uint64 {
+func fftSeq(t *mutls.Thread, s Size) uint64 {
 	ctx := fftInit(t, s)
 	defer ctx.free(t)
 	fftBitReverse(t, ctx)
@@ -140,95 +140,84 @@ func fftSeq(t *core.Thread, s Size) uint64 {
 	return fftChecksum(t, ctx)
 }
 
-func fftSpec(t *core.Thread, s Size, model core.Model) uint64 {
+func fftSpec(t *mutls.Thread, s Size, model mutls.Model) uint64 {
 	ctx := fftInit(t, s)
 	defer ctx.free(t)
 	fftBitReverse(t, ctx)
 	maxDepth := fftMaxDepth(ctx.n)
 
-	var region core.RegionFunc
-	var node func(c *core.Thread, lo, m, depth int, spawns *[]Spawn)
-	node = func(c *core.Thread, lo, m, depth int, spawns *[]Spawn) {
+	// A task describes one internal node of the recursion: Args = lo, the
+	// right-half start, the node's length m, and the node's depth. The
+	// spawned region transforms the right half [lo+m/2, lo+m); the left
+	// half runs on the spawning thread.
+	tree := &mutls.Tree{Model: model}
+	var node func(c *mutls.Thread, tt *mutls.TreeThread, lo, m, depth int)
+	node = func(c *mutls.Thread, tt *mutls.TreeThread, lo, m, depth int) {
 		if depth >= maxDepth || m <= fftMinBlock {
 			fftBlock(c, ctx, lo, m)
 			return
 		}
 		half := m / 2
-		ranks := []core.Rank{0}
-		h := c.Fork(ranks, 0, model)
-		if h != nil {
-			h.SetRegvarInt64(0, int64(lo+half))
-			h.SetRegvarInt64(1, int64(half))
-			h.SetRegvarInt64(2, int64(depth+1))
-			h.Start(region)
+		task := mutls.Task{
+			Seq:  int64(lo + half),
+			Args: [4]int64{int64(lo), int64(lo + half), int64(m), int64(depth)},
 		}
-		nBefore := len(*spawns)
-		node(c, lo, half, depth+1, spawns)
-		entry := Spawn{
-			Seq: int64(lo + half),
-			P:   [4]int64{int64(lo), int64(lo + half), int64(m), int64(depth)},
-		}
-		if h != nil {
+		spawned := tt.Spawn(c, task)
+		nBefore := tt.Pending()
+		node(c, tt, lo, half, depth+1)
+		if spawned {
 			// The combine needs the speculative half: deferred to the
 			// non-speculative driver after the subtree's joins.
-			entry.Rank = ranks[0]
-			*spawns = append(*spawns, entry)
 			return
 		}
 		// No CPU: transform the right half sequentially here.
 		fftBlock(c, ctx, lo+half, half)
-		if len(*spawns) == nBefore {
+		if tt.Pending() == nBefore {
 			// Both halves are complete locally: combine now.
 			fftCombine(c, ctx, lo, m)
 			return
 		}
 		// The left half deferred combines: this node's combine must run
-		// after them. Rank 0 marks a combine-only entry for the driver.
-		*spawns = append(*spawns, entry)
+		// after them. A rank-0 entry marks a combine-only task.
+		tt.Defer(c, task)
 	}
-	region = func(c *core.Thread) uint32 {
-		lo := int(c.GetRegvarInt64(0))
-		m := int(c.GetRegvarInt64(1))
-		depth := int(c.GetRegvarInt64(2))
-		var spawns []Spawn
-		node(c, lo, m, depth, &spawns)
-		return FinishRegion(c, spawns)
+	tree.Body = func(c *mutls.Thread, tt *mutls.TreeThread, task mutls.Task) {
+		node(c, tt, int(task.Args[1]), int(task.Args[2])/2, int(task.Args[3])+1)
 	}
 
 	// The driver completes subtrees in sequential order, running each
 	// node's combine once its right half has joined (reverse in-order
-	// traversal = sequential order, §IV-F).
-	var complete func(sp Spawn)
-	complete = func(sp Spawn) {
-		if sp.Rank == 0 {
+	// traversal = sequential order, §IV-F). fft interleaves driver-side
+	// combines with the joins, so it completes the tree with Tree.Join
+	// directly instead of Tree.Drive.
+	var complete func(task mutls.Task)
+	complete = func(task mutls.Task) {
+		if task.Rank == 0 {
 			return // combine-only entry: nothing to join
 		}
-		rk := []core.Rank{sp.Rank}
-		res := t.Join(rk, 0)
-		if res.Committed() {
-			children := ReadSpawns(res)
-			sortSpawns(children)
-			for _, ch := range children {
+		sub, _, committed := tree.Join(t, task)
+		if committed {
+			for _, ch := range sub {
 				complete(ch)
-				fftCombine(t, ctx, int(ch.P[0]), int(ch.P[2]))
+				fftCombine(t, ctx, int(ch.Args[0]), int(ch.Args[2]))
 			}
 			return
 		}
 		// Rolled back: redo the right half sequentially.
-		fftBlock(t, ctx, int(sp.P[1]), int(sp.P[2])/2)
+		fftBlock(t, ctx, int(task.Args[1]), int(task.Args[2])/2)
 	}
 
-	var spawns []Spawn
-	node(t, 0, ctx.n, 0, &spawns)
-	sortSpawns(spawns)
-	for _, sp := range spawns {
-		complete(sp)
-		fftCombine(t, ctx, int(sp.P[0]), int(sp.P[2]))
+	roots := tree.Collect(t, func(tt *mutls.TreeThread) {
+		node(t, tt, 0, ctx.n, 0)
+	})
+	for _, task := range roots {
+		complete(task)
+		fftCombine(t, ctx, int(task.Args[0]), int(task.Args[2]))
 	}
 	return fftChecksum(t, ctx)
 }
 
-func fftChecksum(t *core.Thread, ctx fftCtx) uint64 {
+func fftChecksum(t *mutls.Thread, ctx fftCtx) uint64 {
 	sum := uint64(0)
 	for i := 0; i < ctx.n; i++ {
 		re, im := ctx.load(t, i)

@@ -3,8 +3,8 @@ package bench
 import (
 	"fmt"
 
-	"repro/internal/core"
 	"repro/internal/mem"
+	"repro/mutls"
 )
 
 // Mandelbrot is the paper's fractal generation benchmark: an N×N image with
@@ -21,7 +21,7 @@ var Mandelbrot = &Workload{
 	AmountOfData: func(s Size) string {
 		return fmt.Sprintf("%dx%d image, maximum %d iterations", s.N, s.N, s.M)
 	},
-	DefaultModel: core.InOrder,
+	DefaultModel: mutls.InOrder,
 	CISize:       Size{N: 32, M: 300},
 	PaperSize:    Size{N: 512, M: 80_000},
 	HeapBytes: func(s Size) int {
@@ -31,10 +31,11 @@ var Mandelbrot = &Workload{
 	Spec: mandelSpec,
 }
 
-const mandelChunks = 64
+// mandelPolicy is the paper's fixed 64-way split, reduced for tiny images.
+var mandelPolicy = mutls.ChunkPolicy{MaxChunks: 64}
 
 // mandelPixel iterates z = z² + c until escape, charging the work.
-func mandelPixel(c *core.Thread, cr, ci float64, maxIter int) int64 {
+func mandelPixel(c *mutls.Thread, cr, ci float64, maxIter int) int64 {
 	zr, zi := 0.0, 0.0
 	it := int64(0)
 	for it < int64(maxIter) && zr*zr+zi*zi <= 4.0 {
@@ -47,7 +48,7 @@ func mandelPixel(c *core.Thread, cr, ci float64, maxIter int) int64 {
 
 // mandelRows renders rows y ≡ idx (mod chunks) of the image — strided so
 // the in-set and out-of-set regions spread evenly over the chunks.
-func mandelRows(c *core.Thread, img mem.Addr, s Size, idx, chunks int) {
+func mandelRows(c *mutls.Thread, img mem.Addr, s Size, idx, chunks int) {
 	n := s.N
 	for y := idx; y < n; y += chunks {
 		ci := -1.25 + 2.5*float64(y)/float64(n)
@@ -59,34 +60,27 @@ func mandelRows(c *core.Thread, img mem.Addr, s Size, idx, chunks int) {
 	}
 }
 
-func mandelChunkCount(s Size) int {
-	if s.N < mandelChunks {
-		return s.N
-	}
-	return mandelChunks
-}
-
-func mandelSeq(t *core.Thread, s Size) uint64 {
+func mandelSeq(t *mutls.Thread, s Size) uint64 {
 	img := t.Alloc(8 * s.N * s.N)
 	defer t.Free(img)
-	chunks := mandelChunkCount(s)
+	chunks := mandelPolicy.Chunks(s.N)
 	for idx := 0; idx < chunks; idx++ {
 		mandelRows(t, img, s, idx, chunks)
 	}
 	return mandelChecksum(t, img, s)
 }
 
-func mandelSpec(t *core.Thread, s Size, model core.Model) uint64 {
+func mandelSpec(t *mutls.Thread, s Size, model mutls.Model) uint64 {
 	img := t.Alloc(8 * s.N * s.N)
 	defer t.Free(img)
-	chunks := mandelChunkCount(s)
-	ChunkLoop(t, chunks, model, func(c *core.Thread, idx int) {
+	chunks := mandelPolicy.Chunks(s.N)
+	mutls.For(t, chunks, mutls.ForOptions{Model: model}, func(c *mutls.Thread, idx int) {
 		mandelRows(c, img, s, idx, chunks)
 	})
 	return mandelChecksum(t, img, s)
 }
 
-func mandelChecksum(t *core.Thread, img mem.Addr, s Size) uint64 {
+func mandelChecksum(t *mutls.Thread, img mem.Addr, s Size) uint64 {
 	sum := uint64(0)
 	for i := 0; i < s.N*s.N; i++ {
 		sum = mix(sum, uint64(t.LoadInt64(img+mem.Addr(8*i))))

@@ -3,8 +3,8 @@ package bench
 import (
 	"fmt"
 
-	"repro/internal/core"
 	"repro/internal/mem"
+	"repro/mutls"
 )
 
 // MatMult is the paper's block-based matrix multiplication (Table II:
@@ -24,7 +24,7 @@ var MatMult = &Workload{
 	AmountOfData: func(s Size) string {
 		return fmt.Sprintf("%dx%d matrices", s.N, s.N)
 	},
-	DefaultModel: core.Mixed,
+	DefaultModel: mutls.Mixed,
 	CISize:       Size{N: 32},
 	PaperSize:    Size{N: 1024},
 	HeapBytes: func(s Size) int {
@@ -41,7 +41,7 @@ type mmCtx struct {
 	n       int
 }
 
-func mmInit(t *core.Thread, s Size) mmCtx {
+func mmInit(t *mutls.Thread, s Size) mmCtx {
 	n := s.N
 	ctx := mmCtx{a: t.Alloc(8 * n * n), b: t.Alloc(8 * n * n), c: t.Alloc(8 * n * n), n: n}
 	for i := 0; i < n*n; i++ {
@@ -52,7 +52,7 @@ func mmInit(t *core.Thread, s Size) mmCtx {
 	return ctx
 }
 
-func (ctx mmCtx) free(t *core.Thread) {
+func (ctx mmCtx) free(t *mutls.Thread) {
 	t.Free(ctx.a)
 	t.Free(ctx.b)
 	t.Free(ctx.c)
@@ -60,7 +60,7 @@ func (ctx mmCtx) free(t *core.Thread) {
 
 // mmBase multiplies sz×sz blocks directly: C[cOff] += A[aOff] · B[bOff],
 // with offsets in elements into the row-major n×n arrays.
-func mmBase(c *core.Thread, ctx mmCtx, cOff, aOff, bOff, sz int) {
+func mmBase(c *mutls.Thread, ctx mmCtx, cOff, aOff, bOff, sz int) {
 	n := ctx.n
 	for i := 0; i < sz; i++ {
 		for j := 0; j < sz; j++ {
@@ -105,7 +105,7 @@ func mmSubs(ctx mmCtx, cOff, aOff, bOff, sz int) [8]mmSub {
 }
 
 // mmSeqNode multiplies recursively without any speculation.
-func mmSeqNode(t *core.Thread, ctx mmCtx, cOff, aOff, bOff, sz int) {
+func mmSeqNode(t *mutls.Thread, ctx mmCtx, cOff, aOff, bOff, sz int) {
 	if sz <= matmultBlock {
 		mmBase(t, ctx, cOff, aOff, bOff, sz)
 		return
@@ -115,88 +115,71 @@ func mmSeqNode(t *core.Thread, ctx mmCtx, cOff, aOff, bOff, sz int) {
 	}
 }
 
-func matmultSeq(t *core.Thread, s Size) uint64 {
+func matmultSeq(t *mutls.Thread, s Size) uint64 {
 	ctx := mmInit(t, s)
 	defer ctx.free(t)
 	mmSeqNode(t, ctx, 0, 0, 0, ctx.n)
 	return mmChecksum(t, ctx)
 }
 
-func matmultSpec(t *core.Thread, s Size, model core.Model) uint64 {
+func matmultSpec(t *mutls.Thread, s Size, model mutls.Model) uint64 {
 	ctx := mmInit(t, s)
 	defer ctx.free(t)
 
 	// Fork depth bounded at two levels (64 leaf tasks, the paper's scale);
-	// failed get_CPU calls degrade to inline execution at low CPU counts.
+	// failed spawns degrade to inline execution at low CPU counts. The
+	// depth of a node follows from its block size: depth = log2(n/sz).
 	maxDepth := 0
 	for (ctx.n>>(maxDepth+1)) >= matmultBlock && maxDepth < 2 {
 		maxDepth++
 	}
+	depthOf := func(sz int) int {
+		d := 0
+		for sz<<d < ctx.n {
+			d++
+		}
+		return d
+	}
 
-	var region core.RegionFunc
-	var node func(c *core.Thread, cOff, aOff, bOff, sz, depth int, seq, span int64, spawns *[]Spawn)
-	node = func(c *core.Thread, cOff, aOff, bOff, sz, depth int, seq, span int64, spawns *[]Spawn) {
-		if depth >= maxDepth || sz <= matmultBlock {
+	tree := &mutls.Tree{Model: model}
+	var node func(c *mutls.Thread, tt *mutls.TreeThread, cOff, aOff, bOff, sz int, seq, span int64)
+	node = func(c *mutls.Thread, tt *mutls.TreeThread, cOff, aOff, bOff, sz int, seq, span int64) {
+		if depthOf(sz) >= maxDepth || sz <= matmultBlock {
 			mmSeqNode(c, ctx, cOff, aOff, bOff, sz)
 			return
 		}
 		subs := mmSubs(ctx, cOff, aOff, bOff, sz)
 		sub := span / 8
-		// Fork sub-products 7..1 in reverse sequential order (later forked
+		// Spawn sub-products 7..1 in reverse sequential order (later forked
 		// = logically earlier, §IV-F), compute sub-product 0 ourselves.
-		ranks := make([]core.Rank, 8)
+		spawned := make([]bool, 8)
 		for i := 7; i >= 1; i-- {
-			h := c.Fork(ranks, i, model)
-			if h == nil {
-				continue
-			}
-			h.SetRegvarInt64(0, int64(subs[i].cOff))
-			h.SetRegvarInt64(1, int64(subs[i].aOff))
-			h.SetRegvarInt64(2, int64(subs[i].bOff))
-			h.SetRegvarInt64(3, int64(sz/2))
-			h.SetRegvarInt64(4, int64(depth+1))
-			h.SetRegvarInt64(5, seq+int64(i)*sub)
-			h.SetRegvarInt64(6, sub)
-			h.Start(region)
-		}
-		node(c, subs[0].cOff, subs[0].aOff, subs[0].bOff, sz/2, depth+1, seq, sub, spawns)
-		// Un-forked sub-products run inline, in order.
-		for i := 1; i <= 7; i++ {
-			if ranks[i] == 0 {
-				mmSeqNode(c, ctx, subs[i].cOff, subs[i].aOff, subs[i].bOff, sz/2)
-				continue
-			}
-			*spawns = append(*spawns, Spawn{
-				Rank: ranks[i],
-				Seq:  seq + int64(i)*sub,
-				P:    [4]int64{int64(subs[i].cOff), int64(subs[i].aOff), int64(subs[i].bOff), int64(sz / 2)},
+			spawned[i] = tt.Spawn(c, mutls.Task{
+				Seq: seq + int64(i)*sub, Span: sub,
+				Args: [4]int64{int64(subs[i].cOff), int64(subs[i].aOff), int64(subs[i].bOff), int64(sz / 2)},
 			})
 		}
+		node(c, tt, subs[0].cOff, subs[0].aOff, subs[0].bOff, sz/2, seq, sub)
+		// Un-spawned sub-products run inline, in order.
+		for i := 1; i <= 7; i++ {
+			if !spawned[i] {
+				mmSeqNode(c, ctx, subs[i].cOff, subs[i].aOff, subs[i].bOff, sz/2)
+			}
+		}
 	}
-	region = func(c *core.Thread) uint32 {
-		cOff := int(c.GetRegvarInt64(0))
-		aOff := int(c.GetRegvarInt64(1))
-		bOff := int(c.GetRegvarInt64(2))
-		sz := int(c.GetRegvarInt64(3))
-		depth := int(c.GetRegvarInt64(4))
-		seq := c.GetRegvarInt64(5)
-		span := c.GetRegvarInt64(6)
-		var spawns []Spawn
-		node(c, cOff, aOff, bOff, sz, depth, seq, span, &spawns)
-		return FinishRegion(c, spawns)
+	tree.Body = func(c *mutls.Thread, tt *mutls.TreeThread, task mutls.Task) {
+		node(c, tt, int(task.Args[0]), int(task.Args[1]), int(task.Args[2]), int(task.Args[3]),
+			task.Seq, task.Span)
 	}
 
-	var spawns []Spawn
-	span := int64(1) << 62
-	node(t, 0, 0, 0, ctx.n, 0, 0, span, &spawns)
-	DriveSpawns(t, spawns, func(t0 *core.Thread, sp Spawn) []Spawn {
-		mmSeqNode(t0, ctx, int(sp.P[0]), int(sp.P[1]), int(sp.P[2]), int(sp.P[3]))
-		return nil
-	}, nil)
+	roots := tree.Collect(t, func(tt *mutls.TreeThread) {
+		node(t, tt, 0, 0, 0, ctx.n, 0, int64(1)<<62)
+	})
+	tree.Drive(t, roots, nil)
 	return mmChecksum(t, ctx)
 }
 
-func mmChecksum(t *core.Thread, ctx mmCtx) uint64 {
+func mmChecksum(t *mutls.Thread, ctx mmCtx) uint64 {
 	sum := uint64(0)
 	for i := 0; i < ctx.n*ctx.n; i++ {
 		// Quantize: accumulation order differs between the speculative

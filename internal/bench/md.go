@@ -4,8 +4,8 @@ import (
 	"fmt"
 	"math"
 
-	"repro/internal/core"
 	"repro/internal/mem"
+	"repro/mutls"
 )
 
 // MD is the paper's 3D molecular dynamics simulation (Table II: 256
@@ -24,7 +24,7 @@ var MD = &Workload{
 	AmountOfData: func(s Size) string {
 		return fmt.Sprintf("%d particles, %d iteration steps", s.N, s.Steps)
 	},
-	DefaultModel: core.InOrder,
+	DefaultModel: mutls.InOrder,
 	CISize:       Size{N: 48, Steps: 3},
 	PaperSize:    Size{N: 256, Steps: 400},
 	HeapBytes: func(s Size) int {
@@ -40,7 +40,7 @@ type mdState struct {
 	n               int
 }
 
-func mdInit(t *core.Thread, s Size) mdState {
+func mdInit(t *mutls.Thread, s Size) mdState {
 	n := s.N
 	st := mdState{
 		pos:   t.Alloc(8 * 3 * n),
@@ -59,14 +59,14 @@ func mdInit(t *core.Thread, s Size) mdState {
 	return st
 }
 
-func (st mdState) free(t *core.Thread) {
+func (st mdState) free(t *mutls.Thread) {
 	t.Free(st.pos)
 	t.Free(st.vel)
 	t.Free(st.force)
 }
 
 // mdForces computes forces for particles [lo,hi) against all others.
-func mdForces(c *core.Thread, st mdState, lo, hi int) {
+func mdForces(c *mutls.Thread, st mdState, lo, hi int) {
 	const eps = 1e-3
 	for i := lo; i < hi; i++ {
 		xi := c.LoadFloat64(st.pos + mem.Addr(8*(3*i)))
@@ -94,7 +94,7 @@ func mdForces(c *core.Thread, st mdState, lo, hi int) {
 }
 
 // mdIntegrate advances particles [lo,hi) one time step.
-func mdIntegrate(c *core.Thread, st mdState, lo, hi int) {
+func mdIntegrate(c *mutls.Thread, st mdState, lo, hi int) {
 	const dt = 1e-4
 	for i := lo; i < hi; i++ {
 		for d := 0; d < 3; d++ {
@@ -107,29 +107,10 @@ func mdIntegrate(c *core.Thread, st mdState, lo, hi int) {
 	}
 }
 
-func mdChunks(s Size) int {
-	chunks := s.N / 4
-	if chunks > 64 {
-		chunks = 64
-	}
-	if chunks < 1 {
-		chunks = 1
-	}
-	return chunks
-}
+// mdPolicy: at least 4 particles per chunk, at most the paper's 64 chunks.
+var mdPolicy = mutls.ChunkPolicy{MaxChunks: 64, MinPerChunk: 4}
 
-func mdBounds(s Size, idx int) (int, int) {
-	chunks := mdChunks(s)
-	per := s.N / chunks
-	lo := idx * per
-	hi := lo + per
-	if idx == chunks-1 {
-		hi = s.N
-	}
-	return lo, hi
-}
-
-func mdChecksum(t *core.Thread, st mdState) uint64 {
+func mdChecksum(t *mutls.Thread, st mdState) uint64 {
 	sum := uint64(0)
 	for i := 0; i < 3*st.n; i++ {
 		sum = mix(sum, math.Float64bits(t.LoadFloat64(st.pos+mem.Addr(8*i))))
@@ -137,7 +118,7 @@ func mdChecksum(t *core.Thread, st mdState) uint64 {
 	return sum
 }
 
-func mdSeq(t *core.Thread, s Size) uint64 {
+func mdSeq(t *mutls.Thread, s Size) uint64 {
 	st := mdInit(t, s)
 	defer st.free(t)
 	for step := 0; step < s.Steps; step++ {
@@ -147,14 +128,14 @@ func mdSeq(t *core.Thread, s Size) uint64 {
 	return mdChecksum(t, st)
 }
 
-func mdSpec(t *core.Thread, s Size, model core.Model) uint64 {
+func mdSpec(t *mutls.Thread, s Size, model mutls.Model) uint64 {
 	st := mdInit(t, s)
 	defer st.free(t)
+	opts := mutls.ForOptions{Model: model, Policy: mdPolicy}
 	for step := 0; step < s.Steps; step++ {
 		// The O(N²) force loop is the speculated loop; the O(N) integration
 		// is too small to amortize a fork and runs non-speculatively.
-		ChunkLoop(t, mdChunks(s), model, func(c *core.Thread, idx int) {
-			lo, hi := mdBounds(s, idx)
+		mutls.ForRange(t, st.n, opts, func(c *mutls.Thread, lo, hi int) {
 			mdForces(c, st, lo, hi)
 		})
 		mdIntegrate(t, st, 0, st.n)

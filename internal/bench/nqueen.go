@@ -4,16 +4,16 @@ import (
 	"fmt"
 	"math/bits"
 
-	"repro/internal/core"
+	"repro/mutls"
 )
 
 // NQueen is the paper's N-queen benchmark (Table II: 14 queens, depth-first
 // search). The search tree is speculated in the tree-form mixed model: at
 // the top forkDepth rows each node explores its first candidate column
-// itself and forks a speculative thread per remaining candidate (in reverse
+// itself and spawns a speculative task per remaining candidate (in reverse
 // sequential order), exactly the tree-form recursion the simple forking
 // models cannot exploit. Subtrees are disjoint (solution counts travel in
-// saved locals), so the benchmark is embarrassingly parallel and
+// the task results), so the benchmark is embarrassingly parallel and
 // rollback-free, like the paper observes.
 var NQueen = &Workload{
 	Name:        "nqueen",
@@ -24,7 +24,7 @@ var NQueen = &Workload{
 	AmountOfData: func(s Size) string {
 		return fmt.Sprintf("%d queens", s.N)
 	},
-	DefaultModel: core.Mixed,
+	DefaultModel: mutls.Mixed,
 	CISize:       Size{N: 10},
 	PaperSize:    Size{N: 14},
 	HeapBytes:    func(Size) int { return 1 << 12 },
@@ -32,15 +32,11 @@ var NQueen = &Workload{
 	Spec:         nqueenSpec,
 }
 
-// nqueenCountSlot carries a subtree's solution count in the saved locals
-// (above the spawn-list slots).
-const nqueenCountSlot = 158
-
 const nqueenForkDepth = 2
 
 // nqueenCount explores the subtree below (cols, d1, d2) at the given row
 // sequentially, charging one tick per visited node.
-func nqueenCount(c *core.Thread, n int, row int, cols, d1, d2 uint32) int64 {
+func nqueenCount(c *mutls.Thread, n int, row int, cols, d1, d2 uint32) int64 {
 	if row == n {
 		return 1
 	}
@@ -56,19 +52,27 @@ func nqueenCount(c *core.Thread, n int, row int, cols, d1, d2 uint32) int64 {
 	return count
 }
 
-func nqueenSeq(t *core.Thread, s Size) uint64 {
+func nqueenSeq(t *mutls.Thread, s Size) uint64 {
 	return uint64(nqueenCount(t, s.N, 0, 0, 0, 0))
 }
 
-func nqueenSpec(t *core.Thread, s Size, model core.Model) uint64 {
+// nqueenTask packs a search node into a Task: Args = row, cols, d1, d2.
+func nqueenTask(row int, cols, d1, d2 uint32, seq, span int64) mutls.Task {
+	return mutls.Task{
+		Seq: seq, Span: span,
+		Args: [4]int64{int64(row), int64(cols), int64(d1), int64(d2)},
+	}
+}
+
+func nqueenSpec(t *mutls.Thread, s Size, model mutls.Model) uint64 {
 	n := s.N
 	full := uint32(1<<n) - 1
 
-	var region core.RegionFunc
+	tree := &mutls.Tree{Model: model}
 	// explore handles one node at row < nqueenForkDepth: first candidate
-	// explored by this thread, the rest forked (reverse order).
-	var explore func(c *core.Thread, row int, cols, d1, d2 uint32, seq, span int64, spawns *[]Spawn) int64
-	explore = func(c *core.Thread, row int, cols, d1, d2 uint32, seq, span int64, spawns *[]Spawn) int64 {
+	// explored by this thread, the rest spawned (logically later first).
+	var explore func(c *mutls.Thread, tt *mutls.TreeThread, row int, cols, d1, d2 uint32, seq, span int64) int64
+	explore = func(c *mutls.Thread, tt *mutls.TreeThread, row int, cols, d1, d2 uint32, seq, span int64) int64 {
 		if row >= nqueenForkDepth || row == n {
 			return nqueenCount(c, n, row, cols, d1, d2)
 		}
@@ -83,66 +87,35 @@ func nqueenSpec(t *core.Thread, s Size, model core.Model) uint64 {
 			cands = append(cands, bit)
 		}
 		stride := span / int64(len(cands))
-		ranks := make([]core.Rank, len(cands))
-		// Fork candidates k-1 .. 1 (logically later first).
+		spawned := make([]bool, len(cands))
 		for i := len(cands) - 1; i >= 1; i-- {
-			h := c.Fork(ranks, i, model)
-			if h == nil {
-				continue
-			}
 			bit := cands[i]
-			h.SetRegvarInt64(0, int64(row+1))
-			h.SetRegvarInt64(1, int64(cols|bit))
-			h.SetRegvarInt64(2, int64((d1|bit)<<1&full))
-			h.SetRegvarInt64(3, int64((d2|bit)>>1))
-			h.SetRegvarInt64(4, seq+int64(i)*stride)
-			h.SetRegvarInt64(5, stride)
-			h.Start(region)
+			spawned[i] = tt.Spawn(c, nqueenTask(row+1, cols|bit, (d1|bit)<<1&full, (d2|bit)>>1,
+				seq+int64(i)*stride, stride))
 		}
 		bit := cands[0]
-		count := explore(c, row+1, cols|bit, (d1|bit)<<1&full, (d2|bit)>>1, seq, stride, spawns)
+		count := explore(c, tt, row+1, cols|bit, (d1|bit)<<1&full, (d2|bit)>>1, seq, stride)
 		for i := 1; i < len(cands); i++ {
-			if ranks[i] == 0 {
-				b := cands[i]
-				count += explore(c, row+1, cols|b, (d1|b)<<1&full, (d2|b)>>1, seq+int64(i)*stride, stride, spawns)
+			if spawned[i] {
 				continue
 			}
 			b := cands[i]
-			*spawns = append(*spawns, Spawn{
-				Rank: ranks[i],
-				Seq:  seq + int64(i)*stride,
-				P: [4]int64{
-					int64(row + 1),
-					int64(cols | b),
-					int64((d1 | b) << 1 & full),
-					int64((d2 | b) >> 1),
-				},
-			})
+			count += explore(c, tt, row+1, cols|b, (d1|b)<<1&full, (d2|b)>>1, seq+int64(i)*stride, stride)
 		}
 		return count
 	}
-	region = func(c *core.Thread) uint32 {
-		row := int(c.GetRegvarInt64(0))
-		cols := uint32(c.GetRegvarInt64(1))
-		d1 := uint32(c.GetRegvarInt64(2))
-		d2 := uint32(c.GetRegvarInt64(3))
-		seq := c.GetRegvarInt64(4)
-		span := c.GetRegvarInt64(5)
-		var spawns []Spawn
-		count := explore(c, row, cols, d1, d2, seq, span, &spawns)
-		c.SaveRegvarInt64(nqueenCountSlot, count)
-		return FinishRegion(c, spawns)
+	tree.Body = func(c *mutls.Thread, tt *mutls.TreeThread, task mutls.Task) {
+		count := explore(c, tt, int(task.Args[0]), uint32(task.Args[1]), uint32(task.Args[2]),
+			uint32(task.Args[3]), task.Seq, task.Span)
+		tt.SetResultInt64(count)
 	}
 
-	var spawns []Spawn
-	total := explore(t, 0, 0, 0, 0, 0, int64(1)<<62, &spawns)
-	DriveSpawns(t, spawns,
-		func(t0 *core.Thread, sp Spawn) []Spawn {
-			total += nqueenCount(t0, n, int(sp.P[0]), uint32(sp.P[1]), uint32(sp.P[2]), uint32(sp.P[3]))
-			return nil
-		},
-		func(sp Spawn, res core.JoinResult) {
-			total += res.RegvarInt64(nqueenCountSlot)
-		})
+	total := int64(0)
+	roots := tree.Collect(t, func(tt *mutls.TreeThread) {
+		total = explore(t, tt, 0, 0, 0, 0, 0, int64(1)<<62)
+	})
+	tree.Drive(t, roots, func(_ mutls.Task, res mutls.TreeResult) {
+		total += res.Int64()
+	})
 	return uint64(total)
 }

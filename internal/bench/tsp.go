@@ -4,16 +4,16 @@ import (
 	"fmt"
 	"math"
 
-	"repro/internal/core"
 	"repro/internal/mem"
+	"repro/mutls"
 )
 
 // TSP is the paper's travelling salesperson benchmark (Table II: 12 cities,
 // depth-first search). The branch-and-bound DFS is speculated like nqueen:
-// the top rows of the search tree fork one thread per unvisited next city.
-// Each subtree prunes against its own locally discovered best tour (a
-// shared global bound would make every subtree conflict), and the driver
-// minimizes over the committed subtree results carried in saved locals.
+// the top rows of the search tree spawn one speculative task per unvisited
+// next city. Each subtree prunes against its own locally discovered best
+// tour (a shared global bound would make every subtree conflict), and the
+// driver minimizes over the committed subtree results.
 var TSP = &Workload{
 	Name:        "tsp",
 	Description: "travelling sales person (TSP) problem",
@@ -23,7 +23,7 @@ var TSP = &Workload{
 	AmountOfData: func(s Size) string {
 		return fmt.Sprintf("%d cities", s.N)
 	},
-	DefaultModel: core.Mixed,
+	DefaultModel: mutls.Mixed,
 	CISize:       Size{N: 8},
 	PaperSize:    Size{N: 12},
 	HeapBytes:    func(s Size) int { return 8*s.N*s.N + (1 << 12) },
@@ -31,13 +31,11 @@ var TSP = &Workload{
 	Spec:         tspSpec,
 }
 
-const tspBestSlot = 158
-
 const tspForkDepth = 2
 
 // tspDist builds the distance matrix in simulated memory (static data the
 // speculative threads read).
-func tspDist(t *core.Thread, n int) mem.Addr {
+func tspDist(t *mutls.Thread, n int) mem.Addr {
 	d := t.Alloc(8 * n * n)
 	for i := 0; i < n; i++ {
 		xi := float64((i*37)%19) / 19.0
@@ -54,7 +52,7 @@ func tspDist(t *core.Thread, n int) mem.Addr {
 
 // tspSearch explores all tours extending the partial path (visited, last,
 // length), pruning against best, and returns the minimum tour length.
-func tspSearch(c *core.Thread, d mem.Addr, n int, visited uint32, last int, length, best float64) float64 {
+func tspSearch(c *mutls.Thread, d mem.Addr, n int, visited uint32, last int, length, best float64) float64 {
 	if visited == uint32(1<<n)-1 {
 		total := length + c.LoadFloat64(d+mem.Addr(8*(last*n+0)))
 		if total < best {
@@ -76,21 +74,30 @@ func tspSearch(c *core.Thread, d mem.Addr, n int, visited uint32, last int, leng
 	return best
 }
 
-func tspSeq(t *core.Thread, s Size) uint64 {
+func tspSeq(t *mutls.Thread, s Size) uint64 {
 	d := tspDist(t, s.N)
 	defer t.Free(d)
 	best := tspSearch(t, d, s.N, 1, 0, 0, math.Inf(1))
 	return uint64(int64(best * 1e9))
 }
 
-func tspSpec(t *core.Thread, s Size, model core.Model) uint64 {
+// tspTask packs a partial tour into a Task: Args = visited, last city, tour
+// length (float bits).
+func tspTask(visited uint32, last int, length float64, seq, span int64) mutls.Task {
+	return mutls.Task{
+		Seq: seq, Span: span,
+		Args: [4]int64{int64(visited), int64(last), int64(math.Float64bits(length)), 0},
+	}
+}
+
+func tspSpec(t *mutls.Thread, s Size, model mutls.Model) uint64 {
 	n := s.N
 	d := tspDist(t, n)
 	defer t.Free(d)
 
-	var region core.RegionFunc
-	var explore func(c *core.Thread, visited uint32, last int, length float64, seq, span int64, spawns *[]Spawn) float64
-	explore = func(c *core.Thread, visited uint32, last int, length float64, seq, span int64, spawns *[]Spawn) float64 {
+	tree := &mutls.Tree{Model: model}
+	var explore func(c *mutls.Thread, tt *mutls.TreeThread, visited uint32, last int, length float64, seq, span int64) float64
+	explore = func(c *mutls.Thread, tt *mutls.TreeThread, visited uint32, last int, length float64, seq, span int64) float64 {
 		depth := 0
 		for v := visited; v != 0; v >>= 1 {
 			depth += int(v & 1)
@@ -105,67 +112,39 @@ func tspSpec(t *core.Thread, s Size, model core.Model) uint64 {
 			}
 		}
 		stride := span / int64(len(cands))
-		ranks := make([]core.Rank, len(cands))
+		spawned := make([]bool, len(cands))
 		for i := len(cands) - 1; i >= 1; i-- {
-			h := c.Fork(ranks, i, model)
-			if h == nil {
-				continue
-			}
 			next := cands[i]
 			step := c.LoadFloat64(d + mem.Addr(8*(last*n+next)))
-			h.SetRegvarInt64(0, int64(visited|1<<next))
-			h.SetRegvarInt64(1, int64(next))
-			h.SetRegvarFloat64(2, length+step)
-			h.SetRegvarInt64(3, seq+int64(i)*stride)
-			h.SetRegvarInt64(4, stride)
-			h.Start(region)
+			spawned[i] = tt.Spawn(c, tspTask(visited|1<<next, next, length+step,
+				seq+int64(i)*stride, stride))
 		}
 		next := cands[0]
 		step := c.LoadFloat64(d + mem.Addr(8*(last*n+next)))
-		best := explore(c, visited|1<<next, next, length+step, seq, stride, spawns)
+		best := explore(c, tt, visited|1<<next, next, length+step, seq, stride)
 		for i := 1; i < len(cands); i++ {
-			nc := cands[i]
-			stepI := c.LoadFloat64(d + mem.Addr(8*(last*n+nc)))
-			if ranks[i] == 0 {
-				b := explore(c, visited|1<<nc, nc, length+stepI, seq+int64(i)*stride, stride, spawns)
-				best = math.Min(best, b)
+			if spawned[i] {
 				continue
 			}
-			*spawns = append(*spawns, Spawn{
-				Rank: ranks[i],
-				Seq:  seq + int64(i)*stride,
-				P: [4]int64{
-					int64(visited | 1<<nc),
-					int64(nc),
-					int64(math.Float64bits(length + stepI)),
-					0,
-				},
-			})
+			nc := cands[i]
+			stepI := c.LoadFloat64(d + mem.Addr(8*(last*n+nc)))
+			b := explore(c, tt, visited|1<<nc, nc, length+stepI, seq+int64(i)*stride, stride)
+			best = math.Min(best, b)
 		}
 		return best
 	}
-	region = func(c *core.Thread) uint32 {
-		visited := uint32(c.GetRegvarInt64(0))
-		last := int(c.GetRegvarInt64(1))
-		length := c.GetRegvarFloat64(2)
-		seq := c.GetRegvarInt64(3)
-		span := c.GetRegvarInt64(4)
-		var spawns []Spawn
-		best := explore(c, visited, last, length, seq, span, &spawns)
-		c.SaveRegvarFloat64(tspBestSlot, best)
-		return FinishRegion(c, spawns)
+	tree.Body = func(c *mutls.Thread, tt *mutls.TreeThread, task mutls.Task) {
+		best := explore(c, tt, uint32(task.Args[0]), int(task.Args[1]),
+			math.Float64frombits(uint64(task.Args[2])), task.Seq, task.Span)
+		tt.SetResultFloat64(best)
 	}
 
-	var spawns []Spawn
-	best := explore(t, 1, 0, 0, 0, int64(1)<<62, &spawns)
-	DriveSpawns(t, spawns,
-		func(t0 *core.Thread, sp Spawn) []Spawn {
-			b := tspSearch(t0, d, n, uint32(sp.P[0]), int(sp.P[1]), math.Float64frombits(uint64(sp.P[2])), math.Inf(1))
-			best = math.Min(best, b)
-			return nil
-		},
-		func(sp Spawn, res core.JoinResult) {
-			best = math.Min(best, res.RegvarFloat64(tspBestSlot))
-		})
+	best := math.Inf(1)
+	roots := tree.Collect(t, func(tt *mutls.TreeThread) {
+		best = explore(t, tt, 1, 0, 0, 0, int64(1)<<62)
+	})
+	tree.Drive(t, roots, func(_ mutls.Task, res mutls.TreeResult) {
+		best = math.Min(best, res.Float64())
+	})
 	return uint64(int64(best * 1e9))
 }

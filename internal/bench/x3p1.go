@@ -3,8 +3,8 @@ package bench
 import (
 	"fmt"
 
-	"repro/internal/core"
 	"repro/internal/mem"
+	"repro/mutls"
 )
 
 // X3P1 is the paper's 3x+1 benchmark: enumerate n = 1..N and count Collatz
@@ -22,7 +22,7 @@ var X3P1 = &Workload{
 	AmountOfData: func(s Size) string {
 		return fmt.Sprintf("%d integers (enumerate)", s.N)
 	},
-	DefaultModel: core.InOrder,
+	DefaultModel: mutls.InOrder,
 	CISize:       Size{N: 20_000},
 	PaperSize:    Size{N: 40_000_000},
 	HeapBytes:    func(Size) int { return 1 << 12 },
@@ -37,7 +37,7 @@ const x3p1Chunks = 64
 // [1, N] — the strided workload distribution that balances the chunks —
 // returning the step total; the compute is both executed for real and
 // charged to the virtual clock.
-func collatzWork(c *core.Thread, s Size, idx int) int64 {
+func collatzWork(c *mutls.Thread, s Size, idx int) int64 {
 	total := int64(0)
 	for n := int64(idx + 1); n <= int64(s.N); n += x3p1Chunks {
 		v := n
@@ -56,7 +56,7 @@ func collatzWork(c *core.Thread, s Size, idx int) int64 {
 	return total
 }
 
-func x3p1Seq(t *core.Thread, s Size) uint64 {
+func x3p1Seq(t *mutls.Thread, s Size) uint64 {
 	out := t.Alloc(8 * x3p1Chunks)
 	defer t.Free(out)
 	for idx := 0; idx < x3p1Chunks; idx++ {
@@ -65,16 +65,16 @@ func x3p1Seq(t *core.Thread, s Size) uint64 {
 	return x3p1Sum(t, out)
 }
 
-func x3p1Spec(t *core.Thread, s Size, model core.Model) uint64 {
+func x3p1Spec(t *mutls.Thread, s Size, model mutls.Model) uint64 {
 	out := t.Alloc(8 * x3p1Chunks)
 	defer t.Free(out)
-	ChunkLoop(t, x3p1Chunks, model, func(c *core.Thread, idx int) {
+	mutls.For(t, x3p1Chunks, mutls.ForOptions{Model: model}, func(c *mutls.Thread, idx int) {
 		c.StoreInt64(out+mem.Addr(8*idx), collatzWork(c, s, idx))
 	})
 	return x3p1Sum(t, out)
 }
 
-func x3p1Sum(t *core.Thread, out mem.Addr) uint64 {
+func x3p1Sum(t *mutls.Thread, out mem.Addr) uint64 {
 	sum := uint64(0)
 	for idx := 0; idx < x3p1Chunks; idx++ {
 		sum = mix(sum, uint64(t.LoadInt64(out+mem.Addr(8*idx))))

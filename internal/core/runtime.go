@@ -595,7 +595,7 @@ func (rt *Runtime) linearSquash(r Rank) int {
 
 // String describes the runtime configuration.
 func (rt *Runtime) String() string {
-	return fmt.Sprintf("mutls.Runtime{cpus: %d, timing: %v}", rt.opts.NumCPUs, rt.opts.Timing)
+	return fmt.Sprintf("core.Runtime{cpus: %d, timing: %v}", rt.opts.NumCPUs, rt.opts.Timing)
 }
 
 // ExecRecords returns the collected execution records of a rank (debugging

@@ -14,25 +14,25 @@ import (
 	"text/tabwriter"
 
 	"repro/internal/bench"
-	"repro/internal/core"
 	"repro/internal/stats"
 	"repro/internal/vclock"
+	"repro/mutls"
 )
 
 // DefaultCPUAxis subsamples the paper's 1..64 x-axis.
 var DefaultCPUAxis = []int{1, 2, 4, 8, 16, 24, 32, 48, 64}
 
-// Config drives a harness session.
+// Config drives a harness session, expressed in public mutls types.
 type Config struct {
 	CPUAxis []int
 	Paper   bool // Table II sizes instead of the quick defaults
-	Timing  vclock.Mode
+	Timing  mutls.TimingMode
 	Seed    uint64
 }
 
 // DefaultConfig returns the quick deterministic configuration.
 func DefaultConfig() Config {
-	return Config{CPUAxis: DefaultCPUAxis, Timing: vclock.Virtual}
+	return Config{CPUAxis: DefaultCPUAxis, Timing: mutls.Virtual}
 }
 
 // Harness caches measurements so the efficiency figures reuse the speedup
@@ -58,7 +58,7 @@ func (h *Harness) size(w *bench.Workload) bench.Size {
 	return w.CISize
 }
 
-func (h *Harness) runCfg(w *bench.Workload, axisCPUs int, model core.Model, prob float64, cost vclock.CostModel) bench.RunConfig {
+func (h *Harness) runCfg(w *bench.Workload, axisCPUs int, model mutls.Model, prob float64, cost mutls.CostModel) bench.RunConfig {
 	return bench.RunConfig{
 		// The paper's x-axis counts the non-speculative thread's CPU.
 		CPUs:         axisCPUs - 1,
@@ -86,7 +86,7 @@ func (h *Harness) Seq(w *bench.Workload, variant string) (bench.Measurement, err
 }
 
 // Spec returns (cached) a speculative run.
-func (h *Harness) Spec(w *bench.Workload, variant string, axisCPUs int, model core.Model, prob float64) (bench.Measurement, error) {
+func (h *Harness) Spec(w *bench.Workload, variant string, axisCPUs int, model mutls.Model, prob float64) (bench.Measurement, error) {
 	key := fmt.Sprintf("%s/%s/%d/%v/%v", w.Name, variant, axisCPUs, model, prob)
 	if m, ok := h.spec[key]; ok {
 		return m, nil
@@ -98,15 +98,15 @@ func (h *Harness) Spec(w *bench.Workload, variant string, axisCPUs int, model co
 	return m, err
 }
 
-func costFor(variant string) vclock.CostModel {
+func costFor(variant string) mutls.CostModel {
 	if variant == "fortran" {
-		return vclock.FortranCostModel()
+		return mutls.FortranCostModel()
 	}
-	return vclock.DefaultCostModel()
+	return mutls.DefaultCostModel()
 }
 
 // Speedup computes the absolute speedup Ts/TN of a cached pair.
-func (h *Harness) Speedup(w *bench.Workload, variant string, axisCPUs int, model core.Model) (float64, error) {
+func (h *Harness) Speedup(w *bench.Workload, variant string, axisCPUs int, model mutls.Model) (float64, error) {
 	seq, err := h.Seq(w, variant)
 	if err != nil {
 		return 0, err
@@ -331,7 +331,7 @@ func (h *Harness) Fig9(out io.Writer) error {
 // tree-form recursion benchmarks normalized to the mixed model.
 func (h *Harness) Fig10(out io.Writer) error {
 	workloads := []*bench.Workload{bench.FFT, bench.MatMult, bench.NQueen, bench.TSP}
-	models := []core.Model{core.InOrder, core.OutOfOrder}
+	models := []mutls.Model{mutls.InOrder, mutls.OutOfOrder}
 	tw := newTab(out)
 	fmt.Fprintln(out, "FIG. 10. Comparison of Forking Models (speedup normalized to the mixed model)")
 	fmt.Fprint(tw, "CPUs")
@@ -344,7 +344,7 @@ func (h *Harness) Fig10(out io.Writer) error {
 	for _, cpus := range h.cfg.CPUAxis {
 		fmt.Fprintf(tw, "%d", cpus)
 		for _, w := range workloads {
-			mixed, err := h.Speedup(w, "c", cpus, core.Mixed)
+			mixed, err := h.Speedup(w, "c", cpus, mutls.Mixed)
 			if err != nil {
 				return err
 			}

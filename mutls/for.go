@@ -1,0 +1,127 @@
+package mutls
+
+// This file implements loop-level speculation with chained in-order forks,
+// a direct translation of the paper's transformed loop code: each chunk's
+// region forks the next chunk before doing its own work; the
+// non-speculative thread joins the chain in order, restoring the chained
+// rank from the saved locals and re-executing rolled-back chunks inline.
+
+// ChunkPolicy decides how an index space [0, n) is cut into speculated
+// chunks. The zero value selects the paper's workload distribution: up to
+// 64 chunks, at least one index per chunk.
+type ChunkPolicy struct {
+	// MaxChunks caps the number of chunks. Zero selects 64, the paper's
+	// fixed split (which is why the Figure 3 curves plateau between 32 and
+	// 63 CPUs and jump at 64).
+	MaxChunks int
+	// MinPerChunk is the smallest number of indices worth a fork; chunk
+	// counts are reduced until every chunk holds at least this many. Zero
+	// selects 1.
+	MinPerChunk int
+}
+
+// Chunks returns the number of chunks the policy cuts [0, n) into.
+func (p ChunkPolicy) Chunks(n int) int {
+	maxChunks := p.MaxChunks
+	if maxChunks <= 0 {
+		maxChunks = 64
+	}
+	per := p.MinPerChunk
+	if per <= 0 {
+		per = 1
+	}
+	chunks := n / per
+	if chunks > maxChunks {
+		chunks = maxChunks
+	}
+	if chunks < 1 {
+		chunks = 1
+	}
+	return chunks
+}
+
+// Bounds returns the half-open index range [lo, hi) of chunk idx when
+// [0, n) is cut into the given number of contiguous chunks; the last chunk
+// absorbs the remainder.
+func (p ChunkPolicy) Bounds(n, chunks, idx int) (lo, hi int) {
+	per := n / chunks
+	lo = idx * per
+	hi = lo + per
+	if idx == chunks-1 {
+		hi = n
+	}
+	return lo, hi
+}
+
+// ForOptions configures For and ForRange.
+type ForOptions struct {
+	// Model is the forking model of the chunk forks; the zero value is
+	// InOrder, the model the paper uses for loop-level speculation.
+	Model Model
+	// Policy cuts the index space (ForRange only).
+	Policy ChunkPolicy
+}
+
+// For executes body(c, idx) for idx in [0, nChunks) under loop-level
+// speculation. body must contain only TLS-instrumented work: memory access
+// through c's Load*/Store*, pure compute charged with c.Tick. Chunks are
+// speculated with chained forks — the transformed shape of the paper's
+// Figure 2 — and rolled-back or never-forked chunks are re-executed inline
+// by the joining thread, so the loop's sequential semantics are preserved
+// under any forking model and any number of CPUs.
+func For(t *Thread, nChunks int, opts ForOptions, body func(c *Thread, idx int)) {
+	if nChunks <= 0 {
+		return
+	}
+	model := opts.Model
+	var region RegionFunc
+	fork := func(c *Thread, ranks []Rank, next int) {
+		if next >= nChunks {
+			return
+		}
+		if h := c.Fork(ranks, 0, model); h != nil {
+			h.SetRegvarInt64(0, int64(next))
+			h.Start(region)
+		}
+	}
+	region = func(c *Thread) uint32 {
+		idx := int(c.GetRegvarInt64(0))
+		ranks := []Rank{0}
+		fork(c, ranks, idx+1)
+		body(c, idx)
+		// The chained ranks array is live at the join point: save it for
+		// the joining thread (paper §IV-D).
+		c.SaveRegvarInt64(1, int64(ranks[0]))
+		return 0
+	}
+	ranks := []Rank{0}
+	fork(t, ranks, 1)
+	body(t, 0)
+	for idx := 1; idx < nChunks; idx++ {
+		res := t.Join(ranks, 0)
+		if res.Committed() {
+			ranks[0] = Rank(res.RegvarInt64(1))
+			continue
+		}
+		// Rolled back or never forked: run the chunk inline, re-forking
+		// the rest of the chain where the model allows.
+		ranks[0] = 0
+		fork(t, ranks, idx+1)
+		body(t, idx)
+	}
+}
+
+// ForRange executes body(c, lo, hi) over contiguous sub-ranges covering
+// [0, n), cut by the chunk policy, under loop-level speculation. It is the
+// range form of For for loops whose natural unit is an index interval
+// rather than a chunk number.
+func ForRange(t *Thread, n int, opts ForOptions, body func(c *Thread, lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	chunks := opts.Policy.Chunks(n)
+	For(t, chunks, opts, func(c *Thread, idx int) {
+		lo, hi := opts.Policy.Bounds(n, chunks, idx)
+		body(c, lo, hi)
+	})
+}

@@ -1,0 +1,209 @@
+// Package mutls is the public programming interface of the MUTLS
+// thread-level speculation runtime (Cao & Verbrugge, "Mixed Model Universal
+// Software Thread-Level Speculation", ICPP 2013).
+//
+// The internal/core package implements the raw fork/join protocol in the
+// shape of the paper's compiler-transformed code: explicit fork points
+// indexed by per-frame ranks arrays, proxy/stub register save/restore, and
+// join-and-reexecute loops. This package packages those driving patterns as
+// a reusable library so programs never open-code the protocol:
+//
+//   - Runtime / Options — a façade over the core ThreadManager.
+//   - For / ForRange — chunked loop-level speculation with chained in-order
+//     forks (the 3x+1/mandelbrot shape of Figure 2), with a selectable
+//     forking model and chunk policy.
+//   - Reduce — speculative reduction: the continuation is forked with a
+//     value-predicted accumulator that the join validates
+//     (MUTLS_validate_local, §IV-G4).
+//   - Tree / Task — tree-form recursion under the paper's mixed forking
+//     model (fft/matmult/nqueen/tsp): speculative regions spawn subtrees and
+//     hand their continuation to the parent chain (Figure 2(d)); the
+//     non-speculative driver joins the tree in sequential order.
+//
+// Code that runs under speculation is still written against core.Thread
+// (aliased here as Thread): all simulated memory traffic flows through the
+// Load*/Store* accessors and pure compute is charged with Tick. What mutls
+// removes is the protocol plumbing around that code.
+package mutls
+
+import (
+	"repro/internal/core"
+	"repro/internal/gbuf"
+	"repro/internal/lbuf"
+	"repro/internal/mem"
+	"repro/internal/predict"
+	"repro/internal/stats"
+	"repro/internal/vclock"
+)
+
+// Thread is the execution context handed to non-speculative code and to
+// speculative regions; see core.Thread for the instrumented memory API.
+type Thread = core.Thread
+
+// Model selects the forking model of a fork point.
+type Model = core.Model
+
+// The forking models of the paper (§II): in-order chains for loops,
+// out-of-order for method-level continuations, the tree-form mixed model in
+// which every thread may speculate, and the Mitosis/POSH-style linear mixed
+// baseline used in the ablation study.
+const (
+	InOrder     = core.InOrder
+	OutOfOrder  = core.OutOfOrder
+	Mixed       = core.Mixed
+	MixedLinear = core.MixedLinear
+)
+
+// ParseModel converts a Figure 10 legend name ("inorder", "outoforder",
+// "mixed", "mixedlinear") back to a Model.
+func ParseModel(s string) (Model, error) { return core.ParseModel(s) }
+
+// Rank identifies a virtual CPU; 0 is the non-speculative thread.
+type Rank = core.Rank
+
+// RegionFunc is a speculative continuation in the transformed form of
+// Figure 2(d). Programs using For/Reduce/Tree never write one directly.
+type RegionFunc = core.RegionFunc
+
+// Addr is an address in the simulated global address space.
+type Addr = mem.Addr
+
+// Cost is a virtual-time duration (or nanoseconds under real timing).
+type Cost = vclock.Cost
+
+// TimingMode selects virtual (deterministic cost model) or real (wall
+// clock) time.
+type TimingMode = vclock.Mode
+
+// Timing modes.
+const (
+	Virtual = vclock.Virtual
+	Real    = vclock.Real
+)
+
+// CostModel prices runtime events under virtual timing.
+type CostModel = vclock.CostModel
+
+// DefaultCostModel returns the calibrated C/C++ cost model.
+func DefaultCostModel() CostModel { return vclock.DefaultCostModel() }
+
+// FortranCostModel returns the Fortran-frontend cost model variant.
+func FortranCostModel() CostModel { return vclock.FortranCostModel() }
+
+// Summary aggregates the statistics of one Run (commits, rollbacks,
+// per-phase ledgers — the inputs to the paper's Figures 5-9).
+type Summary = stats.Summary
+
+// Predictor selects a live-variable value prediction strategy for Reduce.
+type Predictor = predict.Kind
+
+// Value predictors (§VI future work): last-value and stride.
+const (
+	LastValue = predict.LastValue
+	Stride    = predict.Stride
+)
+
+// Options configures a Runtime. The zero value of every field selects a
+// sensible default, so Options{CPUs: 8} is a complete configuration.
+type Options struct {
+	// CPUs is the number of speculative virtual CPUs (ranks 1..CPUs); the
+	// non-speculative thread runs besides them. Zero disables speculation
+	// entirely (every fork is refused).
+	CPUs int
+
+	// Timing selects Virtual (default, deterministic) or Real time.
+	Timing TimingMode
+
+	// Cost prices runtime events under virtual timing. Zero selects
+	// DefaultCostModel.
+	Cost CostModel
+
+	// StaticBytes, HeapBytes and StackBytes size the simulated address
+	// space (zero selects the core defaults). StackBytes is per thread.
+	StaticBytes int
+	HeapBytes   int
+	StackBytes  int
+
+	// GBufLogWords and GBufOverflowCap size the per-CPU GlobalBuffer hash
+	// map (2^GBufLogWords words) and its overflow list.
+	GBufLogWords    int
+	GBufOverflowCap int
+
+	// RegSlots and StackSlots size the per-CPU LocalBuffer frames.
+	RegSlots   int
+	StackSlots int
+
+	// RollbackProb forces random rollbacks at validation time with the
+	// given probability (the Figure 11 sensitivity experiment); Seed seeds
+	// the per-CPU deterministic generators behind it.
+	RollbackProb float64
+	Seed         uint64
+
+	// CollectStats enables the ledgers and execution records behind Stats.
+	CollectStats bool
+
+	// AdaptiveForkHeuristic disables fork points whose observed rollback
+	// rate exceeds the threshold (§VI).
+	AdaptiveForkHeuristic bool
+}
+
+// coreOptions lowers the façade options onto core.Options.
+func (o Options) coreOptions() core.Options {
+	co := core.Options{
+		NumCPUs:               o.CPUs,
+		Timing:                o.Timing,
+		Cost:                  o.Cost,
+		RollbackProb:          o.RollbackProb,
+		Seed:                  o.Seed,
+		CollectStats:          o.CollectStats,
+		AdaptiveForkHeuristic: o.AdaptiveForkHeuristic,
+	}
+	if o.StaticBytes != 0 || o.HeapBytes != 0 || o.StackBytes != 0 {
+		// Unset sizes keep the core defaults.
+		co.Space = mem.DefaultSpaceConfig(o.CPUs + 1)
+		if o.StaticBytes != 0 {
+			co.Space.StaticBytes = o.StaticBytes
+		}
+		if o.HeapBytes != 0 {
+			co.Space.HeapBytes = o.HeapBytes
+		}
+		if o.StackBytes != 0 {
+			co.Space.StackBytes = o.StackBytes
+		}
+	}
+	if o.GBufLogWords != 0 || o.GBufOverflowCap != 0 {
+		co.GBuf = gbuf.DefaultConfig()
+		if o.GBufLogWords != 0 {
+			co.GBuf.LogWords = o.GBufLogWords
+		}
+		if o.GBufOverflowCap != 0 {
+			co.GBuf.OverflowCap = o.GBufOverflowCap
+		}
+	}
+	if o.RegSlots != 0 || o.StackSlots != 0 {
+		co.LBuf = lbuf.DefaultConfig()
+		if o.RegSlots != 0 {
+			co.LBuf.RegSlots = o.RegSlots
+		}
+		if o.StackSlots != 0 {
+			co.LBuf.StackSlots = o.StackSlots
+		}
+	}
+	return co
+}
+
+// Runtime is the public façade over the core ThreadManager. It embeds
+// *core.Runtime, so Run, Stats, ResetStats, Space, NumCPUs and Close are
+// available directly.
+type Runtime struct {
+	*core.Runtime
+}
+
+// New builds a runtime. Close it when done.
+func New(opts Options) (*Runtime, error) {
+	rt, err := core.NewRuntime(opts.coreOptions())
+	if err != nil {
+		return nil, err
+	}
+	return &Runtime{Runtime: rt}, nil
+}

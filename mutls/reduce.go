@@ -1,0 +1,80 @@
+package mutls
+
+import (
+	"repro/internal/core"
+	"repro/internal/predict"
+)
+
+// This file implements speculative reduction: out-of-order speculation on
+// the *continuation* of a chunked fold. The accumulator is live across the
+// chunk boundary, so its value at the join point must be predicted at fork
+// time (§IV-G4) and validated with MUTLS_validate_local at the join; a
+// misprediction rolls the speculation back and the chunk re-executes
+// inline with the true accumulator.
+
+// ReduceOptions configures Reduce.
+type ReduceOptions struct {
+	// Model is the forking model of the continuation forks; the zero value
+	// is OutOfOrder, the classic method-level continuation shape.
+	Model Model
+	// Predictor selects the accumulator value predictor; the zero value is
+	// LastValue. Stride suits induction-like accumulators (constant
+	// per-chunk increments).
+	Predictor Predictor
+}
+
+// Reduce folds body over the chunks [0, nChunks) starting from init and
+// returns the final accumulator. body(c, idx, acc) executes chunk idx on
+// top of accumulator value acc and returns the updated accumulator; it must
+// contain only TLS-instrumented work and must be deterministic in (idx,
+// acc, simulated memory), since rolled-back chunks re-execute.
+//
+// While the non-speculative thread folds chunk idx, a speculative thread
+// folds chunk idx+1 from a predicted accumulator; when the prediction
+// validates, the join adopts the speculative live-out and the loop skips a
+// chunk.
+func Reduce(t *Thread, nChunks int, init int64, opts ReduceOptions, body func(c *Thread, idx int, acc int64) int64) int64 {
+	model := opts.Model
+	if model == InOrder {
+		// InOrder is the Model zero value and an in-order chain cannot
+		// carry a predicted accumulator (each link would need the previous
+		// link's live-out), so it maps to the out-of-order default.
+		model = OutOfOrder
+	}
+	pred := predict.New(opts.Predictor)
+	acc := init
+	for idx := 0; idx < nChunks; idx++ {
+		ranks := []Rank{0}
+		var h *core.ForkHandle
+		if idx+1 < nChunks { // the last chunk has no continuation to fork
+			h = t.Fork(ranks, 0, model)
+		}
+		if h != nil {
+			// Predict the accumulator's value at the join point.
+			raw, _ := pred.Predict(0, 0)
+			h.SetRegvarInt64(0, int64(raw))
+			h.SetRegvarInt64(1, int64(idx+1))
+			h.Start(func(c *Thread) uint32 {
+				specAcc := body(c, int(c.GetRegvarInt64(1)), c.GetRegvarInt64(0))
+				c.SaveRegvarInt64(2, specAcc)
+				return 0
+			})
+		}
+		acc = body(t, idx, acc)
+		if h == nil {
+			continue
+		}
+		// MUTLS_validate_local: was the prediction right?
+		pred.Observe(0, 0, uint64(acc))
+		t.ValidateRegvarInt64(ranks, 0, 0, acc)
+		res := t.Join(ranks, 0)
+		if res.Committed() {
+			acc = res.RegvarInt64(2)
+			// Keep the predictor's history aligned with the join-point
+			// values it predicts: the adopted live-out is the next one.
+			pred.Observe(0, 0, uint64(acc))
+			idx++ // the speculation consumed the next chunk
+		}
+	}
+	return acc
+}
