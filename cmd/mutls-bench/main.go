@@ -1,11 +1,13 @@
 // Command mutls-bench regenerates the tables and figures of the MUTLS paper
 // (Cao & Verbrugge, "Mixed Model Universal Software Thread-Level
-// Speculation", ICPP 2013).
+// Speculation", ICPP 2013), plus the GlobalBuffer backend ablation.
 //
 // Usage:
 //
 //	mutls-bench                  # everything, quick sizes, virtual timing
 //	mutls-bench -fig 3           # one figure (1, 2 = tables; 3..11 = figures)
+//	mutls-bench -fig gbuf        # GlobalBuffer backend ablation table
+//	mutls-bench -gbuf chain      # run everything on the chain backend
 //	mutls-bench -coverage        # the §V-B parallel coverage numbers
 //	mutls-bench -paper           # Table II problem sizes (slow)
 //	mutls-bench -cpus 1,2,4,64   # custom CPU axis
@@ -24,12 +26,13 @@ import (
 )
 
 func main() {
-	fig := flag.Int("fig", 0, "regenerate one table (1,2) or figure (3..11); 0 = everything")
+	fig := flag.String("fig", "", `regenerate one table (1,2), figure (3..11) or the backend ablation ("gbuf"); empty = everything`)
 	coverage := flag.Bool("coverage", false, "print the §V-B parallel execution coverage")
 	paper := flag.Bool("paper", false, "use the paper's Table II problem sizes")
 	cpus := flag.String("cpus", "", "comma-separated CPU axis (default 1,2,4,8,16,24,32,48,64)")
 	real := flag.Bool("real", false, "wall-clock timing instead of the virtual cost model")
 	seed := flag.Uint64("seed", 0, "seed for the forced-rollback generators")
+	gbufBackend := flag.String("gbuf", "", fmt.Sprintf("GlobalBuffer backend for all runs (one of %v)", mutls.Backends()))
 	flag.Parse()
 
 	cfg := harness.DefaultConfig()
@@ -37,6 +40,13 @@ func main() {
 	cfg.Seed = *seed
 	if *real {
 		cfg.Timing = mutls.Real
+	}
+	if *gbufBackend != "" {
+		if !validBackend(*gbufBackend) {
+			fmt.Fprintf(os.Stderr, "unknown gbuf backend %q (valid: %v)\n", *gbufBackend, mutls.Backends())
+			os.Exit(2)
+		}
+		cfg.Buffering = mutls.Buffering{Backend: *gbufBackend}
 	}
 	if *cpus != "" {
 		axis, err := parseAxis(*cpus)
@@ -52,37 +62,63 @@ func main() {
 	switch {
 	case *coverage:
 		err = h.Coverage(os.Stdout)
-	case *fig == 0:
+	case *fig == "":
 		err = h.All(os.Stdout)
-	case *fig == 1:
-		harness.Table1(os.Stdout)
-	case *fig == 2:
-		h.Table2(os.Stdout)
-	case *fig == 3:
-		err = h.Fig3(os.Stdout)
-	case *fig == 4:
-		err = h.Fig4(os.Stdout)
-	case *fig == 5:
-		err = h.Fig5(os.Stdout)
-	case *fig == 6:
-		err = h.Fig6(os.Stdout)
-	case *fig == 7:
-		err = h.Fig7(os.Stdout)
-	case *fig == 8:
-		err = h.Fig8(os.Stdout)
-	case *fig == 9:
-		err = h.Fig9(os.Stdout)
-	case *fig == 10:
-		err = h.Fig10(os.Stdout)
-	case *fig == 11:
-		err = h.Fig11(os.Stdout)
+	case *fig == "gbuf":
+		err = h.FigGBuf(os.Stdout)
 	default:
-		err = fmt.Errorf("unknown figure %d (valid: 1..11)", *fig)
+		err = runFigure(h, *fig)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
+}
+
+// runFigure dispatches a numeric -fig value.
+func runFigure(h *harness.Harness, fig string) error {
+	n, err := strconv.Atoi(fig)
+	if err != nil {
+		return fmt.Errorf("unknown figure %q (valid: 0..11, gbuf)", fig)
+	}
+	switch n {
+	case 0: // the old int flag's "everything" value
+		return h.All(os.Stdout)
+	case 1:
+		harness.Table1(os.Stdout)
+		return nil
+	case 2:
+		h.Table2(os.Stdout)
+		return nil
+	case 3:
+		return h.Fig3(os.Stdout)
+	case 4:
+		return h.Fig4(os.Stdout)
+	case 5:
+		return h.Fig5(os.Stdout)
+	case 6:
+		return h.Fig6(os.Stdout)
+	case 7:
+		return h.Fig7(os.Stdout)
+	case 8:
+		return h.Fig8(os.Stdout)
+	case 9:
+		return h.Fig9(os.Stdout)
+	case 10:
+		return h.Fig10(os.Stdout)
+	case 11:
+		return h.Fig11(os.Stdout)
+	}
+	return fmt.Errorf("unknown figure %d (valid: 0..11, gbuf)", n)
+}
+
+func validBackend(name string) bool {
+	for _, b := range mutls.Backends() {
+		if b == name {
+			return true
+		}
+	}
+	return false
 }
 
 func parseAxis(s string) ([]int, error) {

@@ -80,10 +80,20 @@ type RunConfig struct {
 	RollbackProb float64
 	Seed         uint64
 	Heuristic    bool
+	// Buffering selects the GlobalBuffer backend; zero selects the suite
+	// default (openaddr, 2^16 words, 256 overflow slots).
+	Buffering mutls.Buffering
 }
 
 // options builds the mutls runtime options for a workload.
 func (cfg RunConfig) options(w *Workload) mutls.Options {
+	buf := cfg.Buffering
+	if buf.LogWords == 0 {
+		buf.LogWords = 16
+	}
+	if buf.OverflowCap == 0 {
+		buf.OverflowCap = 256
+	}
 	return mutls.Options{
 		CPUs:                  cfg.CPUs,
 		Timing:                cfg.Timing,
@@ -92,8 +102,7 @@ func (cfg RunConfig) options(w *Workload) mutls.Options {
 		StaticBytes:           1 << 16,
 		HeapBytes:             w.HeapBytes(cfg.Size),
 		StackBytes:            1 << 16,
-		GBufLogWords:          16,
-		GBufOverflowCap:       256,
+		Buffering:             buf,
 		RegSlots:              160,
 		StackSlots:            32,
 		RollbackProb:          cfg.RollbackProb,

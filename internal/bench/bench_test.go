@@ -45,6 +45,25 @@ func TestWorkloadsAcrossCPUCounts(t *testing.T) {
 	}
 }
 
+// Every workload under every GlobalBuffer backend: the buffering
+// organization may change performance but never the result — the shared
+// sequential-equivalence suite of the backend ablation.
+func TestWorkloadsAcrossBackends(t *testing.T) {
+	for _, w := range All {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			t.Parallel()
+			for _, backend := range mutls.Backends() {
+				cfg := ciConfig(w, 4)
+				cfg.Buffering = mutls.Buffering{Backend: backend}
+				if err := Verify(w, cfg); err != nil {
+					t.Fatalf("backend=%s: %v", backend, err)
+				}
+			}
+		})
+	}
+}
+
 // Every workload under every forking model: the result may be computed with
 // less parallelism but never differently.
 func TestWorkloadsAcrossModels(t *testing.T) {

@@ -30,8 +30,9 @@ type Options struct {
 	// mem.DefaultSpaceConfig.
 	Space mem.SpaceConfig
 
-	// GBuf configures the per-CPU GlobalBuffers. Zero value selects
-	// gbuf.DefaultConfig.
+	// GBuf selects and sizes the per-CPU GlobalBuffer backend. Zero
+	// fields select the gbuf defaults (openaddr backend, default sizing);
+	// an unknown backend name or invalid sizing fails NewRuntime.
 	GBuf gbuf.Config
 
 	// LBuf configures the per-CPU LocalBuffers. Zero value selects
@@ -80,9 +81,7 @@ func (o Options) withDefaults() (Options, error) {
 	} else {
 		o.Space.NumThreads = o.NumCPUs + 1
 	}
-	if o.GBuf == (gbuf.Config{}) {
-		o.GBuf = gbuf.DefaultConfig()
-	}
+	o.GBuf = o.GBuf.WithDefaults()
 	if o.LBuf == (lbuf.Config{}) {
 		o.LBuf = lbuf.DefaultConfig()
 	}

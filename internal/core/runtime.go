@@ -89,6 +89,13 @@ type threadData struct {
 	finalTime    vclock.Cost
 	overflowStop bool
 	reason       RollbackReason
+	// readPeak/writePeak are the GlobalBuffer set sizes captured just
+	// before finalization: the execution's buffer-pressure high-water
+	// marks. buffersFinal guards against a second finalization of the
+	// same execution (self-rollback then NOSYNC) zeroing them.
+	readPeak     int
+	writePeak    int
+	buffersFinal bool
 	// forkRegs keeps the parent's fork-time register predictions for
 	// MUTLS_validate_local (separate from the LocalBuffer, which the child
 	// overwrites when saving its own locals at a stop point).
@@ -124,9 +131,11 @@ func tailWord(rank Rank, epoch uint64) uint64 {
 // cpu bundles one virtual CPU: its ThreadData, GlobalBuffer and LocalBuffer
 // (the paper's ThreadManager maintains exactly this triple per CPU), plus
 // the worker channel and the virtual time at which the CPU becomes free.
+// The GlobalBuffer is held behind the gbuf.Backend interface, so the
+// buffering organization is a per-runtime choice (Options.GBuf.Backend).
 type cpu struct {
 	td     threadData
-	gb     *gbuf.Buffer
+	gb     gbuf.Backend
 	lb     *lbuf.Buffer
 	tasks  chan specTask
 	freeAt atomic.Int64 // virtual time when the CPU is next available
@@ -206,7 +215,7 @@ func NewRuntime(opts Options) (*Runtime, error) {
 	}
 	rt.nonSpecStackTop = r0.Start
 	for r := 1; r <= o.NumCPUs; r++ {
-		gb, err := gbuf.New(space.Arena, o.GBuf)
+		gb, err := gbuf.NewBackend(space.Arena, o.GBuf)
 		if err != nil {
 			return nil, err
 		}
@@ -290,11 +299,26 @@ func (rt *Runtime) drain(t *Thread) {
 	}
 }
 
-// Stats summarizes the last Run. Only meaningful with CollectStats.
-func (rt *Runtime) Stats() *stats.Summary { return rt.collector.Summarize(rt.opts.NumCPUs) }
+// Stats summarizes the last Run. Only meaningful with CollectStats. The
+// GlobalBuffer counters are aggregated over all virtual CPUs; the runtime
+// must be quiescent (Run drains before returning). Like the execution
+// records, they accumulate until ResetStats.
+func (rt *Runtime) Stats() *stats.Summary {
+	s := rt.collector.Summarize(rt.opts.NumCPUs)
+	for r := 1; r <= rt.opts.NumCPUs; r++ {
+		s.GBuf.Add(rt.cpus[r].gb.Counters())
+	}
+	return s
+}
 
-// ResetStats clears collected statistics between runs.
-func (rt *Runtime) ResetStats() { rt.collector.Reset() }
+// ResetStats clears collected statistics (execution records and the
+// per-CPU GlobalBuffer counters) between runs.
+func (rt *Runtime) ResetStats() {
+	rt.collector.Reset()
+	for r := 1; r <= rt.opts.NumCPUs; r++ {
+		*rt.cpus[r].gb.Counters() = gbuf.Counters{}
+	}
+}
 
 // Close shuts the workers down. The runtime must be idle (no outstanding
 // speculation; Run drains before returning).
@@ -357,6 +381,7 @@ func (rt *Runtime) runSpec(c *cpu, task specTask) {
 	}
 	t.stackTop = t.stack.Start
 	t.clock.SetNow(task.startAt)
+	c.td.buffersFinal = false
 	execStart := t.clock.Now()
 
 	out := runRegion(t, task.region)
@@ -365,8 +390,12 @@ func (rt *Runtime) runSpec(c *cpu, task specTask) {
 	if out.rolledBack {
 		// Self-detected rollback (invalid address, overflow exhaustion,
 		// unsafe op): discard buffers now, publish ROLLBACK, then wait for
-		// the verdict so children are handed to exactly one side.
+		// the verdict so children are handed to exactly one side. The
+		// overflow flag must be cleared here — it survives from this CPU's
+		// previous execution and would misbook the verdict wait as
+		// Overflow time.
 		rt.finalizeBuffers(t, c)
+		td.overflowStop = false
 		td.reason = out.reason
 		td.stopCounter = 0
 		td.stopTime = t.clock.Now()
@@ -496,11 +525,20 @@ func (rt *Runtime) validateAndCommit(t *Thread, c *cpu) bool {
 }
 
 // finalizeBuffers clears the GlobalBuffer, booking the cost proportional to
-// the slots actually used.
+// the slots actually used. The set sizes at this point are the execution's
+// high-water marks (sets only grow during a region), so they are captured
+// here for the statistics record. A second call for the same execution (a
+// self-rolled-back thread that is then NOSYNCed) is a no-op, so the peaks
+// survive until record().
 func (rt *Runtime) finalizeBuffers(t *Thread, c *cpu) {
+	if c.td.buffersFinal {
+		return
+	}
+	c.td.buffersFinal = true
 	model := &rt.opts.Cost
-	used := c.gb.ReadSetSize() + c.gb.WriteSetSize()
-	t.clock.Charge(vclock.Finalize, vclock.Cost(used)*model.FinalizePerWord)
+	reads, writes := c.gb.ReadSetSize(), c.gb.WriteSetSize()
+	c.td.readPeak, c.td.writePeak = reads, writes
+	t.clock.Charge(vclock.Finalize, vclock.Cost(reads+writes)*model.FinalizePerWord)
 	stop := t.clock.Span(vclock.Finalize)
 	c.gb.Finalize()
 	stop()
@@ -509,12 +547,14 @@ func (rt *Runtime) finalizeBuffers(t *Thread, c *cpu) {
 // record emits the execution's statistics record.
 func (rt *Runtime) record(t *Thread, c *cpu, execStart vclock.Cost, committed bool) {
 	rt.collector.Add(stats.ExecRecord{
-		Rank:      int(c.td.rank),
-		Point:     c.td.point,
-		Start:     execStart,
-		End:       t.clock.Now(),
-		Ledger:    t.clock.Ledger(),
-		Committed: committed,
+		Rank:         int(c.td.rank),
+		Point:        c.td.point,
+		Start:        execStart,
+		End:          t.clock.Now(),
+		Ledger:       t.clock.Ledger(),
+		Committed:    committed,
+		ReadSetPeak:  c.td.readPeak,
+		WriteSetPeak: c.td.writePeak,
 	})
 }
 

@@ -1,0 +1,157 @@
+package gbuf
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/mem"
+)
+
+// Backend is the speculative-buffering contract every GlobalBuffer
+// implementation satisfies. The runtime (internal/core) programs against
+// this interface only; concrete organizations — the paper's static
+// open-addressing maps, dynamically chained buckets, per-page bitmaps —
+// are selected by name through the registry below.
+//
+// Semantics shared by all backends:
+//
+//   - Load/Store buffer word-granularity accesses against the arena.
+//     Sub-word stores are tracked with byte marks so Commit applies exactly
+//     the written bytes.
+//   - Validate compares every read-set snapshot word with current memory.
+//   - Commit applies the write set; callers serialize committers via the
+//     join protocol.
+//   - Finalize returns the buffer to its initial state in time proportional
+//     to the data actually touched.
+//   - MustStop reports whether the thread must wait to be joined at its
+//     next check point (backends without conflict parking always report
+//     false).
+type Backend interface {
+	// Load performs a buffered read of size bytes (1, 2, 4 or 8) at p.
+	Load(p mem.Addr, size int) (uint64, Status)
+	// Store performs a buffered write of size bytes (1, 2, 4 or 8) at p.
+	Store(p mem.Addr, size int, v uint64) Status
+	// Validate checks the read set against the arena.
+	Validate() bool
+	// Commit applies the write set to the arena.
+	Commit()
+	// Finalize clears all buffered state for the next speculation.
+	Finalize()
+	// MustStop reports whether the thread must wait for its join.
+	MustStop() bool
+	// ReadSetSize returns the number of buffered read words.
+	ReadSetSize() int
+	// WriteSetSize returns the number of buffered written words.
+	WriteSetSize() int
+	// Counters exposes the backend's accumulated activity counters.
+	Counters() *Counters
+}
+
+// Constructor builds a Backend over an arena from a (defaulted, but not yet
+// validated) Config. Constructors must reject invalid sizing with an error
+// rather than panicking or silently mis-sizing.
+type Constructor func(arena *mem.Arena, cfg Config) (Backend, error)
+
+var registry = map[string]Constructor{}
+
+// Register adds a backend constructor under a unique name. It is intended
+// to be called from init functions; duplicate names panic.
+func Register(name string, ctor Constructor) {
+	if name == "" || ctor == nil {
+		panic("gbuf: Register with empty name or nil constructor")
+	}
+	if _, dup := registry[name]; dup {
+		panic(fmt.Sprintf("gbuf: backend %q registered twice", name))
+	}
+	registry[name] = ctor
+}
+
+// Backends returns the registered backend names, sorted.
+func Backends() []string {
+	names := make([]string, 0, len(registry))
+	for name := range registry {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// DefaultBackend is the backend selected by an empty Config.Backend: the
+// paper's open-addressing design.
+const DefaultBackend = "openaddr"
+
+// NewBackend dispatches cfg.Backend through the registry. An empty name
+// selects DefaultBackend. Sizing fields are validated by the constructor;
+// callers that want zero fields filled use Config.WithDefaults first.
+func NewBackend(arena *mem.Arena, cfg Config) (Backend, error) {
+	name := cfg.Backend
+	if name == "" {
+		name = DefaultBackend
+	}
+	ctor, ok := registry[name]
+	if !ok {
+		return nil, fmt.Errorf("gbuf: unknown backend %q (registered: %v)", name, Backends())
+	}
+	return ctor(arena, cfg)
+}
+
+func init() {
+	Register("openaddr", func(arena *mem.Arena, cfg Config) (Backend, error) {
+		return New(arena, cfg)
+	})
+	Register("chain", newChainBackend)
+	Register("bitmap", newBitmapBackend)
+}
+
+// Add accumulates another counter set into c (used to aggregate per-CPU
+// backend counters into a run summary).
+func (c *Counters) Add(o *Counters) {
+	c.Loads += o.Loads
+	c.Stores += o.Stores
+	c.ReadSetHits += o.ReadSetHits
+	c.Conflicts += o.Conflicts
+	c.Validations += o.Validations
+	c.ValidationFail += o.ValidationFail
+	c.Commits += o.Commits
+	c.WordsCommitted += o.WordsCommitted
+	c.BytesCommitted += o.BytesCommitted
+}
+
+// mergeLoad implements the read-your-own-writes rule shared by every
+// backend: the snapshot word overlaid with the bytes the write set has
+// marked, sliced to the access. rWord is the read-set snapshot; wData and
+// wMarks are the write-set word and its byte marks (both nil when the word
+// was never written).
+func mergeLoad(rWord, wData, wMarks []byte, off, size int) uint64 {
+	var tmp [mem.Word]byte
+	copy(tmp[:], rWord)
+	if wData != nil {
+		for i := off; i < off+size; i++ {
+			if wMarks[i] == fullMark {
+				tmp[i] = wData[i]
+			}
+		}
+	}
+	return readLE(tmp[off : off+size])
+}
+
+// commitWord merges one buffered word into the arena: whole words at once
+// when all eight marks are set (the paper's -1 mark optimization), marked
+// bytes individually otherwise. Committers are serialized by the join
+// protocol, so the read-modify-write is safe. Shared by every backend.
+func commitWord(arena *mem.Arena, c *Counters, base mem.Addr, data, marks []byte) {
+	if allMarked(marks) {
+		arena.WriteWord(base, readLE(data[:mem.Word]))
+		c.WordsCommitted++
+		return
+	}
+	w := arena.ReadWord(base)
+	for i := 0; i < mem.Word; i++ {
+		if marks[i] == fullMark {
+			shift := uint(i) * 8
+			w = (w &^ (0xFF << shift)) | uint64(data[i])<<shift
+			c.BytesCommitted++
+		}
+	}
+	arena.WriteWord(base, w)
+}

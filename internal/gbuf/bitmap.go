@@ -1,0 +1,263 @@
+package gbuf
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math/bits"
+
+	"repro/internal/mem"
+)
+
+// bitmapBuffer is the "bitmap" backend: the address space is divided into
+// fixed pages of PageWords words, and each set keeps, per touched page, a
+// lazily allocated shadow of the page plus a word-granularity presence
+// bitmap. Dense writers (mandelbrot rows, matmult tiles) hit the same few
+// pages over and over, so lookups are one map probe plus a bit test, there
+// is no hash-collision outcome at all (Conflict and Full never occur), and
+// validation/commit walk set bits instead of hash slots. Sparse access
+// patterns pay for whole-page shadows — the ablation bench shows where the
+// trade flips.
+type bitmapBuffer struct {
+	arena     *mem.Arena
+	pageWords int
+	pageShift uint   // log2(pageWords), for divide-free locate
+	pageMask  uint64 // pageWords - 1
+	read      bitmapSet
+	write     bitmapSet
+	C         Counters
+}
+
+// bitmapPage shadows one page of one set.
+type bitmapPage struct {
+	pageIdx uint64
+	present []uint64 // PageWords bits: word buffered here
+	data    []byte   // PageWords * Word bytes
+	mark    []byte   // write pages: byte marks, same size as data
+}
+
+// bitmapSet is one per-page map with lazy page allocation and recycling.
+type bitmapSet struct {
+	pages map[uint64]*bitmapPage
+	order []*bitmapPage // touched pages, for iteration and reset
+	free  []*bitmapPage // zeroed pages recycled across speculations
+	words int           // total buffered words (popcount of all bitmaps)
+}
+
+func newBitmapSet() bitmapSet {
+	return bitmapSet{pages: make(map[uint64]*bitmapPage)}
+}
+
+// page returns the shadow page for pageIdx, allocating (or recycling) it on
+// first touch.
+func (s *bitmapSet) page(b *bitmapBuffer, pageIdx uint64, withMarks bool) *bitmapPage {
+	if pg, ok := s.pages[pageIdx]; ok {
+		return pg
+	}
+	var pg *bitmapPage
+	if n := len(s.free); n > 0 {
+		pg = s.free[n-1]
+		s.free = s.free[:n-1]
+	} else {
+		pg = &bitmapPage{
+			present: make([]uint64, (b.pageWords+63)/64),
+			data:    make([]byte, b.pageWords*mem.Word),
+		}
+		if withMarks {
+			pg.mark = make([]byte, b.pageWords*mem.Word)
+		}
+	}
+	pg.pageIdx = pageIdx
+	s.pages[pageIdx] = pg
+	s.order = append(s.order, pg)
+	return pg
+}
+
+// reset zeroes exactly the set bits of every touched page and recycles the
+// pages, keeping reset cost proportional to the words buffered.
+func (s *bitmapSet) reset() {
+	for _, pg := range s.order {
+		for wi, set := range pg.present {
+			for set != 0 {
+				slot := wi*64 + bits.TrailingZeros64(set)
+				off := slot * mem.Word
+				for i := off; i < off+mem.Word; i++ {
+					pg.data[i] = 0
+					if pg.mark != nil {
+						pg.mark[i] = 0
+					}
+				}
+				set &= set - 1
+			}
+			pg.present[wi] = 0
+		}
+		delete(s.pages, pg.pageIdx)
+		s.free = append(s.free, pg)
+	}
+	s.order = s.order[:0]
+	s.words = 0
+}
+
+// newBitmapBackend validates the page sizing and builds the backend.
+func newBitmapBackend(arena *mem.Arena, cfg Config) (Backend, error) {
+	if cfg.PageWords <= 0 {
+		return nil, fmt.Errorf("gbuf: bitmap PageWords %d must be positive", cfg.PageWords)
+	}
+	if cfg.PageWords&(cfg.PageWords-1) != 0 {
+		return nil, fmt.Errorf("gbuf: bitmap PageWords %d must be a power of two", cfg.PageWords)
+	}
+	if cfg.PageWords > 1<<24 {
+		return nil, fmt.Errorf("gbuf: bitmap PageWords %d out of range (max 1<<24)", cfg.PageWords)
+	}
+	return &bitmapBuffer{
+		arena:     arena,
+		pageWords: cfg.PageWords,
+		pageShift: uint(bits.TrailingZeros(uint(cfg.PageWords))),
+		pageMask:  uint64(cfg.PageWords - 1),
+		read:      newBitmapSet(),
+		write:     newBitmapSet(),
+	}, nil
+}
+
+// locate splits a word base address into (pageIdx, slot within the page).
+// PageWords is a power of two, so this is a shift and a mask — no divide on
+// the per-access hot path.
+func (b *bitmapBuffer) locate(base mem.Addr) (uint64, int) {
+	wordIdx := uint64(base) >> 3
+	return wordIdx >> b.pageShift, int(wordIdx & b.pageMask)
+}
+
+// MustStop always reports false: bitmap sets never park an access.
+func (b *bitmapBuffer) MustStop() bool { return false }
+
+// ReadSetSize returns the number of buffered read words.
+func (b *bitmapBuffer) ReadSetSize() int { return b.read.words }
+
+// WriteSetSize returns the number of buffered written words.
+func (b *bitmapBuffer) WriteSetSize() int { return b.write.words }
+
+// Counters exposes the accumulated activity counters.
+func (b *bitmapBuffer) Counters() *Counters { return &b.C }
+
+// writeEntry locates (data, marks) for base in the write set, or nil.
+func (b *bitmapBuffer) writeEntry(base mem.Addr) (data, marks []byte) {
+	pageIdx, slot := b.locate(base)
+	pg, ok := b.write.pages[pageIdx]
+	if !ok || pg.present[slot/64]&(1<<uint(slot%64)) == 0 {
+		return nil, nil
+	}
+	off := slot * mem.Word
+	return pg.data[off : off+mem.Word], pg.mark[off : off+mem.Word]
+}
+
+// readWordEntry returns the read-set snapshot word for base, creating it
+// from the arena on first touch.
+func (b *bitmapBuffer) readWordEntry(base mem.Addr) []byte {
+	pageIdx, slot := b.locate(base)
+	pg := b.read.page(b, pageIdx, false)
+	off := slot * mem.Word
+	word := pg.data[off : off+mem.Word]
+	if pg.present[slot/64]&(1<<uint(slot%64)) != 0 {
+		b.C.ReadSetHits++
+		return word
+	}
+	pg.present[slot/64] |= 1 << uint(slot%64)
+	b.read.words++
+	binary.LittleEndian.PutUint64(word, b.arena.ReadWord(base))
+	return word
+}
+
+// Load mirrors the openaddr read path; no conflict outcome exists.
+func (b *bitmapBuffer) Load(p mem.Addr, size int) (uint64, Status) {
+	if !validSize(size) || !mem.Aligned(p, size) {
+		return 0, Misaligned
+	}
+	b.C.Loads++
+	base := mem.WordBase(p)
+	off := mem.WordOffset(p)
+	wData, wMarks := b.writeEntry(base)
+	if wData != nil && allMarked(wMarks[off:off+size]) {
+		b.C.ReadSetHits++
+		return readLE(wData[off : off+size]), OK
+	}
+	rWord := b.readWordEntry(base)
+	return mergeLoad(rWord, wData, wMarks, off, size), OK
+}
+
+// Store mirrors the openaddr write path; no conflict outcome exists.
+func (b *bitmapBuffer) Store(p mem.Addr, size int, v uint64) Status {
+	if !validSize(size) || !mem.Aligned(p, size) {
+		return Misaligned
+	}
+	b.C.Stores++
+	base := mem.WordBase(p)
+	off := mem.WordOffset(p)
+	pageIdx, slot := b.locate(base)
+	pg := b.write.page(b, pageIdx, true)
+	wordOff := slot * mem.Word
+	data := pg.data[wordOff : wordOff+mem.Word]
+	marks := pg.mark[wordOff : wordOff+mem.Word]
+	if pg.present[slot/64]&(1<<uint(slot%64)) == 0 {
+		pg.present[slot/64] |= 1 << uint(slot%64)
+		b.write.words++
+		if size < mem.Word {
+			// First touch of a sub-word slot: seed with the arena word.
+			binary.LittleEndian.PutUint64(data, b.arena.ReadWord(base))
+		}
+	}
+	writeLE(data[off:off+size], v, size)
+	for i := off; i < off+size; i++ {
+		marks[i] = fullMark
+	}
+	return OK
+}
+
+// forEachWord visits every buffered word of a set as (base, data, marks);
+// marks is nil for the read set.
+func (b *bitmapBuffer) forEachWord(s *bitmapSet, fn func(base mem.Addr, data, marks []byte) bool) bool {
+	for _, pg := range s.order {
+		pageBase := pg.pageIdx * uint64(b.pageWords) * mem.Word
+		for wi, set := range pg.present {
+			for set != 0 {
+				slot := wi*64 + bits.TrailingZeros64(set)
+				off := slot * mem.Word
+				base := mem.Addr(pageBase + uint64(off))
+				var marks []byte
+				if pg.mark != nil {
+					marks = pg.mark[off : off+mem.Word]
+				}
+				if !fn(base, pg.data[off:off+mem.Word], marks) {
+					return false
+				}
+				set &= set - 1
+			}
+		}
+	}
+	return true
+}
+
+// Validate checks every read-set word against the arena.
+func (b *bitmapBuffer) Validate() bool {
+	b.C.Validations++
+	ok := b.forEachWord(&b.read, func(base mem.Addr, data, _ []byte) bool {
+		return binary.LittleEndian.Uint64(data) == b.arena.ReadWord(base)
+	})
+	if !ok {
+		b.C.ValidationFail++
+	}
+	return ok
+}
+
+// Commit applies the write set to the arena.
+func (b *bitmapBuffer) Commit() {
+	b.C.Commits++
+	b.forEachWord(&b.write, func(base mem.Addr, data, marks []byte) bool {
+		commitWord(b.arena, &b.C, base, data, marks)
+		return true
+	})
+}
+
+// Finalize clears both sets in time proportional to the words buffered.
+func (b *bitmapBuffer) Finalize() {
+	b.read.reset()
+	b.write.reset()
+}

@@ -1,0 +1,197 @@
+package gbuf
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/mem"
+)
+
+// chainBuffer is the "chain" backend: read and write sets organized as hash
+// maps with dynamically chained buckets. Unlike the paper's static
+// open-addressing maps, a hash collision simply extends the bucket's chain —
+// there is no overflow parking (Conflict) and no capacity exhaustion (Full),
+// so speculative threads never stop or roll back because of the buffer's
+// organization. The price is pointer chasing on lookups and per-entry
+// growth of the entry pool; the ablation bench quantifies the trade-off.
+//
+// Entries live in one slice per set (indices, not pointers, chain the
+// buckets), so a speculation allocates at most twice after its high-water
+// mark is reached, and Finalize resets in time proportional to the touched
+// buckets.
+type chainBuffer struct {
+	arena *mem.Arena
+	read  chainSet
+	write chainSet
+	C     Counters
+}
+
+// chainEntry is one buffered word on a bucket chain.
+type chainEntry struct {
+	base mem.Addr
+	next int32 // next entry index on the chain, -1 = end
+	data [mem.Word]byte
+	mark [mem.Word]byte // write set: which bytes were written
+}
+
+// chainSet is one chained-bucket hash map.
+type chainSet struct {
+	heads   []int32 // bucket heads, -1 = empty
+	touched []int32 // bucket indices in use, for proportional reset
+	entries []chainEntry
+	mask    uint64
+}
+
+func newChainSet(nBuckets int) chainSet {
+	s := chainSet{
+		heads:   make([]int32, nBuckets),
+		touched: make([]int32, 0, nBuckets),
+		mask:    uint64(nBuckets - 1),
+	}
+	for i := range s.heads {
+		s.heads[i] = -1
+	}
+	return s
+}
+
+func (s *chainSet) bucket(base mem.Addr) int {
+	return int((uint64(base) >> 3) & s.mask)
+}
+
+// lookup returns the entry for base, or nil.
+func (s *chainSet) lookup(base mem.Addr) *chainEntry {
+	for i := s.heads[s.bucket(base)]; i >= 0; i = s.entries[i].next {
+		if s.entries[i].base == base {
+			return &s.entries[i]
+		}
+	}
+	return nil
+}
+
+// insert prepends a fresh entry for base to its bucket chain.
+func (s *chainSet) insert(base mem.Addr) *chainEntry {
+	b := s.bucket(base)
+	if s.heads[b] < 0 {
+		s.touched = append(s.touched, int32(b))
+	}
+	s.entries = append(s.entries, chainEntry{base: base, next: s.heads[b]})
+	s.heads[b] = int32(len(s.entries) - 1)
+	return &s.entries[len(s.entries)-1]
+}
+
+// reset clears exactly the touched buckets and drops all entries.
+func (s *chainSet) reset() {
+	for _, b := range s.touched {
+		s.heads[b] = -1
+	}
+	s.touched = s.touched[:0]
+	s.entries = s.entries[:0]
+}
+
+// newChainBackend validates the chain sizing and builds the backend.
+func newChainBackend(arena *mem.Arena, cfg Config) (Backend, error) {
+	if cfg.LogBuckets < 1 || cfg.LogBuckets > 30 {
+		return nil, fmt.Errorf("gbuf: chain LogBuckets %d out of range [1,30]", cfg.LogBuckets)
+	}
+	n := 1 << cfg.LogBuckets
+	return &chainBuffer{
+		arena: arena,
+		read:  newChainSet(n),
+		write: newChainSet(n),
+	}, nil
+}
+
+// MustStop always reports false: chains never park an access.
+func (b *chainBuffer) MustStop() bool { return false }
+
+// ReadSetSize returns the number of buffered read words.
+func (b *chainBuffer) ReadSetSize() int { return len(b.read.entries) }
+
+// WriteSetSize returns the number of buffered written words.
+func (b *chainBuffer) WriteSetSize() int { return len(b.write.entries) }
+
+// Counters exposes the accumulated activity counters.
+func (b *chainBuffer) Counters() *Counters { return &b.C }
+
+// readWordEntry returns the read-set snapshot word for base, creating it
+// from the arena on first touch.
+func (b *chainBuffer) readWordEntry(base mem.Addr) []byte {
+	if e := b.read.lookup(base); e != nil {
+		b.C.ReadSetHits++
+		return e.data[:]
+	}
+	e := b.read.insert(base)
+	binary.LittleEndian.PutUint64(e.data[:], b.arena.ReadWord(base))
+	return e.data[:]
+}
+
+// Load mirrors the openaddr read path without any conflict outcome.
+func (b *chainBuffer) Load(p mem.Addr, size int) (uint64, Status) {
+	if !validSize(size) || !mem.Aligned(p, size) {
+		return 0, Misaligned
+	}
+	b.C.Loads++
+	base := mem.WordBase(p)
+	off := mem.WordOffset(p)
+	var wData, wMarks []byte
+	if e := b.write.lookup(base); e != nil {
+		wData, wMarks = e.data[:], e.mark[:]
+	}
+	if wData != nil && allMarked(wMarks[off:off+size]) {
+		b.C.ReadSetHits++
+		return readLE(wData[off : off+size]), OK
+	}
+	rWord := b.readWordEntry(base)
+	return mergeLoad(rWord, wData, wMarks, off, size), OK
+}
+
+// Store mirrors the openaddr write path without any conflict outcome.
+func (b *chainBuffer) Store(p mem.Addr, size int, v uint64) Status {
+	if !validSize(size) || !mem.Aligned(p, size) {
+		return Misaligned
+	}
+	b.C.Stores++
+	base := mem.WordBase(p)
+	off := mem.WordOffset(p)
+	e := b.write.lookup(base)
+	if e == nil {
+		e = b.write.insert(base)
+		if size < mem.Word {
+			// First touch of a sub-word slot: seed with the arena word.
+			binary.LittleEndian.PutUint64(e.data[:], b.arena.ReadWord(base))
+		}
+	}
+	writeLE(e.data[off:off+size], v, size)
+	for i := off; i < off+size; i++ {
+		e.mark[i] = fullMark
+	}
+	return OK
+}
+
+// Validate checks every read-set word against the arena.
+func (b *chainBuffer) Validate() bool {
+	b.C.Validations++
+	for i := range b.read.entries {
+		e := &b.read.entries[i]
+		if binary.LittleEndian.Uint64(e.data[:]) != b.arena.ReadWord(e.base) {
+			b.C.ValidationFail++
+			return false
+		}
+	}
+	return true
+}
+
+// Commit applies the write set to the arena.
+func (b *chainBuffer) Commit() {
+	b.C.Commits++
+	for i := range b.write.entries {
+		e := &b.write.entries[i]
+		commitWord(b.arena, &b.C, e.base, e.data[:], e.mark[:])
+	}
+}
+
+// Finalize clears both sets in time proportional to the buckets touched.
+func (b *chainBuffer) Finalize() {
+	b.read.reset()
+	b.write.reset()
+}

@@ -11,6 +11,12 @@
 // word. On a hash-slot conflict the access is diverted to a small temporary
 // overflow buffer and the thread must wait to be joined at its next check
 // point; if the overflow buffer fills up, the thread rolls back.
+//
+// That design is one of several read/write-set organizations the package
+// offers: the Backend interface abstracts the buffering contract, and a
+// registry of named constructors ("openaddr" — this file's Buffer —
+// "chain" and "bitmap") lets the runtime select the organization per run.
+// See backend.go, chain.go and bitmap.go.
 package gbuf
 
 import (
@@ -166,23 +172,82 @@ type Buffer struct {
 	C        Counters
 }
 
-// Config sizes a GlobalBuffer.
+// Config selects and sizes a GlobalBuffer backend. Only the fields of the
+// selected backend matter; the rest are ignored. Defaulting is explicit:
+// the core/mutls layers pass configs through WithDefaults, which fills
+// zero fields; the constructors themselves (New, NewBackend) take every
+// field literally and only validate it.
 type Config struct {
-	LogWords    int // the maps hold 1<<LogWords words each
-	OverflowCap int // max parked words per set before rollback
+	// Backend names the buffering organization: "openaddr" (the paper's
+	// static open-addressing maps, the default), "chain" (dynamically
+	// chained buckets, never parks on conflicts) or "bitmap" (per-page
+	// word-granularity sets with lazy page allocation). Empty selects
+	// DefaultBackend.
+	Backend string
+
+	// LogWords sizes the openaddr maps: 1<<LogWords words each.
+	LogWords int
+	// OverflowCap is the openaddr limit of parked words per set before the
+	// thread must roll back. Through WithDefaults, zero selects the
+	// default and NoOverflow disables conflict parking entirely (the
+	// first hash conflict returns Full); the constructors treat both 0
+	// and NoOverflow as "no overflow slots".
+	OverflowCap int
+
+	// LogBuckets sizes the chain backend's bucket-head array:
+	// 1<<LogBuckets heads.
+	LogBuckets int
+
+	// PageWords is the bitmap backend's page size in words (a power of
+	// two). Pages are allocated lazily on first touch.
+	PageWords int
 }
 
-// DefaultConfig returns the size used by the benchmarks: 2^16 words (512 KiB
-// of buffered data per set) and 64 overflow slots.
-func DefaultConfig() Config { return Config{LogWords: 16, OverflowCap: 64} }
+// DefaultConfig returns the size used by the benchmarks: the openaddr
+// backend with 2^16 words (512 KiB of buffered data per set) and 64
+// overflow slots.
+func DefaultConfig() Config { return Config{}.WithDefaults() }
 
-// New creates a GlobalBuffer over the given arena.
+// NoOverflow as OverflowCap requests a buffer with no overflow parking at
+// all: the first hash conflict returns Full and the thread rolls back.
+// (A plain 0 selects the default capacity instead.)
+const NoOverflow = -1
+
+// WithDefaults fills every zero sizing field with its backend's default
+// (openaddr: 2^16 words, 64 overflow slots; chain: 2^12 buckets; bitmap:
+// 512-word pages) and an empty Backend with DefaultBackend. Validation
+// still happens at construction: explicit out-of-range values are errors,
+// never silently clamped.
+func (c Config) WithDefaults() Config {
+	if c.Backend == "" {
+		c.Backend = DefaultBackend
+	}
+	if c.LogWords == 0 {
+		c.LogWords = 16
+	}
+	if c.OverflowCap == 0 {
+		c.OverflowCap = 64 // NoOverflow (-1) stays: parking disabled
+	}
+	if c.LogBuckets == 0 {
+		c.LogBuckets = 12
+	}
+	if c.PageWords == 0 {
+		c.PageWords = 512
+	}
+	return c
+}
+
+// New creates the paper's open-addressing GlobalBuffer over the given
+// arena (the "openaddr" backend).
 func New(arena *mem.Arena, cfg Config) (*Buffer, error) {
-	if cfg.LogWords < 1 || cfg.LogWords > 28 {
-		return nil, fmt.Errorf("gbuf: LogWords %d out of range [1,28]", cfg.LogWords)
+	if cfg.LogWords < 1 || cfg.LogWords > 30 {
+		return nil, fmt.Errorf("gbuf: LogWords %d out of range [1,30]", cfg.LogWords)
+	}
+	if cfg.OverflowCap == NoOverflow {
+		cfg.OverflowCap = 0
 	}
 	if cfg.OverflowCap < 0 {
-		return nil, fmt.Errorf("gbuf: negative overflow capacity")
+		return nil, fmt.Errorf("gbuf: negative overflow capacity %d", cfg.OverflowCap)
 	}
 	n := 1 << cfg.LogWords
 	return &Buffer{
@@ -198,6 +263,9 @@ func New(arena *mem.Arena, cfg Config) (*Buffer, error) {
 // MustStop reports whether an overflow entry is in use, which obliges the
 // thread to wait for its join at the next check point.
 func (b *Buffer) MustStop() bool { return b.mustStop }
+
+// Counters exposes the accumulated activity counters.
+func (b *Buffer) Counters() *Counters { return &b.C }
 
 // ReadSetSize returns the number of buffered read words (map + overflow).
 func (b *Buffer) ReadSetSize() int { return b.read.top + len(b.readOv) }
@@ -287,16 +355,7 @@ func (b *Buffer) Load(p mem.Addr, size int) (uint64, Status) {
 	if st == Full {
 		return 0, Full
 	}
-	var tmp [mem.Word]byte
-	copy(tmp[:], rWord)
-	if wData != nil {
-		for i := off; i < off+size; i++ {
-			if wMarks[i] == fullMark {
-				tmp[i] = wData[i]
-			}
-		}
-	}
-	return readLE(tmp[off : off+size]), st
+	return mergeLoad(rWord, wData, wMarks, off, size), st
 }
 
 // Store performs a buffered write of size bytes (1, 2, 4 or 8) at p. Whole
@@ -369,31 +428,12 @@ func (b *Buffer) Commit() {
 	b.C.Commits++
 	for k := 0; k < b.write.top; k++ {
 		i := int(b.write.used[k])
-		b.commitWord(b.write.addrs[i], b.write.word(i), b.write.markWord(i))
+		commitWord(b.arena, &b.C, b.write.addrs[i], b.write.word(i), b.write.markWord(i))
 	}
 	for k := range b.writeOv {
 		e := &b.writeOv[k]
-		b.commitWord(e.base, e.data[:], e.mark[:])
+		commitWord(b.arena, &b.C, e.base, e.data[:], e.mark[:])
 	}
-}
-
-func (b *Buffer) commitWord(base mem.Addr, data, marks []byte) {
-	if binary.LittleEndian.Uint64(marks) == ^uint64(0) {
-		b.arena.WriteWord(base, binary.LittleEndian.Uint64(data))
-		b.C.WordsCommitted++
-		return
-	}
-	// Merge the marked bytes into the current memory word. Committers are
-	// serialized by the join protocol, so the read-modify-write is safe.
-	w := b.arena.ReadWord(base)
-	for i := 0; i < mem.Word; i++ {
-		if marks[i] == fullMark {
-			shift := uint(i) * 8
-			w = (w &^ (0xFF << shift)) | uint64(data[i])<<shift
-			b.C.BytesCommitted++
-		}
-	}
-	b.arena.WriteWord(base, w)
 }
 
 // Finalize clears both sets and the overflow buffers, returning the buffer

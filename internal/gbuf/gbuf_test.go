@@ -27,8 +27,11 @@ func TestNewRejectsBadConfig(t *testing.T) {
 	if _, err := New(arena, Config{LogWords: 40, OverflowCap: 4}); err == nil {
 		t.Error("huge LogWords accepted")
 	}
-	if _, err := New(arena, Config{LogWords: 4, OverflowCap: -1}); err == nil {
+	if _, err := New(arena, Config{LogWords: 4, OverflowCap: -2}); err == nil {
 		t.Error("negative overflow accepted")
+	}
+	if _, err := New(arena, Config{LogWords: 4, OverflowCap: NoOverflow}); err != nil {
+		t.Errorf("NoOverflow rejected: %v", err)
 	}
 }
 

@@ -10,7 +10,8 @@ import (
 
 // refBuffer is an obviously-correct model of the GlobalBuffer semantics:
 // per-byte written map (write set), per-word read snapshots (read set), and
-// a shadow of the arena for commit checking.
+// a shadow of the arena for commit checking. Every registered backend must
+// agree with it.
 type refBuffer struct {
 	arena   *mem.Arena
 	written map[mem.Addr]byte   // byte address -> speculative value
@@ -71,63 +72,204 @@ func (r *refBuffer) commit() {
 
 var accessSizes = []int{1, 2, 4, 8}
 
+// oracleConfigs maps every registered backend to a config under which the
+// test address range (word slots 1..200 of a 4 KiB arena) produces only OK
+// statuses: a collision-free openaddr map, chained buckets (collisions
+// resolve silently) and small bitmap pages. The overflow/conflict paths of
+// openaddr are exercised separately by TestQuickOracleUnderConflicts.
+func oracleConfigs() map[string]Config {
+	return map[string]Config{
+		"openaddr": {Backend: "openaddr", LogWords: 10, OverflowCap: 4},
+		"chain":    {Backend: "chain", LogBuckets: 4},
+		"bitmap":   {Backend: "bitmap", PageWords: 64},
+	}
+}
+
+// TestOracleCoversEveryBackend forces whoever registers a new backend to
+// add it to the cross-backend oracle configs.
+func TestOracleCoversEveryBackend(t *testing.T) {
+	cfgs := oracleConfigs()
+	for _, name := range Backends() {
+		if _, ok := cfgs[name]; !ok {
+			t.Errorf("backend %q registered but missing from oracleConfigs", name)
+		}
+	}
+	if len(cfgs) != len(Backends()) {
+		t.Errorf("oracleConfigs has %d entries, %d backends registered", len(cfgs), len(Backends()))
+	}
+}
+
+// forEachBackend runs a subtest per registered backend with its oracle
+// config.
+func forEachBackend(t *testing.T, fn func(t *testing.T, cfg Config)) {
+	for _, name := range Backends() {
+		cfg := oracleConfigs()[name]
+		t.Run(name, func(t *testing.T) { fn(t, cfg) })
+	}
+}
+
 // TestQuickBufferMatchesReference drives random aligned load/store sequences
-// through the real buffer and the reference model, comparing every load
+// through every backend and the reference model, comparing every load
 // value, the validation verdict under random non-speculative interference,
 // and the committed arena image.
 func TestQuickBufferMatchesReference(t *testing.T) {
+	forEachBackend(t, func(t *testing.T, cfg Config) {
+		f := func(seed int64) bool {
+			rng := rand.New(rand.NewSource(seed))
+			arenaA, _ := mem.NewArena(1 << 12)
+			arenaB, _ := mem.NewArena(1 << 12)
+			// Identical random initial contents.
+			for i := 8; i < 1<<12; i++ {
+				v := byte(rng.Intn(256))
+				arenaA.WriteUint8(mem.Addr(i), v)
+				arenaB.WriteUint8(mem.Addr(i), v)
+			}
+			buf, err := NewBackend(arenaA, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ref := newRefBuffer(arenaB)
+			for op := 0; op < 300; op++ {
+				size := accessSizes[rng.Intn(len(accessSizes))]
+				slot := rng.Intn(200)
+				p := mem.Addr(8 + slot*8 + rng.Intn(mem.Word/size)*size)
+				if rng.Intn(2) == 0 {
+					v := rng.Uint64()
+					st := buf.Store(p, size, v)
+					if st != OK {
+						t.Logf("store status %v at op %d", st, op)
+						return false
+					}
+					ref.store(p, size, v)
+				} else {
+					got, st := buf.Load(p, size)
+					if st != OK {
+						t.Logf("load status %v at op %d", st, op)
+						return false
+					}
+					want := ref.load(p, size)
+					if got != want {
+						t.Logf("load mismatch at %d size %d: got %#x want %#x (op %d)", p, size, got, want, op)
+						return false
+					}
+				}
+			}
+			if rs, ws := buf.ReadSetSize(), buf.WriteSetSize(); rs != len(ref.readSet) || ws*mem.Word < len(ref.written) {
+				t.Logf("set sizes: real %d/%d words, ref %d reads / %d written bytes", rs, ws, len(ref.readSet), len(ref.written))
+				return false
+			}
+			// Random non-speculative interference on both arenas.
+			for i := 0; i < 20; i++ {
+				p := mem.Addr(8 + rng.Intn(200)*8)
+				v := rng.Uint64()
+				arenaA.WriteWord(p, v)
+				arenaB.WriteWord(p, v)
+			}
+			okA, okB := buf.Validate(), ref.validate()
+			if okA != okB {
+				t.Logf("validation disagreement: real=%v ref=%v", okA, okB)
+				return false
+			}
+			// Commit both and compare the full arena images.
+			buf.Commit()
+			ref.commit()
+			for i := 8; i < 1<<12; i++ {
+				if arenaA.ReadUint8(mem.Addr(i)) != arenaB.ReadUint8(mem.Addr(i)) {
+					t.Logf("arena divergence at byte %d", i)
+					return false
+				}
+			}
+			return true
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+// TestQuickOracleUnderConflicts drives the openaddr backend with a tiny map
+// so hash conflicts and overflow exhaustion actually happen, and checks that
+// parked accesses (Conflict) still return reference values, that Full leaves
+// the access unapplied, and that validation and the committed image agree
+// with the reference regardless.
+func TestQuickOracleUnderConflicts(t *testing.T) {
 	f := func(seed int64) bool {
 		rng := rand.New(rand.NewSource(seed))
 		arenaA, _ := mem.NewArena(1 << 12)
 		arenaB, _ := mem.NewArena(1 << 12)
-		// Identical random initial contents.
 		for i := 8; i < 1<<12; i++ {
 			v := byte(rng.Intn(256))
 			arenaA.WriteUint8(mem.Addr(i), v)
 			arenaB.WriteUint8(mem.Addr(i), v)
 		}
-		// A large map so hash conflicts cannot occur (overflow semantics are
-		// covered by dedicated tests; the reference has no conflicts).
-		buf, _ := New(arenaA, Config{LogWords: 10, OverflowCap: 4})
+		// 4-word map over 50 slots: collisions are the common case.
+		buf, err := NewBackend(arenaA, Config{Backend: "openaddr", LogWords: 2, OverflowCap: 8})
+		if err != nil {
+			t.Fatal(err)
+		}
 		ref := newRefBuffer(arenaB)
-		for op := 0; op < 300; op++ {
+		sawConflict, sawFull := false, false
+		for op := 0; op < 200; op++ {
 			size := accessSizes[rng.Intn(len(accessSizes))]
-			slot := rng.Intn(200)
+			slot := rng.Intn(50)
 			p := mem.Addr(8 + slot*8 + rng.Intn(mem.Word/size)*size)
 			if rng.Intn(2) == 0 {
 				v := rng.Uint64()
-				st := buf.Store(p, size, v)
-				if st != OK {
-					t.Logf("store status %v at op %d", st, op)
+				switch st := buf.Store(p, size, v); st {
+				case OK, Conflict:
+					if st == Conflict {
+						sawConflict = true
+						if !buf.MustStop() {
+							t.Log("Conflict without MustStop")
+							return false
+						}
+					}
+					ref.store(p, size, v)
+				case Full:
+					sawFull = true // access not absorbed; the thread would roll back
+				default:
+					t.Logf("store status %v", st)
 					return false
 				}
-				ref.store(p, size, v)
 			} else {
 				got, st := buf.Load(p, size)
-				if st != OK {
-					t.Logf("load status %v at op %d", st, op)
-					return false
-				}
-				want := ref.load(p, size)
-				if got != want {
-					t.Logf("load mismatch at %d size %d: got %#x want %#x (op %d)", p, size, got, want, op)
+				switch st {
+				case OK, Conflict:
+					if st == Conflict {
+						sawConflict = true
+					}
+					if want := ref.load(p, size); got != want {
+						t.Logf("load mismatch at %d size %d: got %#x want %#x (st %v)", p, size, got, want, st)
+						return false
+					}
+				case Full:
+					sawFull = true
+				default:
+					t.Logf("load status %v", st)
 					return false
 				}
 			}
+			if sawFull {
+				break // a real thread rolls back here; stop driving ops
+			}
 		}
-		// Random non-speculative interference on both arenas.
-		for i := 0; i < 20; i++ {
-			p := mem.Addr(8 + rng.Intn(200)*8)
+		if c := buf.Counters(); sawConflict && c.Conflicts == 0 {
+			t.Log("conflicts seen but not counted")
+			return false
+		}
+		if sawFull {
+			return true // rolled back: nothing further to compare
+		}
+		for i := 0; i < 10; i++ {
+			p := mem.Addr(8 + rng.Intn(50)*8)
 			v := rng.Uint64()
 			arenaA.WriteWord(p, v)
 			arenaB.WriteWord(p, v)
 		}
-		okA, okB := buf.Validate(), ref.validate()
-		if okA != okB {
+		if okA, okB := buf.Validate(), ref.validate(); okA != okB {
 			t.Logf("validation disagreement: real=%v ref=%v", okA, okB)
 			return false
 		}
-		// Commit both and compare the full arena images.
 		buf.Commit()
 		ref.commit()
 		for i := 8; i < 1<<12; i++ {
@@ -138,82 +280,159 @@ func TestQuickBufferMatchesReference(t *testing.T) {
 		}
 		return true
 	}
-	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
 		t.Fatal(err)
 	}
 }
 
 // TestQuickValidationExactness: validation fails iff some read word differs
-// from the arena.
+// from the arena — for every backend.
 func TestQuickValidationExactness(t *testing.T) {
-	f := func(seed int64) bool {
-		rng := rand.New(rand.NewSource(seed))
-		arena, _ := mem.NewArena(1 << 12)
-		buf, _ := New(arena, Config{LogWords: 10, OverflowCap: 4})
-		read := map[mem.Addr]uint64{}
-		for i := 0; i < 50; i++ {
-			p := mem.Addr(8 + rng.Intn(100)*8)
-			v, _ := buf.Load(p, 8)
-			if _, ok := read[p]; !ok {
-				read[p] = v
+	forEachBackend(t, func(t *testing.T, cfg Config) {
+		f := func(seed int64) bool {
+			rng := rand.New(rand.NewSource(seed))
+			arena, _ := mem.NewArena(1 << 12)
+			buf, err := NewBackend(arena, cfg)
+			if err != nil {
+				t.Fatal(err)
 			}
+			read := map[mem.Addr]uint64{}
+			for i := 0; i < 50; i++ {
+				p := mem.Addr(8 + rng.Intn(100)*8)
+				v, _ := buf.Load(p, 8)
+				if _, ok := read[p]; !ok {
+					read[p] = v
+				}
+			}
+			dirty := false
+			for i := 0; i < 10; i++ {
+				p := mem.Addr(8 + rng.Intn(150)*8)
+				nv := rng.Uint64()
+				old, wasRead := read[p]
+				arena.WriteWord(p, nv)
+				if wasRead && nv != old {
+					dirty = true
+				}
+			}
+			return buf.Validate() == !dirty
 		}
-		dirty := false
-		for i := 0; i < 10; i++ {
-			p := mem.Addr(8 + rng.Intn(150)*8)
-			nv := rng.Uint64()
-			old, wasRead := read[p]
-			arena.WriteWord(p, nv)
-			if wasRead && nv != old {
-				dirty = true
-			}
-			if wasRead {
-				read[p] = read[p] // snapshot unchanged; arena moved on
-			}
+		if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+			t.Fatal(err)
 		}
-		return buf.Validate() == !dirty
-	}
-	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
-		t.Fatal(err)
-	}
+	})
 }
 
-// TestQuickCommitTouchesOnlyWrittenBytes: after arbitrary stores, commit
-// changes exactly the stored byte addresses.
+// TestQuickCommitTouchesOnlyWrittenBytes: after arbitrary (sub-word) stores,
+// commit changes exactly the stored byte addresses — the byte-mark contract
+// every backend must honor.
 func TestQuickCommitTouchesOnlyWrittenBytes(t *testing.T) {
-	f := func(seed int64) bool {
-		rng := rand.New(rand.NewSource(seed))
+	forEachBackend(t, func(t *testing.T, cfg Config) {
+		f := func(seed int64) bool {
+			rng := rand.New(rand.NewSource(seed))
+			arena, _ := mem.NewArena(1 << 12)
+			for i := 8; i < 1<<12; i++ {
+				arena.WriteUint8(mem.Addr(i), byte(rng.Intn(256)))
+			}
+			before := make([]byte, 1<<12)
+			copy(before, arena.Snapshot(1, (1<<12)-1)) // offset by 1; index i-1 = addr i
+			buf, err := NewBackend(arena, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			written := map[mem.Addr]byte{}
+			for op := 0; op < 100; op++ {
+				size := accessSizes[rng.Intn(len(accessSizes))]
+				p := mem.Addr(8 + rng.Intn(100)*8 + rng.Intn(mem.Word/size)*size)
+				v := rng.Uint64()
+				buf.Store(p, size, v)
+				for i := 0; i < size; i++ {
+					written[p+mem.Addr(i)] = byte(v >> (8 * i))
+				}
+			}
+			buf.Commit()
+			for i := mem.Addr(8); i < 1<<12; i++ {
+				want, ok := written[i]
+				if !ok {
+					want = before[i-1]
+				}
+				if arena.ReadUint8(i) != want {
+					t.Logf("byte %d: got %#x want %#x (written=%v)", i, arena.ReadUint8(i), want, ok)
+					return false
+				}
+			}
+			return true
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+// TestMisalignedRejectedByEveryBackend: misaligned or odd-sized accesses are
+// rejected without perturbing the sets.
+func TestMisalignedRejectedByEveryBackend(t *testing.T) {
+	forEachBackend(t, func(t *testing.T, cfg Config) {
 		arena, _ := mem.NewArena(1 << 12)
-		for i := 8; i < 1<<12; i++ {
-			arena.WriteUint8(mem.Addr(i), byte(rng.Intn(256)))
+		buf, err := NewBackend(arena, cfg)
+		if err != nil {
+			t.Fatal(err)
 		}
-		before := make([]byte, 1<<12)
-		copy(before, arena.Snapshot(1, (1<<12)-1)) // offset by 1; index i-1 = addr i
-		buf, _ := New(arena, Config{LogWords: 10, OverflowCap: 4})
-		written := map[mem.Addr]byte{}
-		for op := 0; op < 100; op++ {
-			size := accessSizes[rng.Intn(len(accessSizes))]
-			p := mem.Addr(8 + rng.Intn(100)*8 + rng.Intn(mem.Word/size)*size)
-			v := rng.Uint64()
-			buf.Store(p, size, v)
-			for i := 0; i < size; i++ {
-				written[p+mem.Addr(i)] = byte(v >> (8 * i))
+		if _, st := buf.Load(65, 8); st != Misaligned {
+			t.Errorf("unaligned word load: %v", st)
+		}
+		if st := buf.Store(66, 4, 1); st != Misaligned {
+			t.Errorf("unaligned dword store: %v", st)
+		}
+		if _, st := buf.Load(64, 3); st != Misaligned {
+			t.Errorf("weird size load: %v", st)
+		}
+		if st := buf.Store(64, 0, 1); st != Misaligned {
+			t.Errorf("zero size store: %v", st)
+		}
+		if buf.ReadSetSize() != 0 || buf.WriteSetSize() != 0 || buf.MustStop() {
+			t.Error("misaligned access left buffered state behind")
+		}
+	})
+}
+
+// TestQuickFinalizeIsFresh: after random traffic and Finalize, every backend
+// behaves as newly constructed.
+func TestQuickFinalizeIsFresh(t *testing.T) {
+	forEachBackend(t, func(t *testing.T, cfg Config) {
+		rng := rand.New(rand.NewSource(7))
+		arena, _ := mem.NewArena(1 << 12)
+		buf, err := NewBackend(arena, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for round := 0; round < 3; round++ {
+			for op := 0; op < 120; op++ {
+				size := accessSizes[rng.Intn(len(accessSizes))]
+				p := mem.Addr(8 + rng.Intn(100)*8 + rng.Intn(mem.Word/size)*size)
+				if rng.Intn(2) == 0 {
+					buf.Store(p, size, rng.Uint64())
+				} else {
+					buf.Load(p, size)
+				}
+			}
+			buf.Finalize()
+			if buf.ReadSetSize() != 0 || buf.WriteSetSize() != 0 || buf.MustStop() {
+				t.Fatalf("round %d: finalize left state behind", round)
+			}
+			// Discarded writes must not leak: loads re-snapshot the arena.
+			arena.WriteWord(64, uint64(round)+100)
+			v, st := buf.Load(64, 8)
+			if st != OK && st != Conflict {
+				t.Fatalf("round %d: post-finalize load status %v", round, st)
+			}
+			if v != uint64(round)+100 {
+				t.Fatalf("round %d: post-finalize load = %d", round, v)
+			}
+			buf.Finalize()
+			buf.Commit() // empty commit is a no-op
+			if arena.ReadWord(64) != uint64(round)+100 {
+				t.Fatalf("round %d: empty commit changed memory", round)
 			}
 		}
-		buf.Commit()
-		for i := mem.Addr(8); i < 1<<12; i++ {
-			want, ok := written[i]
-			if !ok {
-				want = before[i-1]
-			}
-			if arena.ReadUint8(i) != want {
-				t.Logf("byte %d: got %#x want %#x (written=%v)", i, arena.ReadUint8(i), want, ok)
-				return false
-			}
-		}
-		return true
-	}
-	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
-		t.Fatal(err)
-	}
+	})
 }

@@ -5,7 +5,8 @@
 // and power efficiency), the parallel-coverage numbers of §V-B, Figures 8-9
 // (critical and speculative path breakdowns), Figure 10 (forking model
 // comparison) and Figure 11 (rollback sensitivity). Output is aligned text:
-// the same rows/series the paper plots.
+// the same rows/series the paper plots. Beyond the paper, FigGBuf runs the
+// GlobalBuffer backend ablation over the same suite.
 package harness
 
 import (
@@ -28,6 +29,9 @@ type Config struct {
 	Paper   bool // Table II sizes instead of the quick defaults
 	Timing  mutls.TimingMode
 	Seed    uint64
+	// Buffering selects the GlobalBuffer backend for every run (the -gbuf
+	// flag); the FigGBuf ablation sweeps all backends regardless.
+	Buffering mutls.Buffering
 }
 
 // DefaultConfig returns the quick deterministic configuration.
@@ -68,6 +72,7 @@ func (h *Harness) runCfg(w *bench.Workload, axisCPUs int, model mutls.Model, pro
 		Cost:         cost,
 		RollbackProb: prob,
 		Seed:         h.cfg.Seed,
+		Buffering:    h.cfg.Buffering,
 	}
 }
 
@@ -363,6 +368,43 @@ func (h *Harness) Fig10(out io.Writer) error {
 
 // Fig11Probs are the paper's forced rollback probabilities.
 var Fig11Probs = []float64{0.01, 0.05, 0.10, 0.20, 0.50, 1.00}
+
+// FigGBuf is the GlobalBuffer backend ablation (beyond the paper): every
+// registered backend runs the full benchmark suite at the largest axis
+// point, and the table reports speedup, commits, rollbacks, conflict parks
+// and the per-thread read/write-set high-water marks side by side. Every
+// speculative result is checked against the sequential checksum, so the
+// table doubles as a cross-backend equivalence run.
+func (h *Harness) FigGBuf(out io.Writer) error {
+	cpus := h.cfg.CPUAxis[len(h.cfg.CPUAxis)-1]
+	backends := mutls.Backends()
+	tw := newTab(out)
+	fmt.Fprintf(out, "GBUF ABLATION. GlobalBuffer backends across the benchmark suite at %d CPUs\n", cpus)
+	fmt.Fprintln(tw, "Benchmark\tBackend\tSpeedup\tCommits\tRollbacks\tParks\tRdPeak\tWrPeak")
+	for _, w := range bench.All {
+		seq, err := h.Seq(w, "c")
+		if err != nil {
+			return err
+		}
+		for _, backend := range backends {
+			cfg := h.runCfg(w, cpus, w.DefaultModel, 0, costFor("c"))
+			cfg.Buffering = mutls.Buffering{Backend: backend}
+			m, err := bench.MeasureSpec(w, cfg)
+			if err != nil {
+				return fmt.Errorf("%s/%s: %w", w.Name, backend, err)
+			}
+			if m.Checksum != seq.Checksum {
+				return fmt.Errorf("%s/%s: checksum mismatch (speculative %#x != sequential %#x)",
+					w.Name, backend, m.Checksum, seq.Checksum)
+			}
+			s := m.Summary
+			fmt.Fprintf(tw, "%s\t%s\t%.2f\t%d\t%d\t%d\t%d\t%d\n",
+				w.Name, backend, float64(seq.Runtime)/float64(m.Runtime),
+				s.Commits, s.Rollbacks, s.GBuf.Conflicts, s.ReadSetPeak, s.WriteSetPeak)
+		}
+	}
+	return tw.Flush()
+}
 
 // Fig11 regenerates Figure 11: rollback sensitivity — the relative slowdown
 // with respect to the non-rollback scenario under forced rollbacks.

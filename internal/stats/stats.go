@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"sort"
 
+	"repro/internal/gbuf"
 	"repro/internal/vclock"
 )
 
@@ -20,6 +21,10 @@ type ExecRecord struct {
 	End       vclock.Cost
 	Ledger    vclock.Ledger
 	Committed bool
+	// ReadSetPeak/WriteSetPeak are the GlobalBuffer set sizes (words) at
+	// the end of the execution — its buffer-pressure high-water marks.
+	ReadSetPeak  int
+	WriteSetPeak int
 }
 
 // Runtime returns the record's occupied interval length.
@@ -94,6 +99,17 @@ type Summary struct {
 	Commits        int
 	Rollbacks      int
 	PerPoint       map[int]PointStats
+
+	// ReadSetPeak/WriteSetPeak are the maximum per-thread GlobalBuffer set
+	// sizes (words) observed across all executions: the buffer pressure
+	// the ablation bench reports alongside rollbacks.
+	ReadSetPeak  int
+	WriteSetPeak int
+
+	// GBuf aggregates the GlobalBuffer activity counters over every
+	// virtual CPU (filled by the runtime, not the collector; cumulative
+	// across Runs on the same runtime).
+	GBuf gbuf.Counters
 }
 
 // PointStats profiles one fork/join point, feeding the adaptive fork
@@ -128,6 +144,12 @@ func (c *Collector) Summarize(numCPUs int) *Summary {
 			}
 			ps.Runtime += r.Runtime()
 			s.PerPoint[r.Point] = ps
+			if r.ReadSetPeak > s.ReadSetPeak {
+				s.ReadSetPeak = r.ReadSetPeak
+			}
+			if r.WriteSetPeak > s.WriteSetPeak {
+				s.WriteSetPeak = r.WriteSetPeak
+			}
 		}
 	}
 	return s

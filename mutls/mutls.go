@@ -91,8 +91,24 @@ func DefaultCostModel() CostModel { return vclock.DefaultCostModel() }
 func FortranCostModel() CostModel { return vclock.FortranCostModel() }
 
 // Summary aggregates the statistics of one Run (commits, rollbacks,
-// per-phase ledgers — the inputs to the paper's Figures 5-9).
+// per-phase ledgers — the inputs to the paper's Figures 5-9 — plus the
+// GlobalBuffer pressure and activity counters of the backend ablation).
 type Summary = stats.Summary
+
+// Buffering selects and sizes the per-CPU GlobalBuffer backend: the
+// Backend name plus the sizing fields of that backend (LogWords and
+// OverflowCap for "openaddr", LogBuckets for "chain", PageWords for
+// "bitmap"). Zero fields select defaults; invalid sizing or an unknown
+// backend fails New.
+type Buffering = gbuf.Config
+
+// BufferCounters is the aggregated GlobalBuffer activity of a run
+// (Summary.GBuf): loads, stores, conflict parks, committed words/bytes.
+type BufferCounters = gbuf.Counters
+
+// Backends returns the registered GlobalBuffer backend names, sorted —
+// the valid values of Buffering.Backend.
+func Backends() []string { return gbuf.Backends() }
 
 // Predictor selects a live-variable value prediction strategy for Reduce.
 type Predictor = predict.Kind
@@ -124,8 +140,15 @@ type Options struct {
 	HeapBytes   int
 	StackBytes  int
 
-	// GBufLogWords and GBufOverflowCap size the per-CPU GlobalBuffer hash
-	// map (2^GBufLogWords words) and its overflow list.
+	// Buffering selects and sizes the per-CPU GlobalBuffer backend
+	// (openaddr, chain or bitmap). The zero value selects the openaddr
+	// backend with default sizing.
+	Buffering Buffering
+
+	// Deprecated: GBufLogWords and GBufOverflowCap are aliases for
+	// Buffering.LogWords and Buffering.OverflowCap (the openaddr backend's
+	// sizing), kept for programs written before the backend was pluggable.
+	// They are ignored when the corresponding Buffering field is set.
 	GBufLogWords    int
 	GBufOverflowCap int
 
@@ -171,14 +194,14 @@ func (o Options) coreOptions() core.Options {
 			co.Space.StackBytes = o.StackBytes
 		}
 	}
-	if o.GBufLogWords != 0 || o.GBufOverflowCap != 0 {
-		co.GBuf = gbuf.DefaultConfig()
-		if o.GBufLogWords != 0 {
-			co.GBuf.LogWords = o.GBufLogWords
-		}
-		if o.GBufOverflowCap != 0 {
-			co.GBuf.OverflowCap = o.GBufOverflowCap
-		}
+	co.GBuf = o.Buffering
+	// The deprecated aliases fill openaddr sizing the Buffering config
+	// leaves unset; remaining zero fields select the gbuf defaults.
+	if co.GBuf.LogWords == 0 {
+		co.GBuf.LogWords = o.GBufLogWords
+	}
+	if co.GBuf.OverflowCap == 0 {
+		co.GBuf.OverflowCap = o.GBufOverflowCap
 	}
 	if o.RegSlots != 0 || o.StackSlots != 0 {
 		co.LBuf = lbuf.DefaultConfig()

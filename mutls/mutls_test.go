@@ -414,6 +414,95 @@ func TestPartialBufferOptions(t *testing.T) {
 	rt.Close()
 }
 
+// --- Buffering backends ---
+
+// TestForAcrossBufferBackends: every registered GlobalBuffer backend
+// preserves sequential semantics under the same For workload.
+func TestForAcrossBufferBackends(t *testing.T) {
+	const n, chunks = 4096, 16
+	want := int64(0)
+	for i := 0; i < n; i++ {
+		want += int64(i)*7 + 3
+	}
+	for _, backend := range mutls.Backends() {
+		backend := backend
+		t.Run(backend, func(t *testing.T) {
+			rt := newRuntime(t, 4, func(o *mutls.Options) {
+				o.Buffering = mutls.Buffering{Backend: backend}
+			})
+			if got := forFill(rt, n, chunks, mutls.InOrder); got != want {
+				t.Fatalf("sum = %d, want %d", got, want)
+			}
+			s := rt.Stats()
+			if s.Commits == 0 {
+				t.Fatal("no commits recorded")
+			}
+			if s.GBuf.Stores == 0 {
+				t.Fatal("no buffered stores counted")
+			}
+			if s.WriteSetPeak == 0 {
+				t.Fatal("no write-set high-water mark recorded")
+			}
+			rt.ResetStats()
+			if s = rt.Stats(); s.GBuf.Stores != 0 || s.Commits != 0 {
+				t.Fatalf("ResetStats left stores=%d commits=%d", s.GBuf.Stores, s.Commits)
+			}
+		})
+	}
+}
+
+// TestBufferingValidation: invalid backend names and sizing fail New with
+// an error instead of panicking or silently mis-sizing.
+func TestBufferingValidation(t *testing.T) {
+	cases := []mutls.Buffering{
+		{Backend: "no-such-backend"},
+		{Backend: "openaddr", LogWords: 40},
+		{Backend: "openaddr", LogWords: -1},
+		{Backend: "openaddr", LogWords: 10, OverflowCap: -2}, // -1 is gbuf.NoOverflow
+		{Backend: "chain", LogBuckets: 33},
+		{Backend: "bitmap", PageWords: 24}, // not a power of two
+		{Backend: "bitmap", PageWords: -4},
+	}
+	for _, buf := range cases {
+		if _, err := mutls.New(mutls.Options{CPUs: 2, Buffering: buf}); err == nil {
+			t.Errorf("Buffering %+v accepted", buf)
+		}
+	}
+}
+
+// TestGBufAliasStillWorks: the deprecated GBufLogWords/GBufOverflowCap
+// fields keep configuring the openaddr backend, and an explicit Buffering
+// field wins over the alias.
+func TestGBufAliasStillWorks(t *testing.T) {
+	// Alias values flow into the real config: an out-of-range LogWords via
+	// the alias must error exactly like the Buffering field would.
+	if _, err := mutls.New(mutls.Options{CPUs: 2, GBufLogWords: 40}); err == nil {
+		t.Fatal("out-of-range GBufLogWords accepted through the alias")
+	}
+	// Buffering wins over the alias when both are set.
+	shadowed, err := mutls.New(mutls.Options{
+		CPUs:         2,
+		GBufLogWords: 40, // invalid, but shadowed by Buffering.LogWords
+		Buffering:    mutls.Buffering{LogWords: 10},
+	})
+	if err != nil {
+		t.Fatalf("Buffering.LogWords did not shadow the alias: %v", err)
+	}
+	shadowed.Close()
+	rt := newRuntime(t, 2, func(o *mutls.Options) {
+		o.GBufLogWords = 12
+		o.GBufOverflowCap = 32
+	})
+	const n, chunks = 1024, 8
+	want := int64(0)
+	for i := 0; i < n; i++ {
+		want += int64(i)*7 + 3
+	}
+	if got := forFill(rt, n, chunks, mutls.InOrder); got != want {
+		t.Fatalf("alias-configured runtime sum = %d, want %d", got, want)
+	}
+}
+
 func TestRealTiming(t *testing.T) {
 	rt := newRuntime(t, 2, func(o *mutls.Options) { o.Timing = mutls.Real })
 	const n, chunks = 2048, 8
