@@ -7,7 +7,9 @@
 //	mutls-bench                  # everything, quick sizes, virtual timing
 //	mutls-bench -fig 3           # one figure (1, 2 = tables; 3..11 = figures)
 //	mutls-bench -fig gbuf        # GlobalBuffer backend ablation table
+//	mutls-bench -fig chunks      # static vs adaptive chunk-sizing ablation
 //	mutls-bench -gbuf chain      # run everything on the chain backend
+//	mutls-bench -chunks adaptive # feedback-driven chunk sizing for all runs
 //	mutls-bench -coverage        # the §V-B parallel coverage numbers
 //	mutls-bench -paper           # Table II problem sizes (slow)
 //	mutls-bench -cpus 1,2,4,64   # custom CPU axis
@@ -26,13 +28,14 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "", `regenerate one table (1,2), figure (3..11) or the backend ablation ("gbuf"); empty = everything`)
+	fig := flag.String("fig", "", `regenerate one table (1,2), figure (3..11) or an ablation ("gbuf", "chunks"); empty = everything`)
 	coverage := flag.Bool("coverage", false, "print the §V-B parallel execution coverage")
 	paper := flag.Bool("paper", false, "use the paper's Table II problem sizes")
 	cpus := flag.String("cpus", "", "comma-separated CPU axis (default 1,2,4,8,16,24,32,48,64)")
 	real := flag.Bool("real", false, "wall-clock timing instead of the virtual cost model")
 	seed := flag.Uint64("seed", 0, "seed for the forced-rollback generators")
 	gbufBackend := flag.String("gbuf", "", fmt.Sprintf("GlobalBuffer backend for all runs (one of %v)", mutls.Backends()))
+	chunks := flag.String("chunks", "", `chunk-sizing policy for all runs ("static" or "adaptive")`)
 	flag.Parse()
 
 	cfg := harness.DefaultConfig()
@@ -47,6 +50,15 @@ func main() {
 			os.Exit(2)
 		}
 		cfg.Buffering = mutls.Buffering{Backend: *gbufBackend}
+	}
+	switch *chunks {
+	case "", "static":
+		// the paper's static split, the default
+	case "adaptive":
+		cfg.Chunks = harness.AdaptiveChunker()
+	default:
+		fmt.Fprintf(os.Stderr, "unknown chunk policy %q (valid: static, adaptive)\n", *chunks)
+		os.Exit(2)
 	}
 	if *cpus != "" {
 		axis, err := parseAxis(*cpus)
@@ -66,6 +78,8 @@ func main() {
 		err = h.All(os.Stdout)
 	case *fig == "gbuf":
 		err = h.FigGBuf(os.Stdout)
+	case *fig == "chunks":
+		err = h.FigChunks(os.Stdout)
 	default:
 		err = runFigure(h, *fig)
 	}
@@ -79,7 +93,7 @@ func main() {
 func runFigure(h *harness.Harness, fig string) error {
 	n, err := strconv.Atoi(fig)
 	if err != nil {
-		return fmt.Errorf("unknown figure %q (valid: 0..11, gbuf)", fig)
+		return fmt.Errorf("unknown figure %q (valid: 0..11, gbuf, chunks)", fig)
 	}
 	switch n {
 	case 0: // the old int flag's "everything" value
@@ -109,7 +123,7 @@ func runFigure(h *harness.Harness, fig string) error {
 	case 11:
 		return h.Fig11(os.Stdout)
 	}
-	return fmt.Errorf("unknown figure %d (valid: 0..11, gbuf)", n)
+	return fmt.Errorf("unknown figure %d (valid: 0..11, gbuf, chunks)", n)
 }
 
 func validBackend(name string) bool {

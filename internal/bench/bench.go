@@ -46,8 +46,29 @@ type Workload struct {
 
 	// Seq runs the benchmark without speculation and returns a checksum.
 	Seq func(t *mutls.Thread, s Size) uint64
-	// Spec runs the TLS version under the given forking model.
-	Spec func(t *mutls.Thread, s Size, model mutls.Model) uint64
+	// Spec runs the TLS version under the given speculation options.
+	Spec func(t *mutls.Thread, s Size, opts SpecOptions) uint64
+}
+
+// SpecOptions parameterizes a workload's TLS version: the forking model
+// and, for the loop benchmarks, the chunk-sizing policy of their For/
+// ForRange drives (nil keeps each workload's static paper split).
+type SpecOptions struct {
+	Model  mutls.Model
+	Chunks mutls.Chunker
+}
+
+// chunkerFor adapts a configured chunker to a workload's static policy: an
+// AdaptivePolicy without an explicit floor inherits the policy's
+// MinPerChunk — the workload's fork-amortization threshold — so feedback
+// never shrinks chunks below the size the static split considers worth a
+// fork. Other chunkers pass through unchanged.
+func chunkerFor(ck mutls.Chunker, p mutls.ChunkPolicy) mutls.Chunker {
+	if ap, ok := ck.(mutls.AdaptivePolicy); ok && ap.MinSize == 0 && p.MinPerChunk > 1 {
+		ap.MinSize = p.MinPerChunk
+		return ap
+	}
+	return ck
 }
 
 // All lists the benchmarks in Table II order.
@@ -83,16 +104,23 @@ type RunConfig struct {
 	// Buffering selects the GlobalBuffer backend; zero selects the suite
 	// default (openaddr, 2^16 words, 256 overflow slots).
 	Buffering mutls.Buffering
+	// Chunks selects the loop benchmarks' chunk-sizing policy; nil keeps
+	// the static paper split.
+	Chunks mutls.Chunker
 }
 
 // options builds the mutls runtime options for a workload.
 func (cfg RunConfig) options(w *Workload) mutls.Options {
 	buf := cfg.Buffering
-	if buf.LogWords == 0 {
-		buf.LogWords = 16
-	}
-	if buf.OverflowCap == 0 {
-		buf.OverflowCap = 256
+	// The suite's openaddr sizing defaults apply only to that backend;
+	// chain/bitmap configs keep their own sizing untouched.
+	if buf.Backend == "" || buf.Backend == "openaddr" {
+		if buf.LogWords == 0 {
+			buf.LogWords = 16
+		}
+		if buf.OverflowCap == 0 {
+			buf.OverflowCap = 256
+		}
 	}
 	return mutls.Options{
 		CPUs:                  cfg.CPUs,
@@ -141,9 +169,9 @@ func MeasureSpec(w *Workload, cfg RunConfig) (Measurement, error) {
 		return Measurement{}, err
 	}
 	defer rt.Close()
-	model := cfg.Model
+	opts := SpecOptions{Model: cfg.Model, Chunks: cfg.Chunks}
 	var sum uint64
-	tn := rt.Run(func(t *mutls.Thread) { sum = w.Spec(t, cfg.Size, model) })
+	tn := rt.Run(func(t *mutls.Thread) { sum = w.Spec(t, cfg.Size, opts) })
 	return Measurement{Runtime: tn, Checksum: sum, Summary: rt.Stats()}, nil
 }
 

@@ -342,10 +342,10 @@ func bhSeq(t *mutls.Thread, s Size) uint64 {
 	return bhChecksum(t, st)
 }
 
-func bhSpec(t *mutls.Thread, s Size, model mutls.Model) uint64 {
+func bhSpec(t *mutls.Thread, s Size, o SpecOptions) uint64 {
 	st := bhInit(t, s)
 	defer st.freeAll(t)
-	opts := mutls.ForOptions{Model: model, Policy: bhPolicy}
+	opts := mutls.ForOptions{Model: o.Model, Policy: bhPolicy, Chunker: chunkerFor(o.Chunks, bhPolicy)}
 	for step := 0; step < s.Steps; step++ {
 		st.buildTree(t) // allocation-heavy: non-speculative by rule
 		mutls.ForRange(t, st.n, opts, func(c *mutls.Thread, lo, hi int) {

@@ -140,7 +140,7 @@ func fftSeq(t *mutls.Thread, s Size) uint64 {
 	return fftChecksum(t, ctx)
 }
 
-func fftSpec(t *mutls.Thread, s Size, model mutls.Model) uint64 {
+func fftSpec(t *mutls.Thread, s Size, o SpecOptions) uint64 {
 	ctx := fftInit(t, s)
 	defer ctx.free(t)
 	fftBitReverse(t, ctx)
@@ -150,7 +150,7 @@ func fftSpec(t *mutls.Thread, s Size, model mutls.Model) uint64 {
 	// right-half start, the node's length m, and the node's depth. The
 	// spawned region transforms the right half [lo+m/2, lo+m); the left
 	// half runs on the spawning thread.
-	tree := &mutls.Tree{Model: model}
+	tree := &mutls.Tree{Model: o.Model}
 	var node func(c *mutls.Thread, tt *mutls.TreeThread, lo, m, depth int)
 	node = func(c *mutls.Thread, tt *mutls.TreeThread, lo, m, depth int) {
 		if depth >= maxDepth || m <= fftMinBlock {

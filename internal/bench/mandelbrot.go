@@ -70,11 +70,12 @@ func mandelSeq(t *mutls.Thread, s Size) uint64 {
 	return mandelChecksum(t, img, s)
 }
 
-func mandelSpec(t *mutls.Thread, s Size, model mutls.Model) uint64 {
+func mandelSpec(t *mutls.Thread, s Size, o SpecOptions) uint64 {
 	img := t.Alloc(8 * s.N * s.N)
 	defer t.Free(img)
 	chunks := mandelPolicy.Chunks(s.N)
-	mutls.For(t, chunks, mutls.ForOptions{Model: model}, func(c *mutls.Thread, idx int) {
+	opts := mutls.ForOptions{Model: o.Model, Chunker: o.Chunks}
+	mutls.For(t, chunks, opts, func(c *mutls.Thread, idx int) {
 		mandelRows(c, img, s, idx, chunks)
 	})
 	return mandelChecksum(t, img, s)

@@ -122,7 +122,7 @@ func matmultSeq(t *mutls.Thread, s Size) uint64 {
 	return mmChecksum(t, ctx)
 }
 
-func matmultSpec(t *mutls.Thread, s Size, model mutls.Model) uint64 {
+func matmultSpec(t *mutls.Thread, s Size, o SpecOptions) uint64 {
 	ctx := mmInit(t, s)
 	defer ctx.free(t)
 
@@ -141,7 +141,7 @@ func matmultSpec(t *mutls.Thread, s Size, model mutls.Model) uint64 {
 		return d
 	}
 
-	tree := &mutls.Tree{Model: model}
+	tree := &mutls.Tree{Model: o.Model}
 	var node func(c *mutls.Thread, tt *mutls.TreeThread, cOff, aOff, bOff, sz int, seq, span int64)
 	node = func(c *mutls.Thread, tt *mutls.TreeThread, cOff, aOff, bOff, sz int, seq, span int64) {
 		if depthOf(sz) >= maxDepth || sz <= matmultBlock {

@@ -128,10 +128,10 @@ func mdSeq(t *mutls.Thread, s Size) uint64 {
 	return mdChecksum(t, st)
 }
 
-func mdSpec(t *mutls.Thread, s Size, model mutls.Model) uint64 {
+func mdSpec(t *mutls.Thread, s Size, o SpecOptions) uint64 {
 	st := mdInit(t, s)
 	defer st.free(t)
-	opts := mutls.ForOptions{Model: model, Policy: mdPolicy}
+	opts := mutls.ForOptions{Model: o.Model, Policy: mdPolicy, Chunker: chunkerFor(o.Chunks, mdPolicy)}
 	for step := 0; step < s.Steps; step++ {
 		// The O(N²) force loop is the speculated loop; the O(N) integration
 		// is too small to amortize a fork and runs non-speculatively.

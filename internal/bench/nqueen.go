@@ -64,11 +64,11 @@ func nqueenTask(row int, cols, d1, d2 uint32, seq, span int64) mutls.Task {
 	}
 }
 
-func nqueenSpec(t *mutls.Thread, s Size, model mutls.Model) uint64 {
+func nqueenSpec(t *mutls.Thread, s Size, o SpecOptions) uint64 {
 	n := s.N
 	full := uint32(1<<n) - 1
 
-	tree := &mutls.Tree{Model: model}
+	tree := &mutls.Tree{Model: o.Model}
 	// explore handles one node at row < nqueenForkDepth: first candidate
 	// explored by this thread, the rest spawned (logically later first).
 	var explore func(c *mutls.Thread, tt *mutls.TreeThread, row int, cols, d1, d2 uint32, seq, span int64) int64

@@ -90,12 +90,12 @@ func tspTask(visited uint32, last int, length float64, seq, span int64) mutls.Ta
 	}
 }
 
-func tspSpec(t *mutls.Thread, s Size, model mutls.Model) uint64 {
+func tspSpec(t *mutls.Thread, s Size, o SpecOptions) uint64 {
 	n := s.N
 	d := tspDist(t, n)
 	defer t.Free(d)
 
-	tree := &mutls.Tree{Model: model}
+	tree := &mutls.Tree{Model: o.Model}
 	var explore func(c *mutls.Thread, tt *mutls.TreeThread, visited uint32, last int, length float64, seq, span int64) float64
 	explore = func(c *mutls.Thread, tt *mutls.TreeThread, visited uint32, last int, length float64, seq, span int64) float64 {
 		depth := 0

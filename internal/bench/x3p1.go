@@ -65,10 +65,11 @@ func x3p1Seq(t *mutls.Thread, s Size) uint64 {
 	return x3p1Sum(t, out)
 }
 
-func x3p1Spec(t *mutls.Thread, s Size, model mutls.Model) uint64 {
+func x3p1Spec(t *mutls.Thread, s Size, o SpecOptions) uint64 {
 	out := t.Alloc(8 * x3p1Chunks)
 	defer t.Free(out)
-	mutls.For(t, x3p1Chunks, mutls.ForOptions{Model: model}, func(c *mutls.Thread, idx int) {
+	opts := mutls.ForOptions{Model: o.Model, Chunker: o.Chunks}
+	mutls.For(t, x3p1Chunks, opts, func(c *mutls.Thread, idx int) {
 		c.StoreInt64(out+mem.Addr(8*idx), collatzWork(c, s, idx))
 	})
 	return x3p1Sum(t, out)

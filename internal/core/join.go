@@ -50,6 +50,16 @@ type JoinResult struct {
 	Counter uint32
 	// Reason explains a rollback.
 	Reason RollbackReason
+	// Latency is the interval the speculative execution occupied its
+	// virtual CPU (virtual units or nanoseconds), for committed and
+	// rolled-back joins alike; zero when the point was never forked or the
+	// child was squashed before this join reached it.
+	Latency vclock.Cost
+	// ReadSetPeak/WriteSetPeak are the execution's GlobalBuffer
+	// high-water marks (words) — the buffer pressure this chunk of work
+	// generated, available to feedback-driven policies at the join.
+	ReadSetPeak  int
+	WriteSetPeak int
 
 	regs    []uint64
 	regLive []bool
@@ -178,7 +188,12 @@ func (t *Thread) Join(ranks []Rank, p int) JoinResult {
 	// commit; under virtual timing the gap is explicit.
 	t.clock.AdvanceTo(td.finalTime, vclock.Idle)
 
-	res := JoinResult{Reason: td.reason}
+	res := JoinResult{
+		Reason:       td.reason,
+		Latency:      td.finalTime - td.startTime,
+		ReadSetPeak:  td.readPeak,
+		WriteSetPeak: td.writePeak,
+	}
 	if committed {
 		res.Status = JoinCommitted
 		res.Counter = td.stopCounter
@@ -208,6 +223,43 @@ func (t *Thread) Join(ranks []Rank, p int) JoinResult {
 	t.rt.heur.observe(td.point, committed)
 	t.rt.releaseCPU(child, td.finalTime)
 	return res
+}
+
+// ChildMark returns the current depth of the thread's children stack, a
+// cursor for SquashChildren.
+func (t *Thread) ChildMark() int { return len(*t.childrenRef()) }
+
+// SquashChildren signals NOSYNC to every child pushed above mark and pops
+// them from the children stack. Loop drivers use it after a rolled-back
+// join to discard the abandoned downstream speculation chain (adopted from
+// the rolled-back thread) instead of leaving it stranded on its virtual
+// CPUs until the end of the run; the squashed threads self-release their
+// CPUs, which the re-forked chain can then reclaim.
+//
+// Squashing also hands the in-order fork mantle back to this thread:
+// every in-order descendant is now dead, so waiting for the old tail
+// thread to drain before re-forking (the mantle's normal release path)
+// would only serialize the recovery. The handback races with a squashed
+// descendant that is already inside an in-order Fork and has not yet
+// noticed its NOSYNC: it may store its doomed child's word over the
+// mantle, transiently refusing in-order forks again. The window is
+// narrow and self-healing — the doomed child's release CASes the tail
+// back to 0 — and the loop drivers degrade to inline execution (never
+// incorrectness) while it lasts.
+func (t *Thread) SquashChildren(mark int) {
+	if mark < 0 {
+		mark = 0
+	}
+	cs := t.childrenRef()
+	if len(*cs) <= mark {
+		return
+	}
+	for len(*cs) > mark {
+		c := (*cs)[len(*cs)-1]
+		*cs = (*cs)[:len(*cs)-1]
+		t.rt.cpus[c.rank].td.signal(c.epoch, syncNoSync)
+	}
+	t.rt.inOrderTail.Store(t.tailWord())
 }
 
 // commitStackvars writes the child's final stack-variable bytes back to

@@ -85,6 +85,7 @@ type threadData struct {
 	model        Model
 	children     []childRef
 	stopCounter  uint32
+	startTime    vclock.Cost
 	stopTime     vclock.Cost
 	finalTime    vclock.Cost
 	overflowStop bool
@@ -178,6 +179,7 @@ type Runtime struct {
 	linear   []childRef
 
 	heur      *heuristics
+	live      []livePoint // per-point mid-run counters (PointCounters)
 	collector *stats.Collector
 	wg        sync.WaitGroup
 	closed    atomic.Bool
@@ -207,6 +209,7 @@ func NewRuntime(opts Options) (*Runtime, error) {
 		cpus:      make([]*cpu, o.NumCPUs+1),
 		epoch:     time.Now(),
 		heur:      newHeuristics(o),
+		live:      make([]livePoint, o.MaxPoints),
 		collector: stats.NewCollector(o.NumCPUs, o.CollectStats),
 	}
 	r0, err := space.StackRegion(0)
@@ -311,12 +314,15 @@ func (rt *Runtime) Stats() *stats.Summary {
 	return s
 }
 
-// ResetStats clears collected statistics (execution records and the
-// per-CPU GlobalBuffer counters) between runs.
+// ResetStats clears collected statistics (execution records, the per-CPU
+// GlobalBuffer counters and the live per-point counters) between runs.
 func (rt *Runtime) ResetStats() {
 	rt.collector.Reset()
 	for r := 1; r <= rt.opts.NumCPUs; r++ {
 		*rt.cpus[r].gb.Counters() = gbuf.Counters{}
+	}
+	for i := range rt.live {
+		rt.live[i].reset()
 	}
 }
 
@@ -383,6 +389,7 @@ func (rt *Runtime) runSpec(c *cpu, task specTask) {
 	t.clock.SetNow(task.startAt)
 	c.td.buffersFinal = false
 	execStart := t.clock.Now()
+	c.td.startTime = execStart
 
 	out := runRegion(t, task.region)
 
@@ -544,8 +551,12 @@ func (rt *Runtime) finalizeBuffers(t *Thread, c *cpu) {
 	stop()
 }
 
-// record emits the execution's statistics record.
+// record emits the execution's statistics record and folds it into the
+// live per-point counters (the mid-run feedback surface).
 func (rt *Runtime) record(t *Thread, c *cpu, execStart vclock.Cost, committed bool) {
+	if p := c.td.point; p >= 0 && p < len(rt.live) {
+		rt.live[p].observe(committed, t.clock.Now()-execStart, c.td.readPeak, c.td.writePeak)
+	}
 	rt.collector.Add(stats.ExecRecord{
 		Rank:         int(c.td.rank),
 		Point:        c.td.point,

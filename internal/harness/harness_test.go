@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/bench"
 	"repro/internal/core"
+	"repro/mutls"
 )
 
 func quickHarness() *Harness {
@@ -182,6 +183,39 @@ func TestFortranVariantSlowerThanC(t *testing.T) {
 	}
 	if f >= c {
 		t.Fatalf("Fortran variant (%v) must trail C (%v), as in Fig. 3", f, c)
+	}
+}
+
+// TestOverrideBackendKeepsSizing: the gbuf ablation must sweep backends
+// without discarding the operator's backend-independent sizing fields.
+func TestOverrideBackendKeepsSizing(t *testing.T) {
+	buf := mutls.Buffering{LogWords: 10, OverflowCap: 32, LogBuckets: 9, PageWords: 128}
+	got := overrideBackend(buf, "chain")
+	want := buf
+	want.Backend = "chain"
+	if got != want {
+		t.Fatalf("overrideBackend reset sizing: %+v, want %+v", got, want)
+	}
+}
+
+// TestFigChunksRunsAndVerifies: the chunk-sizing ablation produces static
+// and adaptive rows for every loop benchmark (its checksum guard runs
+// internally) across the rollback-free and rollback-heavy regimes.
+func TestFigChunksRunsAndVerifies(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.CPUAxis = []int{4}
+	var buf bytes.Buffer
+	if err := New(cfg).FigChunks(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, frag := range []string{"static", "adaptive", "3x+1", "mandelbrot", "md", "bh", "0%", "20%"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("FigChunks missing %q", frag)
+		}
+	}
+	if rows := strings.Count(out, "\n"); rows < 2+4*4 {
+		t.Fatalf("FigChunks printed %d lines, want at least %d", rows, 2+4*4)
 	}
 }
 

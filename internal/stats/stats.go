@@ -209,9 +209,10 @@ var SpecBreakdownPhases = []vclock.Phase{
 	vclock.Overflow, vclock.Idle, vclock.Fork, vclock.FindCPU, vclock.Work,
 }
 
-// Breakdown returns each phase's share of the given ledger's total as a
-// fraction in [0,1], for the listed phases (shares of the *runtime*, so the
-// listed phases need not sum to 1 if others are excluded).
+// Breakdown returns each listed phase's share of the given runtime as a
+// fraction in [0,1]. Shares are of the runtime parameter — not of the
+// ledger's own total — so the listed phases need not sum to 1 when other
+// phases are excluded or the ledger does not fill the runtime.
 func Breakdown(ledger vclock.Ledger, runtime vclock.Cost, phases []vclock.Phase) map[vclock.Phase]float64 {
 	out := make(map[vclock.Phase]float64, len(phases))
 	if runtime <= 0 {

@@ -1,0 +1,346 @@
+package mutls
+
+import "repro/internal/core"
+
+// This file makes chunk sizing a pluggable, feedback-driven policy. The
+// paper fixes loop speculation at 64 chunks — the reason its Figure 3
+// curves plateau between 32 and 63 CPUs — and related work (Prophet's
+// architectural thread-size tuning, the Mazumdar & Giorgi TLP survey's
+// granularity/rollback trade-off) argues speculation granularity should
+// track observed misspeculation instead of a compile-time constant. The
+// Chunker interface lets For/ForRange/Reduce decide each chunk's bounds at
+// fork time; AdaptivePolicy grows or shrinks the next chunk from the
+// rollback rate, commit latency and read/write-set peaks of chunks already
+// joined in the same run.
+
+// PointCounters is a live mid-run snapshot of one fork/join point's
+// commit/rollback/latency profile (core.PointCounters); the loop drivers
+// hand it to chunk controllers with every observation.
+type PointCounters = core.PointCounters
+
+// ChunkFeedback is the observed outcome of one joined chunk, fed back to
+// the chunk controller by For/ForRange/Reduce in sequential join order.
+type ChunkFeedback struct {
+	// Lo, Hi are the chunk's bounds.
+	Lo, Hi int
+	// Forked reports that a speculative thread executed the chunk (whether
+	// or not it committed). Chunks the joining thread ran inline from the
+	// start — the first chunk, and chunks whose fork was refused — have
+	// Forked false; controllers that want schedules independent of
+	// transient CPU availability should take commit/rollback signals only
+	// from forked chunks.
+	Forked bool
+	// Committed reports that the speculative execution validated and
+	// committed; false with Forked means it rolled back and the joining
+	// thread re-executed the chunk inline.
+	Committed bool
+	// Latency is the chunk's execution interval: the speculation's CPU
+	// occupancy when Committed, otherwise the joining thread's inline
+	// (re-)execution time.
+	Latency Cost
+	// ReadSetPeak/WriteSetPeak are the speculative execution's
+	// GlobalBuffer high-water marks in words (zero for inline chunks —
+	// non-speculative accesses are unbuffered).
+	ReadSetPeak  int
+	WriteSetPeak int
+	// Points is the loop's fork point activity since the run started (the
+	// runtime's live mid-run counters, windowed to this run): the rollback
+	// rate and mean commit latency across every thread of the loop,
+	// including squashed ones the driver never joined directly.
+	Points PointCounters
+	// Now is the non-speculative thread's clock when the chunk was
+	// observed; deltas between observations measure the loop's real
+	// critical-path progress, the throughput signal behind hill-climbing
+	// controllers.
+	Now Cost
+}
+
+// Len returns the number of indices in the chunk.
+func (f ChunkFeedback) Len() int { return f.Hi - f.Lo }
+
+// Chunker decides how an index space [0, n) is cut into speculated chunks.
+// Implementations are immutable policy values; all per-run state lives in
+// the ChunkController returned by NewRun, so one Chunker may drive many
+// loops (and concurrent runtimes) at once.
+type Chunker interface {
+	// NewRun starts a controller for one For/ForRange/Reduce execution
+	// over [0, n) on a runtime with cpus speculative virtual CPUs.
+	NewRun(n, cpus int) ChunkController
+}
+
+// ChunkController emits one run's chunk schedule. The loop driver calls
+// Next and Observe only from the non-speculative thread, in order: chunks
+// are decided front to back (each Next's lo is the previous hi) and
+// observed in the same order once joined, so a controller is an ordinary
+// single-threaded state machine. A controller whose decisions are a pure
+// function of its observations is deterministic under virtual timing:
+// the same seed yields the same chunk schedule.
+type ChunkController interface {
+	// Next returns hi for the chunk starting at lo — the next chunk is
+	// [lo, hi). The driver clamps hi into (lo, n].
+	Next(lo int) (hi int)
+	// Observe feeds back the outcome of a joined chunk.
+	Observe(fb ChunkFeedback)
+}
+
+// NewRun makes the static ChunkPolicy a Chunker: the run is pre-cut into
+// Chunks(n) contiguous chunks via Bounds, and feedback is ignored.
+func (p ChunkPolicy) NewRun(n, cpus int) ChunkController {
+	return &staticRun{p: p, n: n, chunks: p.Chunks(n)}
+}
+
+type staticRun struct {
+	p      ChunkPolicy
+	n      int
+	chunks int
+	idx    int
+}
+
+func (s *staticRun) Next(lo int) int {
+	if s.idx >= s.chunks {
+		return s.n
+	}
+	_, hi := s.p.Bounds(s.n, s.chunks, s.idx)
+	s.idx++
+	return hi
+}
+
+func (s *staticRun) Observe(ChunkFeedback) {}
+
+// unitChunker emits one-index chunks: the schedule For uses when no
+// Chunker is configured, preserving its one-fork-per-index contract.
+type unitChunker struct{}
+
+func (unitChunker) NewRun(n, cpus int) ChunkController { return unitRun{} }
+
+type unitRun struct{}
+
+func (unitRun) Next(lo int) int       { return lo + 1 }
+func (unitRun) Observe(ChunkFeedback) {}
+
+// AdaptivePolicy sizes chunks by feedback. While speculation is healthy
+// the controller holds the starting size (the static split's, by
+// default), so it costs nothing on well-behaved loops; when the run's
+// observed rollback rate climbs past MaxRollbackRate it *coarsens* —
+// fewer, larger speculations expose fewer validation points to
+// misspeculation and shed per-chunk fork/join overhead, the Prophet-style
+// thread-size response — and when a chunk's buffer footprint crosses
+// PressureWords it shrinks before overflow parking sets in. Every step is
+// hill-climb checked: the controller measures retired indices per unit of
+// critical-path time over windows of joined chunks, and a step that
+// lowered that throughput is reverted (with a cooldown) rather than
+// compounded. Growth is additionally capped by the commit-latency target
+// so a single giant chunk cannot serialize the join chain. The zero value
+// is a usable configuration.
+//
+// Determinism: a controller's decisions are a pure function of the
+// feedback sequence it observes — so on a deterministic execution
+// (virtual timing, e.g. a single speculative CPU) the same seed
+// reproduces the same chunk schedule.
+type AdaptivePolicy struct {
+	// MinSize and MaxSize bound a chunk's length in indices. Zero selects
+	// 1 and n. Set MinSize to the workload's fork-amortization threshold
+	// (the static policy's MinPerChunk) when one is known.
+	MinSize int
+	MaxSize int
+	// Start is the first chunk's length. Zero selects the static split's
+	// chunk size, n/64, clamped to the Min/Max bounds: the run begins at
+	// the paper's distribution and adapts away from it only on evidence.
+	Start int
+	// Grow and Shrink are the multiplicative step factors for coarsening
+	// under misspeculation and shrinking under buffer pressure. Zero
+	// selects 1.5 and 0.5.
+	Grow   float64
+	Shrink float64
+	// MaxRollbackRate is the run-wide rollback rate (from the live point
+	// counters) above which the controller starts coarsening. Zero
+	// selects 0.35.
+	MaxRollbackRate float64
+	// PressureWords shrinks chunks whose read+write set peak exceeds this
+	// many words — back-pressure from the GlobalBuffer before overflow
+	// parking or rollback sets in. Zero disables the check.
+	PressureWords int
+	// LatencyTarget caps coarsening at the chunk size whose projected
+	// commit latency reaches the target — the load-balance guard that
+	// keeps one giant chunk from serializing the join chain. Zero targets
+	// 4x the first committed chunk's latency.
+	LatencyTarget Cost
+	// Window is the number of joined chunks per adaptation step (the
+	// throughput measurement interval). Zero selects 4.
+	Window int
+}
+
+// NewRun resolves defaults and starts an adaptive controller.
+func (p AdaptivePolicy) NewRun(n, cpus int) ChunkController {
+	if p.MinSize < 1 {
+		p.MinSize = 1
+	}
+	if p.MaxSize <= 0 {
+		p.MaxSize = n
+	}
+	if p.MaxSize < p.MinSize {
+		p.MaxSize = p.MinSize
+	}
+	if p.Start <= 0 {
+		p.Start = n / 64
+	}
+	if p.Start < p.MinSize {
+		p.Start = p.MinSize
+	}
+	if p.Start > p.MaxSize {
+		p.Start = p.MaxSize
+	}
+	if p.Grow <= 1 {
+		p.Grow = 1.5
+	}
+	if p.Shrink <= 0 || p.Shrink >= 1 {
+		p.Shrink = 0.5
+	}
+	if p.MaxRollbackRate <= 0 {
+		p.MaxRollbackRate = 0.35
+	}
+	if p.Window <= 0 {
+		p.Window = 4
+	}
+	return &adaptiveRun{p: p, n: n, size: float64(p.Start)}
+}
+
+// minRateSamples is the number of finished speculations before the
+// run-wide rollback rate is trusted.
+const minRateSamples = 4
+
+type adaptiveRun struct {
+	p    AdaptivePolicy
+	n    int
+	size float64 // current chunk length (continuous; rounded in Next)
+
+	perIdx float64 // EWMA of observed latency per index
+	target Cost    // resolved latency target (0 until auto-calibrated)
+
+	// Window accumulators for the hill-climb throughput check.
+	winChunks  int
+	winIndices int
+	winStart   Cost
+	haveStart  bool
+	pressured  bool // some chunk in the window exceeded PressureWords
+
+	prevTP     float64 // previous window's indices per time unit
+	lastAction int     // +1 grew, -1 shrank, 0 held in the last window
+	cooldown   int     // windows to hold after a reverted step
+	noGrow     bool    // growing was tried and measurably hurt: stop trying
+	noShrink   bool    // shrinking was tried and measurably hurt
+}
+
+func (a *adaptiveRun) Next(lo int) int {
+	s := int(a.size + 0.5)
+	if s < a.p.MinSize {
+		s = a.p.MinSize
+	}
+	if s > a.p.MaxSize {
+		s = a.p.MaxSize
+	}
+	if remain := a.n - lo; s >= remain || remain-s < a.p.MinSize {
+		// Absorb a tail too small to be worth its own fork.
+		s = remain
+	}
+	return lo + s
+}
+
+func (a *adaptiveRun) Observe(fb ChunkFeedback) {
+	if fb.Len() <= 0 {
+		return
+	}
+	if fb.Latency > 0 {
+		per := float64(fb.Latency) / float64(fb.Len())
+		if a.perIdx == 0 {
+			a.perIdx = per
+		} else {
+			a.perIdx += (per - a.perIdx) / 4
+		}
+	}
+	if a.target == 0 && fb.Committed {
+		// Auto latency target: 4x the first committed chunk's latency.
+		a.target = 4 * fb.Latency
+	}
+	if a.p.PressureWords > 0 && fb.ReadSetPeak+fb.WriteSetPeak > a.p.PressureWords {
+		a.pressured = true
+	}
+	if !a.haveStart {
+		a.winStart, a.haveStart = fb.Now, true
+		return // the window opens with the first observation's clock
+	}
+	a.winChunks++
+	a.winIndices += fb.Len()
+	if a.winChunks < a.p.Window {
+		return
+	}
+	a.step(fb)
+	a.winChunks, a.winIndices = 0, 0
+	a.winStart = fb.Now
+	a.pressured = false
+}
+
+// step closes a throughput window and applies (or reverts) one adaptation.
+func (a *adaptiveRun) step(fb ChunkFeedback) {
+	tp := 0.0
+	if dt := fb.Now - a.winStart; dt > 0 {
+		tp = float64(a.winIndices) / float64(dt)
+	}
+	defer func() { a.prevTP = tp }()
+
+	// Hill-climb veto: a step that lowered the measured critical-path
+	// throughput is undone and its direction is retired for the rest of
+	// the run — a feedback signal that keeps mispredicted adaptations
+	// from compounding (or oscillating) on workloads the heuristics
+	// misjudge.
+	if a.lastAction != 0 && a.prevTP > 0 && tp < a.prevTP {
+		if a.lastAction > 0 {
+			a.size /= a.p.Grow
+			a.noGrow = true
+		} else {
+			a.size /= a.p.Shrink
+			a.noShrink = true
+		}
+		a.clampSize()
+		a.lastAction = 0
+		a.cooldown = 2
+		return
+	}
+	a.lastAction = 0
+	if a.cooldown > 0 {
+		a.cooldown--
+		return
+	}
+	switch {
+	case a.pressured && !a.noShrink:
+		// Buffer pressure: back off before overflow parking sets in.
+		a.size *= a.p.Shrink
+		a.clampSize()
+		a.lastAction = -1
+	case a.noGrow:
+	case fb.Points.Executions() >= minRateSamples && fb.Points.RollbackRate() > a.p.MaxRollbackRate:
+		// The run is misspeculating: coarsen, so fewer speculations are
+		// exposed to rollback and less fixed overhead is paid — unless
+		// the projected chunk latency would break load balance.
+		grown := a.size * a.p.Grow
+		if a.target > 0 && a.perIdx > 0 {
+			if lim := float64(a.target) / a.perIdx; grown > lim {
+				grown = lim
+			}
+		}
+		if grown > a.size {
+			a.size = grown
+			a.clampSize()
+			a.lastAction = +1
+		}
+	}
+}
+
+func (a *adaptiveRun) clampSize() {
+	if a.size < float64(a.p.MinSize) {
+		a.size = float64(a.p.MinSize)
+	}
+	if a.size > float64(a.p.MaxSize) {
+		a.size = float64(a.p.MaxSize)
+	}
+}

@@ -1,14 +1,27 @@
 package mutls
 
+import (
+	"sync/atomic"
+
+	"repro/internal/core"
+)
+
 // This file implements loop-level speculation with chained in-order forks,
 // a direct translation of the paper's transformed loop code: each chunk's
 // region forks the next chunk before doing its own work; the
 // non-speculative thread joins the chain in order, restoring the chained
 // rank from the saved locals and re-executing rolled-back chunks inline.
+//
+// Chunk bounds are no longer precomputed: a ChunkController owned by the
+// non-speculative thread decides each chunk's [lo, hi) as the schedule is
+// needed and publishes it through a small atomic ring that the chained
+// forks read. The controller observes every joined chunk's outcome, which
+// is what lets AdaptivePolicy resize chunks mid-run.
 
 // ChunkPolicy decides how an index space [0, n) is cut into speculated
 // chunks. The zero value selects the paper's workload distribution: up to
-// 64 chunks, at least one index per chunk.
+// 64 chunks, at least one index per chunk. ChunkPolicy implements Chunker
+// (ignoring feedback); AdaptivePolicy is the feedback-driven alternative.
 type ChunkPolicy struct {
 	// MaxChunks caps the number of chunks. Zero selects 64, the paper's
 	// fixed split (which is why the Figure 3 curves plateau between 32 and
@@ -41,14 +54,35 @@ func (p ChunkPolicy) Chunks(n int) int {
 }
 
 // Bounds returns the half-open index range [lo, hi) of chunk idx when
-// [0, n) is cut into the given number of contiguous chunks; the last chunk
-// absorbs the remainder.
+// [0, n) is cut into the given number of contiguous chunks. The remainder
+// of n/chunks is spread one index each over the first chunks rather than
+// dumped on the last. Out-of-range arguments are clamped to sane empty
+// bounds instead of panicking: chunks below 1 is treated as one chunk,
+// idx below 0 yields [0, 0), idx at or past chunks yields [n, n), and
+// when chunks exceeds n the chunks past index n are empty.
 func (p ChunkPolicy) Bounds(n, chunks, idx int) (lo, hi int) {
-	per := n / chunks
+	if n < 0 {
+		n = 0
+	}
+	if chunks < 1 {
+		chunks = 1
+	}
+	if idx < 0 {
+		return 0, 0
+	}
+	if idx >= chunks {
+		return n, n
+	}
+	per, rem := n/chunks, n%chunks
 	lo = idx * per
 	hi = lo + per
-	if idx == chunks-1 {
-		hi = n
+	// The first rem chunks carry one extra index.
+	if idx < rem {
+		lo += idx
+		hi += idx + 1
+	} else {
+		lo += rem
+		hi += rem
 	}
 	return lo, hi
 }
@@ -58,9 +92,19 @@ type ForOptions struct {
 	// Model is the forking model of the chunk forks; the zero value is
 	// InOrder, the model the paper uses for loop-level speculation.
 	Model Model
-	// Policy cuts the index space (ForRange only).
+	// Policy cuts the index space statically (ForRange only; ignored when
+	// Chunker is set).
 	Policy ChunkPolicy
+	// Chunker, when non-nil, decides chunk bounds dynamically with
+	// feedback from joined chunks (e.g. AdaptivePolicy). For ForRange it
+	// overrides Policy; for For it groups consecutive chunk indices into
+	// one speculation (the default remains one fork per index).
+	Chunker Chunker
 }
+
+// forPoint is the fork/join point id the loop drivers use in their private
+// ranks arrays (and thus the PointCounters slot their feedback reads).
+const forPoint = 0
 
 // For executes body(c, idx) for idx in [0, nChunks) under loop-level
 // speculation. body must contain only TLS-instrumented work: memory access
@@ -69,59 +113,174 @@ type ForOptions struct {
 // Figure 2 — and rolled-back or never-forked chunks are re-executed inline
 // by the joining thread, so the loop's sequential semantics are preserved
 // under any forking model and any number of CPUs.
+//
+// By default every index is its own speculation, the paper's contract.
+// With opts.Chunker set, consecutive indices are grouped into one
+// speculation per controller chunk, so an adaptive policy can trade fork
+// overhead against parallelism at runtime.
 func For(t *Thread, nChunks int, opts ForOptions, body func(c *Thread, idx int)) {
 	if nChunks <= 0 {
 		return
 	}
-	model := opts.Model
-	var region RegionFunc
-	fork := func(c *Thread, ranks []Rank, next int) {
-		if next >= nChunks {
-			return
-		}
-		if h := c.Fork(ranks, 0, model); h != nil {
-			h.SetRegvarInt64(0, int64(next))
-			h.Start(region)
-		}
+	ck := opts.Chunker
+	if ck == nil {
+		ck = unitChunker{}
 	}
-	region = func(c *Thread) uint32 {
-		idx := int(c.GetRegvarInt64(0))
-		ranks := []Rank{0}
-		fork(c, ranks, idx+1)
-		body(c, idx)
-		// The chained ranks array is live at the join point: save it for
-		// the joining thread (paper §IV-D).
-		c.SaveRegvarInt64(1, int64(ranks[0]))
-		return 0
-	}
-	ranks := []Rank{0}
-	fork(t, ranks, 1)
-	body(t, 0)
-	for idx := 1; idx < nChunks; idx++ {
-		res := t.Join(ranks, 0)
-		if res.Committed() {
-			ranks[0] = Rank(res.RegvarInt64(1))
-			continue
+	driveChunks(t, nChunks, opts.Model, ck, func(c *Thread, lo, hi int) {
+		for idx := lo; idx < hi; idx++ {
+			body(c, idx)
 		}
-		// Rolled back or never forked: run the chunk inline, re-forking
-		// the rest of the chain where the model allows.
-		ranks[0] = 0
-		fork(t, ranks, idx+1)
-		body(t, idx)
-	}
+	})
 }
 
 // ForRange executes body(c, lo, hi) over contiguous sub-ranges covering
-// [0, n), cut by the chunk policy, under loop-level speculation. It is the
-// range form of For for loops whose natural unit is an index interval
-// rather than a chunk number.
+// [0, n), cut by the chunker (opts.Chunker, falling back to the static
+// opts.Policy), under loop-level speculation. It is the range form of For
+// for loops whose natural unit is an index interval rather than a chunk
+// number.
 func ForRange(t *Thread, n int, opts ForOptions, body func(c *Thread, lo, hi int)) {
 	if n <= 0 {
 		return
 	}
-	chunks := opts.Policy.Chunks(n)
-	For(t, chunks, opts, func(c *Thread, idx int) {
-		lo, hi := opts.Policy.Bounds(n, chunks, idx)
+	ck := opts.Chunker
+	if ck == nil {
+		ck = opts.Policy
+	}
+	driveChunks(t, n, opts.Model, ck, body)
+}
+
+// driveChunks is the loop controller shared by For and ForRange: it walks
+// [0, n) deciding each chunk's bounds through the ChunkController at the
+// moment the chunk is first needed, keeps a bounded window of decided
+// chunks published for the chained forks, joins the chain in order and
+// feeds every joined chunk's outcome back to the controller.
+//
+// The schedule ring is the one piece of shared state: slots are packed
+// (lo<<32|hi) words written by the non-speculative thread and read by
+// chained forks, all atomically. The window invariant decided-joined <=
+// window guarantees a slot is never rewritten while a live chain thread
+// can still read it; a thread that was already squashed may read a
+// recycled slot, but its forks are never adopted by the chain and their
+// buffers are discarded, so a stale read wastes work without affecting
+// the result.
+func driveChunks(t *Thread, n int, model Model, ck Chunker, body func(c *Thread, lo, hi int)) {
+	if n > 1<<31-1 {
+		// Chunk bounds are packed (lo<<32 | hi) into one ring word; a
+		// larger index space would silently corrupt them.
+		panic("mutls: loop bound exceeds 2^31-1 indices")
+	}
+	rt := t.Runtime()
+	cpus := rt.NumCPUs()
+	ctrl := ck.NewRun(n, cpus)
+
+	window := cpus + 2
+	if window < 2 {
+		window = 2
+	}
+	ring := make([]atomic.Uint64, window)
+	var published atomic.Int64
+
+	decided, covered, joined := 0, 0, 0
+	// decide extends the schedule while coverage remains and the window
+	// has room, clamping the controller's bounds into (lo, n].
+	decide := func() {
+		for covered < n && decided-joined < window {
+			hi := ctrl.Next(covered)
+			if hi <= covered {
+				hi = covered + 1
+			}
+			if hi > n {
+				hi = n
+			}
+			ring[decided%window].Store(uint64(covered)<<32 | uint64(hi))
+			decided++
+			covered = hi
+			published.Store(int64(decided))
+		}
+	}
+	boundsOf := func(seq int) (lo, hi int) {
+		v := ring[seq%window].Load()
+		return int(v >> 32), int(v & 0xFFFFFFFF)
+	}
+
+	var region RegionFunc
+	fork := func(c *Thread, ranks []Rank, seq int) {
+		if int64(seq) >= published.Load() {
+			return
+		}
+		lo, hi := boundsOf(seq)
+		if h := c.Fork(ranks, forPoint, model); h != nil {
+			h.SetRegvarInt64(0, int64(seq))
+			h.SetRegvarInt64(1, int64(lo))
+			h.SetRegvarInt64(2, int64(hi))
+			h.Start(region)
+		}
+	}
+	region = func(c *Thread) uint32 {
+		seq := int(c.GetRegvarInt64(0))
+		lo := int(c.GetRegvarInt64(1))
+		hi := int(c.GetRegvarInt64(2))
+		ranks := []Rank{0}
+		fork(c, ranks, seq+1)
 		body(c, lo, hi)
-	})
+		// The chained ranks array is live at the join point: save it for
+		// the joining thread (paper §IV-D).
+		c.SaveRegvarInt64(3, int64(ranks[0]))
+		return 0
+	}
+
+	base := rt.PointCounters(forPoint)
+	observe := func(fb ChunkFeedback) {
+		fb.Points = rt.PointCounters(forPoint).Sub(base)
+		fb.Now = t.Now()
+		ctrl.Observe(fb)
+	}
+
+	decide()
+	mark := t.ChildMark()
+	ranks := []Rank{0}
+	fork(t, ranks, 1)
+	lo, hi := boundsOf(0)
+	start := t.Now()
+	body(t, lo, hi)
+	// The first chunk always runs non-speculatively; its inline latency
+	// calibrates the controller's per-index work estimate.
+	observe(ChunkFeedback{Lo: lo, Hi: hi, Latency: t.Now() - start})
+	joined = 1
+	decide()
+
+	for joined < decided {
+		seq := joined
+		lo, hi := boundsOf(seq)
+		res := t.Join(ranks, forPoint)
+		if res.Committed() {
+			ranks[0] = Rank(res.RegvarInt64(3))
+			observe(ChunkFeedback{
+				Lo: lo, Hi: hi, Forked: true, Committed: true,
+				Latency:     res.Latency,
+				ReadSetPeak: res.ReadSetPeak, WriteSetPeak: res.WriteSetPeak,
+			})
+		} else {
+			// Rolled back or never forked: run the chunk inline,
+			// re-forking the rest of the chain where the model allows. A
+			// rollback abandons the downstream chain adopted from the
+			// rolled-back thread; squash it so its CPUs are reclaimable
+			// instead of stranded until the end of the run.
+			if res.Status == core.JoinRolledBack {
+				t.SquashChildren(mark)
+			}
+			ranks[0] = 0
+			fork(t, ranks, seq+1)
+			start := t.Now()
+			body(t, lo, hi)
+			observe(ChunkFeedback{
+				Lo: lo, Hi: hi,
+				Forked:      res.Status != core.JoinNotForked,
+				Latency:     t.Now() - start,
+				ReadSetPeak: res.ReadSetPeak, WriteSetPeak: res.WriteSetPeak,
+			})
+		}
+		joined++
+		decide()
+	}
 }

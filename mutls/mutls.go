@@ -196,12 +196,17 @@ func (o Options) coreOptions() core.Options {
 	}
 	co.GBuf = o.Buffering
 	// The deprecated aliases fill openaddr sizing the Buffering config
-	// leaves unset; remaining zero fields select the gbuf defaults.
-	if co.GBuf.LogWords == 0 {
-		co.GBuf.LogWords = o.GBufLogWords
-	}
-	if co.GBuf.OverflowCap == 0 {
-		co.GBuf.OverflowCap = o.GBufOverflowCap
+	// leaves unset; remaining zero fields select the gbuf defaults. They
+	// are openaddr fields, so they apply only when that backend (or the
+	// empty default, which resolves to it) is selected — copying them into
+	// a chain/bitmap config would silently pollute that backend's sizing.
+	if co.GBuf.Backend == "" || co.GBuf.Backend == gbuf.DefaultBackend {
+		if co.GBuf.LogWords == 0 {
+			co.GBuf.LogWords = o.GBufLogWords
+		}
+		if co.GBuf.OverflowCap == 0 {
+			co.GBuf.OverflowCap = o.GBufOverflowCap
+		}
 	}
 	if o.RegSlots != 0 || o.StackSlots != 0 {
 		co.LBuf = lbuf.DefaultConfig()

@@ -1,0 +1,29 @@
+package mutls
+
+import "testing"
+
+// TestCoreOptionsAliasGating: the deprecated openaddr aliases must reach
+// the core config only when the openaddr backend (or the empty default)
+// is selected — a chain or bitmap selection must not have its config
+// silently polluted with another backend's sizing.
+func TestCoreOptionsAliasGating(t *testing.T) {
+	cases := []struct {
+		name      string
+		opts      Options
+		wantLW    int
+		wantOvCap int
+	}{
+		{"defaultBackend", Options{GBufLogWords: 11, GBufOverflowCap: 33}, 11, 33},
+		{"openaddr", Options{Buffering: Buffering{Backend: "openaddr"}, GBufLogWords: 11, GBufOverflowCap: 33}, 11, 33},
+		{"chain", Options{Buffering: Buffering{Backend: "chain"}, GBufLogWords: 11, GBufOverflowCap: 33}, 0, 0},
+		{"bitmap", Options{Buffering: Buffering{Backend: "bitmap"}, GBufLogWords: 11, GBufOverflowCap: 33}, 0, 0},
+		{"explicitWins", Options{Buffering: Buffering{LogWords: 9}, GBufLogWords: 11, GBufOverflowCap: 33}, 9, 33},
+	}
+	for _, tc := range cases {
+		co := tc.opts.coreOptions()
+		if co.GBuf.LogWords != tc.wantLW || co.GBuf.OverflowCap != tc.wantOvCap {
+			t.Errorf("%s: GBuf sizing = (LogWords %d, OverflowCap %d), want (%d, %d)",
+				tc.name, co.GBuf.LogWords, co.GBuf.OverflowCap, tc.wantLW, tc.wantOvCap)
+		}
+	}
+}

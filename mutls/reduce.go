@@ -21,6 +21,11 @@ type ReduceOptions struct {
 	// LastValue. Stride suits induction-like accumulators (constant
 	// per-chunk increments).
 	Predictor Predictor
+	// Chunks, when non-nil, groups consecutive chunk indices into one
+	// speculated continuation, resized from the feedback of earlier joins
+	// (e.g. AdaptivePolicy). Nil keeps the default split: one index per
+	// continuation.
+	Chunks Chunker
 }
 
 // Reduce folds body over the chunks [0, nChunks) starting from init and
@@ -29,11 +34,16 @@ type ReduceOptions struct {
 // contain only TLS-instrumented work and must be deterministic in (idx,
 // acc, simulated memory), since rolled-back chunks re-execute.
 //
-// While the non-speculative thread folds chunk idx, a speculative thread
-// folds chunk idx+1 from a predicted accumulator; when the prediction
-// validates, the join adopts the speculative live-out and the loop skips a
-// chunk.
+// While the non-speculative thread folds one group of chunks, a
+// speculative thread folds the next group from a predicted accumulator;
+// when the prediction validates, the join adopts the speculative live-out
+// and the loop skips the group. Group bounds come from opts.Chunks (one
+// index per group by default), decided on the non-speculative thread in
+// sequential order — the continuation form of the adaptive chunk schedule.
 func Reduce(t *Thread, nChunks int, init int64, opts ReduceOptions, body func(c *Thread, idx int, acc int64) int64) int64 {
+	if nChunks <= 0 {
+		return init
+	}
 	model := opts.Model
 	if model == InOrder {
 		// InOrder is the Model zero value and an in-order chain cannot
@@ -41,39 +51,111 @@ func Reduce(t *Thread, nChunks int, init int64, opts ReduceOptions, body func(c 
 		// link's live-out), so it maps to the out-of-order default.
 		model = OutOfOrder
 	}
+	ck := opts.Chunks
+	if ck == nil {
+		ck = unitChunker{}
+	}
+	rt := t.Runtime()
+	ctrl := ck.NewRun(nChunks, rt.NumCPUs())
+	next := func(lo int) int {
+		hi := ctrl.Next(lo)
+		if hi <= lo {
+			hi = lo + 1
+		}
+		if hi > nChunks {
+			hi = nChunks
+		}
+		return hi
+	}
+	base := rt.PointCounters(forPoint)
+	observe := func(fb ChunkFeedback) {
+		fb.Points = rt.PointCounters(forPoint).Sub(base)
+		fb.Now = t.Now()
+		ctrl.Observe(fb)
+	}
+
 	pred := predict.New(opts.Predictor)
 	acc := init
-	for idx := 0; idx < nChunks; idx++ {
+	lo, hi := 0, next(0)
+	// rolledBack carries the failed speculation of the current group, so
+	// its single observation (like For's: Forked, not Committed, with the
+	// inline re-execution latency) is emitted when the group is re-folded.
+	var rolledBack *ChunkFeedback
+	for lo < nChunks {
 		ranks := []Rank{0}
 		var h *core.ForkHandle
-		if idx+1 < nChunks { // the last chunk has no continuation to fork
-			h = t.Fork(ranks, 0, model)
+		specLo, specHi := hi, hi
+		if hi < nChunks { // the last group has no continuation to fork
+			specHi = next(hi)
+			h = t.Fork(ranks, forPoint, model)
+			if h != nil {
+				// Predict the accumulator's value at the join point.
+				raw, _ := pred.Predict(0, 0)
+				h.SetRegvarInt64(0, int64(raw))
+				h.SetRegvarInt64(1, int64(specLo))
+				h.SetRegvarInt64(2, int64(specHi))
+				h.Start(func(c *Thread) uint32 {
+					specAcc := c.GetRegvarInt64(0)
+					sLo := int(c.GetRegvarInt64(1))
+					sHi := int(c.GetRegvarInt64(2))
+					for i := sLo; i < sHi; i++ {
+						specAcc = body(c, i, specAcc)
+					}
+					c.SaveRegvarInt64(3, specAcc)
+					return 0
+				})
+			}
 		}
-		if h != nil {
-			// Predict the accumulator's value at the join point.
-			raw, _ := pred.Predict(0, 0)
-			h.SetRegvarInt64(0, int64(raw))
-			h.SetRegvarInt64(1, int64(idx+1))
-			h.Start(func(c *Thread) uint32 {
-				specAcc := body(c, int(c.GetRegvarInt64(1)), c.GetRegvarInt64(0))
-				c.SaveRegvarInt64(2, specAcc)
-				return 0
-			})
+		start := t.Now()
+		for i := lo; i < hi; i++ {
+			acc = body(t, i, acc)
 		}
-		acc = body(t, idx, acc)
+		inlineLatency := t.Now() - start
+		// Every group is observed exactly once: a group whose speculation
+		// rolled back reports that outcome with its inline re-execution
+		// latency; any other inline group is a plain latency calibration.
+		if rolledBack != nil {
+			rolledBack.Latency = inlineLatency
+			observe(*rolledBack)
+			rolledBack = nil
+		} else {
+			observe(ChunkFeedback{Lo: lo, Hi: hi, Latency: inlineLatency})
+		}
+		if hi >= nChunks {
+			break
+		}
 		if h == nil {
+			// Fork refused: the decided group simply becomes the next
+			// inline group.
+			lo, hi = specLo, specHi
 			continue
 		}
 		// MUTLS_validate_local: was the prediction right?
 		pred.Observe(0, 0, uint64(acc))
 		t.ValidateRegvarInt64(ranks, 0, 0, acc)
-		res := t.Join(ranks, 0)
+		res := t.Join(ranks, forPoint)
 		if res.Committed() {
-			acc = res.RegvarInt64(2)
+			acc = res.RegvarInt64(3)
 			// Keep the predictor's history aligned with the join-point
 			// values it predicts: the adopted live-out is the next one.
 			pred.Observe(0, 0, uint64(acc))
-			idx++ // the speculation consumed the next chunk
+			observe(ChunkFeedback{
+				Lo: specLo, Hi: specHi, Forked: true, Committed: true,
+				Latency:     res.Latency,
+				ReadSetPeak: res.ReadSetPeak, WriteSetPeak: res.WriteSetPeak,
+			})
+			lo = specHi // the speculation consumed the next group
+			if lo < nChunks {
+				hi = next(lo)
+			} else {
+				hi = lo
+			}
+		} else {
+			rolledBack = &ChunkFeedback{
+				Lo: specLo, Hi: specHi, Forked: true,
+				ReadSetPeak: res.ReadSetPeak, WriteSetPeak: res.WriteSetPeak,
+			}
+			lo, hi = specLo, specHi // re-execute the group inline
 		}
 	}
 	return acc
