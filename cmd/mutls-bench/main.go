@@ -14,6 +14,8 @@
 //	mutls-bench -paper           # Table II problem sizes (slow)
 //	mutls-bench -cpus 1,2,4,64   # custom CPU axis
 //	mutls-bench -real            # wall-clock timing instead of the cost model
+//	mutls-bench -wallclock       # curated wall-clock suite, JSON output
+//	mutls-bench -wallclock -quick # CI smoke sizes for the same suite
 package main
 
 import (
@@ -36,6 +38,8 @@ func main() {
 	seed := flag.Uint64("seed", 0, "seed for the forced-rollback generators")
 	gbufBackend := flag.String("gbuf", "", fmt.Sprintf("GlobalBuffer backend for all runs (one of %v)", mutls.Backends()))
 	chunks := flag.String("chunks", "", `chunk-sizing policy for all runs ("static" or "adaptive")`)
+	wallclock := flag.Bool("wallclock", false, "run the curated wall-clock suite (fixed sizes, warmup, host-parallelism sweep) and emit JSON")
+	quick := flag.Bool("quick", false, "with -wallclock: CI sizes and a short axis")
 	flag.Parse()
 
 	cfg := harness.DefaultConfig()
@@ -72,6 +76,12 @@ func main() {
 
 	var err error
 	switch {
+	case *wallclock:
+		wcfg := harness.WallclockConfig{Quick: *quick}
+		if *cpus != "" {
+			wcfg.CPUAxis = cfg.CPUAxis
+		}
+		err = h.Wallclock(os.Stdout, wcfg)
 	case *coverage:
 		err = h.Coverage(os.Stdout)
 	case *fig == "":

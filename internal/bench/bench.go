@@ -17,11 +17,12 @@ import (
 )
 
 // Size parameterizes a workload run. The meaning of the fields is
-// workload-specific (documented on each workload).
+// workload-specific (documented on each workload). The JSON names appear
+// in the wall-clock suite's machine-readable output.
 type Size struct {
-	N     int // primary problem size
-	M     int // secondary size (iterations, bodies, cities…)
-	Steps int // outer time steps, when applicable
+	N     int `json:"n"`               // primary problem size
+	M     int `json:"m,omitempty"`     // secondary size (iterations, bodies, cities…)
+	Steps int `json:"steps,omitempty"` // outer time steps, when applicable
 }
 
 // Workload is one Table II row plus its two implementations.

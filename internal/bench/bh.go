@@ -301,9 +301,10 @@ func (st *bhState) bhForce(c *mutls.Thread, i int) (float64, float64, float64) {
 func (st *bhState) forces(c *mutls.Thread, lo, hi int) {
 	for i := lo; i < hi; i++ {
 		fx, fy, fz := st.bhForce(c, i)
-		c.StoreFloat64(st.force+mem.Addr(8*(3*i)), fx)
-		c.StoreFloat64(st.force+mem.Addr(8*(3*i+1)), fy)
-		c.StoreFloat64(st.force+mem.Addr(8*(3*i+2)), fz)
+		f := [3]float64{fx, fy, fz}
+		c.StoreFloat64s(st.force+mem.Addr(8*3*i), f[:])
+		// Polling happens in the loop driver (ForOptions.PollEvery polls
+		// at body bounds and can stop the chunk with saved progress).
 	}
 }
 
@@ -345,7 +346,14 @@ func bhSeq(t *mutls.Thread, s Size) uint64 {
 func bhSpec(t *mutls.Thread, s Size, o SpecOptions) uint64 {
 	st := bhInit(t, s)
 	defer st.freeAll(t)
-	opts := mutls.ForOptions{Model: o.Model, Policy: bhPolicy, Chunker: chunkerFor(o.Chunks, bhPolicy)}
+	// Persist carries the adaptive chunk schedule across the per-time-step
+	// force loops; PollEvery stops parked/squashed chunks at body bounds.
+	opts := mutls.ForOptions{
+		Model:     o.Model,
+		Policy:    bhPolicy,
+		Chunker:   mutls.Persist(chunkerFor(o.Chunks, bhPolicy)),
+		PollEvery: 1,
+	}
 	for step := 0; step < s.Steps; step++ {
 		st.buildTree(t) // allocation-heavy: non-speculative by rule
 		mutls.ForRange(t, st.n, opts, func(c *mutls.Thread, lo, hi int) {

@@ -95,28 +95,48 @@ func fftBitReverse(t *mutls.Thread, ctx fftCtx) {
 }
 
 // fftCombine merges two transformed halves of [start, start+length) with
-// twiddle-factor butterflies.
-func fftCombine(c *mutls.Thread, ctx fftCtx, start, length int) {
+// twiddle-factor butterflies. Both halves are moved with bulk range
+// accesses — four loads and four stores for the whole combine instead of
+// eight scalar accesses per butterfly — with unchanged per-word modelled
+// charges and bit-identical floating point per element. buf is caller
+// scratch of at least 2*length floats (hoisted so the transform's hot
+// path stays alloc-free per combine).
+func fftCombine(c *mutls.Thread, ctx fftCtx, start, length int, buf []float64) {
 	half := length / 2
+	ar := buf[:half]
+	ai := buf[half : 2*half]
+	br := buf[2*half : 3*half]
+	bi := buf[3*half : 4*half]
+	c.LoadFloat64s(ctx.re+mem.Addr(8*start), ar)
+	c.LoadFloat64s(ctx.im+mem.Addr(8*start), ai)
+	c.LoadFloat64s(ctx.re+mem.Addr(8*(start+half)), br)
+	c.LoadFloat64s(ctx.im+mem.Addr(8*(start+half)), bi)
 	for j := 0; j < half; j++ {
 		ang := -2 * math.Pi * float64(j) / float64(length)
 		wr, wi := math.Cos(ang), math.Sin(ang)
-		ar, ai := ctx.load(c, start+j)
-		br, bi := ctx.load(c, start+half+j)
-		tr := wr*br - wi*bi
-		ti := wr*bi + wi*br
-		ctx.store(c, start+j, ar+tr, ai+ti)
-		ctx.store(c, start+half+j, ar-tr, ai-ti)
-		c.Tick(40)
+		tr := wr*br[j] - wi*bi[j]
+		ti := wr*bi[j] + wi*br[j]
+		br[j], bi[j] = ar[j]-tr, ai[j]-ti
+		ar[j], ai[j] = ar[j]+tr, ai[j]+ti
 	}
+	c.Tick(int64(40 * half))
+	c.StoreFloat64s(ctx.re+mem.Addr(8*start), ar)
+	c.StoreFloat64s(ctx.im+mem.Addr(8*start), ai)
+	c.StoreFloat64s(ctx.re+mem.Addr(8*(start+half)), br)
+	c.StoreFloat64s(ctx.im+mem.Addr(8*(start+half)), bi)
 }
 
 // fftBlock runs the full iterative transform of [lo, lo+m) (input already
-// bit-reversed).
+// bit-reversed), polling a check point per combine. The poll rolls a
+// squashed speculation back at a butterfly boundary instead of letting it
+// drain the block (a parked or join-signalled thread still completes the
+// block: tree regions have no mid-body resume protocol).
 func fftBlock(c *mutls.Thread, ctx fftCtx, lo, m int) {
+	buf := make([]float64, 2*m)
 	for length := 2; length <= m; length <<= 1 {
 		for start := lo; start < lo+m; start += length {
-			fftCombine(c, ctx, start, length)
+			fftCombine(c, ctx, start, length, buf)
+			c.CheckPoint()
 		}
 	}
 }
@@ -174,7 +194,7 @@ func fftSpec(t *mutls.Thread, s Size, o SpecOptions) uint64 {
 		fftBlock(c, ctx, lo+half, half)
 		if tt.Pending() == nBefore {
 			// Both halves are complete locally: combine now.
-			fftCombine(c, ctx, lo, m)
+			fftCombine(c, ctx, lo, m, make([]float64, 2*m))
 			return
 		}
 		// The left half deferred combines: this node's combine must run
@@ -189,7 +209,9 @@ func fftSpec(t *mutls.Thread, s Size, o SpecOptions) uint64 {
 	// node's combine once its right half has joined (reverse in-order
 	// traversal = sequential order, §IV-F). fft interleaves driver-side
 	// combines with the joins, so it completes the tree with Tree.Join
-	// directly instead of Tree.Drive.
+	// directly instead of Tree.Drive. One scratch serves every driver-side
+	// combine (the non-speculative thread runs them sequentially).
+	buf := make([]float64, 2*ctx.n)
 	var complete func(task mutls.Task)
 	complete = func(task mutls.Task) {
 		if task.Rank == 0 {
@@ -199,7 +221,7 @@ func fftSpec(t *mutls.Thread, s Size, o SpecOptions) uint64 {
 		if committed {
 			for _, ch := range sub {
 				complete(ch)
-				fftCombine(t, ctx, int(ch.Args[0]), int(ch.Args[2]))
+				fftCombine(t, ctx, int(ch.Args[0]), int(ch.Args[2]), buf)
 			}
 			return
 		}
@@ -212,17 +234,20 @@ func fftSpec(t *mutls.Thread, s Size, o SpecOptions) uint64 {
 	})
 	for _, task := range roots {
 		complete(task)
-		fftCombine(t, ctx, int(task.Args[0]), int(task.Args[2]))
+		fftCombine(t, ctx, int(task.Args[0]), int(task.Args[2]), buf)
 	}
 	return fftChecksum(t, ctx)
 }
 
 func fftChecksum(t *mutls.Thread, ctx fftCtx) uint64 {
 	sum := uint64(0)
+	re := make([]float64, ctx.n)
+	im := make([]float64, ctx.n)
+	t.LoadFloat64s(ctx.re, re)
+	t.LoadFloat64s(ctx.im, im)
 	for i := 0; i < ctx.n; i++ {
-		re, im := ctx.load(t, i)
-		sum = mix(sum, math.Float64bits(re))
-		sum = mix(sum, math.Float64bits(im))
+		sum = mix(sum, math.Float64bits(re[i]))
+		sum = mix(sum, math.Float64bits(im[i]))
 	}
 	return sum
 }

@@ -47,16 +47,24 @@ func mandelPixel(c *mutls.Thread, cr, ci float64, maxIter int) int64 {
 }
 
 // mandelRows renders rows y ≡ idx (mod chunks) of the image — strided so
-// the in-set and out-of-set regions spread evenly over the chunks.
+// the in-set and out-of-set regions spread evenly over the chunks. Each
+// row is computed into a scratch slice and stored with one bulk range
+// access (same store count on the modelled machine, one buffer crossing
+// on the real one). The per-row CheckPoint poll rolls a squashed
+// speculation back without draining its remaining rows (a parked or
+// join-signalled thread still finishes the chunk — For's one-index chunks
+// leave the driver no sub-range to resume).
 func mandelRows(c *mutls.Thread, img mem.Addr, s Size, idx, chunks int) {
 	n := s.N
+	row := make([]int64, n)
 	for y := idx; y < n; y += chunks {
 		ci := -1.25 + 2.5*float64(y)/float64(n)
 		for x := 0; x < n; x++ {
 			cr := -2.0 + 3.0*float64(x)/float64(n)
-			it := mandelPixel(c, cr, ci, s.M)
-			c.StoreInt64(img+mem.Addr(8*(y*n+x)), it)
+			row[x] = mandelPixel(c, cr, ci, s.M)
 		}
+		c.StoreInt64s(img+mem.Addr(8*y*n), row)
+		c.CheckPoint()
 	}
 }
 
@@ -83,8 +91,12 @@ func mandelSpec(t *mutls.Thread, s Size, o SpecOptions) uint64 {
 
 func mandelChecksum(t *mutls.Thread, img mem.Addr, s Size) uint64 {
 	sum := uint64(0)
-	for i := 0; i < s.N*s.N; i++ {
-		sum = mix(sum, uint64(t.LoadInt64(img+mem.Addr(8*i))))
+	row := make([]int64, s.N)
+	for y := 0; y < s.N; y++ {
+		t.LoadInt64s(img+mem.Addr(8*y*s.N), row)
+		for _, v := range row {
+			sum = mix(sum, uint64(v))
+		}
 	}
 	return sum
 }

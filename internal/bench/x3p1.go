@@ -39,6 +39,7 @@ const x3p1Chunks = 64
 // charged to the virtual clock.
 func collatzWork(c *mutls.Thread, s Size, idx int) int64 {
 	total := int64(0)
+	polls := 0
 	for n := int64(idx + 1); n <= int64(s.N); n += x3p1Chunks {
 		v := n
 		steps := int64(0)
@@ -52,6 +53,11 @@ func collatzWork(c *mutls.Thread, s Size, idx int) int64 {
 		}
 		c.Tick(steps)
 		total += steps
+		// Sparse polling: a squashed chunk dies within 16 enumerations
+		// instead of draining the remaining thousands.
+		if polls++; polls&0xF == 0 {
+			c.CheckPoint()
+		}
 	}
 	return total
 }

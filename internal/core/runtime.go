@@ -142,6 +142,10 @@ type cpu struct {
 	freeAt atomic.Int64 // virtual time when the CPU is next available
 	rng    splitMix64
 	stack  mem.Range // this CPU's speculative stack region
+	// scratch backs the typed bulk accessors (Thread.LoadWords and
+	// friends); it persists across speculations so the range hot path
+	// stays alloc-free.
+	scratch []byte
 }
 
 // specTask is one speculation handed to a worker.
@@ -263,6 +267,14 @@ func (rt *Runtime) NumCPUs() int { return rt.opts.NumCPUs }
 func (rt *Runtime) Run(fn func(t *Thread)) vclock.Cost {
 	if rt.closed.Load() {
 		panic("core: Run on closed runtime")
+	}
+	if rt.opts.Timing == vclock.Real {
+		// Re-stamp the shared epoch so the measured span starts at the
+		// run, not at runtime construction (buffer allocation would
+		// otherwise pollute wall-clock results). The runtime is quiescent
+		// here — workers only read the epoch after a fork hands them a
+		// task, which happens after this write.
+		rt.epoch = time.Now()
 	}
 	model := rt.opts.Cost
 	t := &Thread{

@@ -1,6 +1,7 @@
 package gbuf
 
 import (
+	"encoding/binary"
 	"fmt"
 	"sort"
 
@@ -31,6 +32,19 @@ type Backend interface {
 	Load(p mem.Addr, size int) (uint64, Status)
 	// Store performs a buffered write of size bytes (1, 2, 4 or 8) at p.
 	Store(p mem.Addr, size int, v uint64) Status
+	// LoadRange performs a buffered read of len(dst)/WORD consecutive
+	// words at the word-aligned address p, filling dst with little-endian
+	// bytes. It is exactly equivalent to a word-at-a-time Load loop —
+	// identical read/write sets, statuses (the worst per-word outcome is
+	// returned; a Full aborts the walk where the loop would roll back) and
+	// counters — but pays the interface crossing, the set probes and the
+	// data movement once per run instead of once per word. Misaligned
+	// geometry (p or len(dst) not word-multiple) returns Misaligned.
+	LoadRange(p mem.Addr, dst []byte) Status
+	// StoreRange performs a buffered write of len(src)/WORD consecutive
+	// words of little-endian bytes at the word-aligned address p, with the
+	// same equivalence contract as LoadRange.
+	StoreRange(p mem.Addr, src []byte) Status
 	// Validate checks the read set against the arena.
 	Validate() bool
 	// Commit applies the write set to the arena.
@@ -115,6 +129,47 @@ func (c *Counters) Add(o *Counters) {
 	c.Commits += o.Commits
 	c.WordsCommitted += o.WordsCommitted
 	c.BytesCommitted += o.BytesCommitted
+}
+
+// rangeGeometry validates a bulk access and returns its word count.
+func rangeGeometry(p mem.Addr, n int) (nWords int, ok bool) {
+	if n%mem.Word != 0 || !mem.Aligned(p, mem.Word) {
+		return 0, false
+	}
+	return n / mem.Word, true
+}
+
+// worse folds per-word statuses into the range outcome: Full dominates
+// Conflict dominates OK (Misaligned never reaches the fold — geometry is
+// checked up front).
+func worse(a, b Status) Status {
+	if b > a {
+		return b
+	}
+	return a
+}
+
+// onesWord is a fully-set mark word: eight fullMark bytes at once.
+const onesWord = ^uint64(0)
+
+// setFullMarks marks whole words as written, eight marks per store.
+func setFullMarks(marks []byte) {
+	for i := 0; i+mem.Word <= len(marks); i += mem.Word {
+		binary.LittleEndian.PutUint64(marks[i:], onesWord)
+	}
+}
+
+// allMarked8 reports whether one word's eight marks are all set (the
+// single-compare form of allMarked for the word-granular hot paths).
+func allMarked8(marks []byte) bool {
+	return binary.LittleEndian.Uint64(marks) == onesWord
+}
+
+// commitRun applies nWords fully-marked buffered words starting at base in
+// one arena splice. Callers have already checked the marks.
+func commitRun(arena *mem.Arena, c *Counters, base mem.Addr, data []byte) {
+	arena.WriteWords(base, data)
+	c.WordsCommitted += uint64(len(data) / mem.Word)
 }
 
 // mergeLoad implements the read-your-own-writes rule shared by every

@@ -211,35 +211,195 @@ func (b *bitmapBuffer) Store(p mem.Addr, size int, v uint64) Status {
 	return OK
 }
 
-// forEachWord visits every buffered word of a set as (base, data, marks);
-// marks is nil for the read set.
-func (b *bitmapBuffer) forEachWord(s *bitmapSet, fn func(base mem.Addr, data, marks []byte) bool) bool {
+// setBitRange sets count bits of bm starting at bit start and returns how
+// many were newly set, whole 64-bit chunks at a time.
+func setBitRange(bm []uint64, start, count int) (fresh int) {
+	for count > 0 {
+		wi, bit := start/64, uint(start%64)
+		n := 64 - int(bit)
+		if n > count {
+			n = count
+		}
+		mask := rangeMask(bit, n)
+		fresh += n - bits.OnesCount64(bm[wi]&mask)
+		bm[wi] |= mask
+		start += n
+		count -= n
+	}
+	return fresh
+}
+
+// countBitRange returns how many of the count bits starting at start are
+// set in bm.
+func countBitRange(bm []uint64, start, count int) (set int) {
+	for count > 0 {
+		wi, bit := start/64, uint(start%64)
+		n := 64 - int(bit)
+		if n > count {
+			n = count
+		}
+		set += bits.OnesCount64(bm[wi] & rangeMask(bit, n))
+		start += n
+		count -= n
+	}
+	return set
+}
+
+// rangeMask builds the n-bit mask starting at bit (n in [1,64]).
+func rangeMask(bit uint, n int) uint64 {
+	if n >= 64 {
+		return ^uint64(0)
+	}
+	return (uint64(1)<<uint(n) - 1) << bit
+}
+
+// LoadRange performs a buffered read of len(dst)/WORD consecutive words at
+// the word-aligned address p. A contiguous run maps to contiguous slots of
+// at most a few pages, so the hot paths — the whole span missing (first
+// touch) or the whole span present (re-read) — are one page probe, one
+// bitmap splice and one memcpy-style copy per page.
+func (b *bitmapBuffer) LoadRange(p mem.Addr, dst []byte) Status {
+	nWords, ok := rangeGeometry(p, len(dst))
+	if !ok {
+		return Misaligned
+	}
+	if nWords == 0 {
+		return OK
+	}
+	b.C.Loads += uint64(nWords)
+	b.arena.ReadWords(p, dst)
+	for nWords > 0 {
+		pageIdx, slot := b.locate(p)
+		count := b.pageWords - slot
+		if count > nWords {
+			count = nWords
+		}
+		b.loadPageRange(pageIdx, slot, count, dst[:count*mem.Word])
+		p += mem.Addr(count * mem.Word)
+		dst = dst[count*mem.Word:]
+		nWords -= count
+	}
+	return OK
+}
+
+// loadPageRange resolves count words of one page: present read-set words
+// overwrite dst with their snapshots, missing words are snapshotted from
+// the arena bytes already sitting in dst, and write-set bytes overlay
+// last.
+func (b *bitmapBuffer) loadPageRange(pageIdx uint64, slot, count int, dst []byte) {
+	rpg := b.read.page(b, pageIdx, false)
+	wpg := b.write.pages[pageIdx] // one probe per page, not per word
+	off := slot * mem.Word
+	if wpg == nil {
+		switch countBitRange(rpg.present, slot, count) {
+		case 0: // whole span untouched: snapshot the arena bytes in one splice
+			copy(rpg.data[off:off+count*mem.Word], dst)
+			b.read.words += setBitRange(rpg.present, slot, count)
+			return
+		case count: // whole span buffered: serve the snapshots in one splice
+			b.C.ReadSetHits += uint64(count)
+			copy(dst, rpg.data[off:off+count*mem.Word])
+			return
+		}
+	}
+	for k := 0; k < count; k++ {
+		s := slot + k
+		wi, bit := s/64, uint64(1)<<uint(s%64)
+		out := dst[k*mem.Word : (k+1)*mem.Word]
+		var wData, wMarks []byte
+		if wpg != nil && wpg.present[wi]&bit != 0 {
+			woff := s * mem.Word
+			wData, wMarks = wpg.data[woff:woff+mem.Word], wpg.mark[woff:woff+mem.Word]
+			if allMarked8(wMarks) {
+				b.C.ReadSetHits++
+				copy(out, wData)
+				continue
+			}
+		}
+		roff := s * mem.Word
+		rWord := rpg.data[roff : roff+mem.Word]
+		if rpg.present[wi]&bit != 0 {
+			b.C.ReadSetHits++
+			copy(out, rWord)
+		} else {
+			rpg.present[wi] |= bit
+			b.read.words++
+			copy(rWord, out)
+		}
+		if wData != nil {
+			for j := 0; j < mem.Word; j++ {
+				if wMarks[j] == fullMark {
+					out[j] = wData[j]
+				}
+			}
+		}
+	}
+}
+
+// StoreRange performs a buffered write of len(src)/WORD consecutive words
+// at the word-aligned address p: per page, one shadow splice, one mark
+// fill and one bitmap-range set.
+func (b *bitmapBuffer) StoreRange(p mem.Addr, src []byte) Status {
+	nWords, ok := rangeGeometry(p, len(src))
+	if !ok {
+		return Misaligned
+	}
+	b.C.Stores += uint64(nWords)
+	for nWords > 0 {
+		pageIdx, slot := b.locate(p)
+		count := b.pageWords - slot
+		if count > nWords {
+			count = nWords
+		}
+		pg := b.write.page(b, pageIdx, true)
+		off := slot * mem.Word
+		copy(pg.data[off:off+count*mem.Word], src)
+		setFullMarks(pg.mark[off : off+count*mem.Word])
+		b.write.words += setBitRange(pg.present, slot, count)
+		p += mem.Addr(count * mem.Word)
+		src = src[count*mem.Word:]
+		nWords -= count
+	}
+	return OK
+}
+
+// forEachRun visits every maximal run of consecutive buffered words of a
+// set (runs are clipped at 64-slot bitmap-word boundaries) as
+// (base, data, marks); marks is nil for the read set.
+func (b *bitmapBuffer) forEachRun(s *bitmapSet, fn func(base mem.Addr, data, marks []byte) bool) bool {
 	for _, pg := range s.order {
 		pageBase := pg.pageIdx * uint64(b.pageWords) * mem.Word
 		for wi, set := range pg.present {
 			for set != 0 {
-				slot := wi*64 + bits.TrailingZeros64(set)
+				start := bits.TrailingZeros64(set)
+				run := bits.TrailingZeros64(^(set >> uint(start)))
+				slot := wi*64 + start
 				off := slot * mem.Word
 				base := mem.Addr(pageBase + uint64(off))
 				var marks []byte
 				if pg.mark != nil {
-					marks = pg.mark[off : off+mem.Word]
+					marks = pg.mark[off : off+run*mem.Word]
 				}
-				if !fn(base, pg.data[off:off+mem.Word], marks) {
+				if !fn(base, pg.data[off:off+run*mem.Word], marks) {
 					return false
 				}
-				set &= set - 1
+				if start+run >= 64 {
+					set = 0
+				} else {
+					set &^= rangeMask(uint(start), run)
+				}
 			}
 		}
 	}
 	return true
 }
 
-// Validate checks every read-set word against the arena.
+// Validate checks every read-set word against the arena, one bulk
+// comparison per run of consecutive buffered words.
 func (b *bitmapBuffer) Validate() bool {
 	b.C.Validations++
-	ok := b.forEachWord(&b.read, func(base mem.Addr, data, _ []byte) bool {
-		return binary.LittleEndian.Uint64(data) == b.arena.ReadWord(base)
+	ok := b.forEachRun(&b.read, func(base mem.Addr, data, _ []byte) bool {
+		return b.arena.EqualWords(base, data)
 	})
 	if !ok {
 		b.C.ValidationFail++
@@ -247,11 +407,19 @@ func (b *bitmapBuffer) Validate() bool {
 	return ok
 }
 
-// Commit applies the write set to the arena.
+// Commit applies the write set to the arena: fully-marked runs are spliced
+// with one arena write each, partially-marked words fall back to the
+// marked-byte walk.
 func (b *bitmapBuffer) Commit() {
 	b.C.Commits++
-	b.forEachWord(&b.write, func(base mem.Addr, data, marks []byte) bool {
-		commitWord(b.arena, &b.C, base, data, marks)
+	b.forEachRun(&b.write, func(base mem.Addr, data, marks []byte) bool {
+		if allMarked(marks) {
+			commitRun(b.arena, &b.C, base, data)
+			return true
+		}
+		for w := 0; w < len(data); w += mem.Word {
+			commitWord(b.arena, &b.C, base+mem.Addr(w), data[w:w+mem.Word], marks[w:w+mem.Word])
+		}
 		return true
 	})
 }

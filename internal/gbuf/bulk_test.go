@@ -1,0 +1,269 @@
+package gbuf
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/mem"
+)
+
+// This file is the bulk-path oracle: LoadRange/StoreRange must be
+// observationally identical to a word-at-a-time Load/Store loop on every
+// backend — same statuses, same read/write sets, same counters, same
+// validation outcome and same committed arena bytes — including ranges
+// that straddle bitmap page boundaries and ranges that run into openaddr
+// hash conflicts and overflow exhaustion.
+
+// refLoadRange is the word-at-a-time reference for LoadRange: it stops at
+// the first Full (the caller would roll back there) and folds the per-word
+// statuses into the worst outcome.
+func refLoadRange(b Backend, p mem.Addr, dst []byte) Status {
+	if len(dst)%mem.Word != 0 || !mem.Aligned(p, mem.Word) {
+		return Misaligned
+	}
+	st := OK
+	for k := 0; k+mem.Word <= len(dst); k += mem.Word {
+		v, s := b.Load(p+mem.Addr(k), mem.Word)
+		if s == Full {
+			return Full
+		}
+		st = worse(st, s)
+		binary.LittleEndian.PutUint64(dst[k:], v)
+	}
+	return st
+}
+
+// refStoreRange is the word-at-a-time reference for StoreRange.
+func refStoreRange(b Backend, p mem.Addr, src []byte) Status {
+	if len(src)%mem.Word != 0 || !mem.Aligned(p, mem.Word) {
+		return Misaligned
+	}
+	st := OK
+	for k := 0; k+mem.Word <= len(src); k += mem.Word {
+		s := b.Store(p+mem.Addr(k), mem.Word, binary.LittleEndian.Uint64(src[k:]))
+		if s == Full {
+			return Full
+		}
+		st = worse(st, s)
+	}
+	return st
+}
+
+// bulkStressConfigs sizes every backend small enough that random scripts
+// hit hash conflicts, overflow exhaustion and page-boundary straddling.
+func bulkStressConfigs() map[string]Config {
+	return map[string]Config{
+		"openaddr":            {Backend: "openaddr", LogWords: 6, OverflowCap: 4},
+		"openaddr/nooverflow": {Backend: "openaddr", LogWords: 6, OverflowCap: NoOverflow},
+		"chain":               {Backend: "chain", LogBuckets: 3},
+		"bitmap":              {Backend: "bitmap", PageWords: 8},
+	}
+}
+
+const bulkArenaBytes = 1 << 12
+
+func newSeededArena(t *testing.T, rng *rand.Rand) *mem.Arena {
+	t.Helper()
+	a, err := mem.NewArena(bulkArenaBytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for p := mem.Addr(mem.Word); p < mem.Addr(bulkArenaBytes); p += mem.Word {
+		a.WriteWord(p, rng.Uint64())
+	}
+	return a
+}
+
+// TestBulkMatchesWordAtATime drives random access scripts through a bulk
+// buffer and a word-at-a-time reference buffer over identically seeded
+// arenas and requires observational equivalence at every step and at
+// commit.
+func TestBulkMatchesWordAtATime(t *testing.T) {
+	for name, cfg := range bulkStressConfigs() {
+		name, cfg := name, cfg
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			for seed := int64(1); seed <= 20; seed++ {
+				runBulkScript(t, cfg, seed)
+			}
+		})
+	}
+}
+
+func runBulkScript(t *testing.T, cfg Config, seed int64) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	arenaBulk := newSeededArena(t, rand.New(rand.NewSource(seed^0x5DEECE66D)))
+	arenaRef := newSeededArena(t, rand.New(rand.NewSource(seed^0x5DEECE66D)))
+	bulk, err := NewBackend(arenaBulk, cfg.WithDefaults())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := NewBackend(arenaRef, cfg.WithDefaults())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Addresses live in a small window so slots collide; ranges up to 32
+	// words straddle several 8-word bitmap pages and wrap hash-map regions.
+	randWordAddr := func() mem.Addr {
+		return mem.Addr(mem.Word * (1 + rng.Intn(200)))
+	}
+	sizes := []int{1, 2, 4, 8}
+
+	dead := false // a Full was observed: the thread would have rolled back
+	for step := 0; step < 300 && !dead; step++ {
+		ctx := fmt.Sprintf("cfg=%+v seed=%d step=%d", cfg, seed, step)
+		switch rng.Intn(5) {
+		case 0: // word store
+			size := sizes[rng.Intn(len(sizes))]
+			p := randWordAddr() + mem.Addr(rng.Intn(mem.Word/size)*size)
+			v := rng.Uint64()
+			s1 := bulk.Store(p, size, v)
+			s2 := ref.Store(p, size, v)
+			if s1 != s2 {
+				t.Fatalf("%s: word store status %v != %v", ctx, s1, s2)
+			}
+			dead = s1 == Full
+		case 1: // word load
+			size := sizes[rng.Intn(len(sizes))]
+			p := randWordAddr() + mem.Addr(rng.Intn(mem.Word/size)*size)
+			v1, s1 := bulk.Load(p, size)
+			v2, s2 := ref.Load(p, size)
+			if s1 != s2 || v1 != v2 {
+				t.Fatalf("%s: word load (%#x,%v) != (%#x,%v)", ctx, v1, s1, v2, s2)
+			}
+			dead = s1 == Full
+		case 2: // range store
+			p := randWordAddr()
+			n := rng.Intn(33) * mem.Word
+			src := make([]byte, n)
+			rng.Read(src)
+			s1 := bulk.StoreRange(p, src)
+			s2 := refStoreRange(ref, p, src)
+			if s1 != s2 {
+				t.Fatalf("%s: range store status %v != %v", ctx, s1, s2)
+			}
+			dead = s1 == Full
+		case 3: // range load
+			p := randWordAddr()
+			n := rng.Intn(33) * mem.Word
+			d1 := make([]byte, n)
+			d2 := make([]byte, n)
+			s1 := bulk.LoadRange(p, d1)
+			s2 := refLoadRange(ref, p, d2)
+			if s1 != s2 {
+				t.Fatalf("%s: range load status %v != %v", ctx, s1, s2)
+			}
+			dead = s1 == Full
+			if dead {
+				break
+			}
+			for i := range d1 {
+				if d1[i] != d2[i] {
+					t.Fatalf("%s: range load byte %d: %#x != %#x", ctx, i, d1[i], d2[i])
+				}
+			}
+		case 4: // a non-speculative write lands in both arenas (validation fodder)
+			p := randWordAddr()
+			v := rng.Uint64()
+			arenaBulk.WriteWord(p, v)
+			arenaRef.WriteWord(p, v)
+		}
+		if bulk.MustStop() != ref.MustStop() {
+			t.Fatalf("%s: MustStop %v != %v", ctx, bulk.MustStop(), ref.MustStop())
+		}
+	}
+
+	ctx := fmt.Sprintf("cfg=%+v seed=%d", cfg, seed)
+	if r1, r2 := bulk.ReadSetSize(), ref.ReadSetSize(); r1 != r2 {
+		t.Fatalf("%s: read set size %d != %d", ctx, r1, r2)
+	}
+	if w1, w2 := bulk.WriteSetSize(), ref.WriteSetSize(); w1 != w2 {
+		t.Fatalf("%s: write set size %d != %d", ctx, w1, w2)
+	}
+	if c1, c2 := *bulk.Counters(), *ref.Counters(); c1 != c2 {
+		t.Fatalf("%s: counters\n bulk %+v\n ref  %+v", ctx, c1, c2)
+	}
+	if dead {
+		return // rolled back: buffers are discarded, nothing commits
+	}
+	v1, v2 := bulk.Validate(), ref.Validate()
+	if v1 != v2 {
+		t.Fatalf("%s: validate %v != %v", ctx, v1, v2)
+	}
+	if !v1 {
+		return
+	}
+	bulk.Commit()
+	ref.Commit()
+	if c1, c2 := *bulk.Counters(), *ref.Counters(); c1 != c2 {
+		t.Fatalf("%s: post-commit counters\n bulk %+v\n ref  %+v", ctx, c1, c2)
+	}
+	for p := mem.Addr(mem.Word); p < mem.Addr(bulkArenaBytes); p += mem.Word {
+		if a, b := arenaBulk.ReadWord(p), arenaRef.ReadWord(p); a != b {
+			t.Fatalf("%s: committed arena word %d: %#x != %#x", ctx, p, a, b)
+		}
+	}
+}
+
+// TestBulkMisalignedGeometry checks that every backend rejects non-word
+// range geometries without touching any state.
+func TestBulkMisalignedGeometry(t *testing.T) {
+	for name, cfg := range bulkStressConfigs() {
+		name, cfg := name, cfg
+		t.Run(name, func(t *testing.T) {
+			a, err := mem.NewArena(1 << 10)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := NewBackend(a, cfg.WithDefaults())
+			if err != nil {
+				t.Fatal(err)
+			}
+			buf := make([]byte, 2*mem.Word)
+			if st := b.LoadRange(12, buf); st != Misaligned {
+				t.Fatalf("unaligned LoadRange: %v", st)
+			}
+			if st := b.StoreRange(16, buf[:mem.Word+1]); st != Misaligned {
+				t.Fatalf("ragged StoreRange: %v", st)
+			}
+			if b.ReadSetSize() != 0 || b.WriteSetSize() != 0 {
+				t.Fatalf("misaligned geometry touched the sets: %d/%d",
+					b.ReadSetSize(), b.WriteSetSize())
+			}
+		})
+	}
+}
+
+// TestBulkValidationDetectsConflict makes sure a run-batched validation
+// still sees a single clobbered word in the middle of a bulk-loaded run.
+func TestBulkValidationDetectsConflict(t *testing.T) {
+	for name, cfg := range bulkStressConfigs() {
+		name, cfg := name, cfg
+		t.Run(name, func(t *testing.T) {
+			a, err := mem.NewArena(1 << 10)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := NewBackend(a, cfg.WithDefaults())
+			if err != nil {
+				t.Fatal(err)
+			}
+			base := mem.Addr(64)
+			dst := make([]byte, 24*mem.Word)
+			if st := b.LoadRange(base, dst); st != OK {
+				t.Fatalf("LoadRange: %v", st)
+			}
+			if !b.Validate() {
+				t.Fatal("clean validation failed")
+			}
+			a.WriteWord(base+13*mem.Word, 0xDEAD)
+			if b.Validate() {
+				t.Fatal("validation missed a clobbered word inside a run")
+			}
+		})
+	}
+}

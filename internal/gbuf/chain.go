@@ -168,6 +168,75 @@ func (b *chainBuffer) Store(p mem.Addr, size int, v uint64) Status {
 	return OK
 }
 
+// LoadRange performs a buffered read of len(dst)/WORD consecutive words at
+// the word-aligned address p. The chained organization still probes one
+// bucket per word — buckets are reached by hashing, not adjacency — but the
+// bulk path pays the interface crossing and the arena read once for the
+// whole run and bulk-appends missed snapshots to the entry pool.
+func (b *chainBuffer) LoadRange(p mem.Addr, dst []byte) Status {
+	nWords, ok := rangeGeometry(p, len(dst))
+	if !ok {
+		return Misaligned
+	}
+	if nWords == 0 {
+		return OK
+	}
+	b.C.Loads += uint64(nWords)
+	b.arena.ReadWords(p, dst)
+	hasWrites := len(b.write.entries) > 0
+	for k := 0; k < nWords; k++ {
+		base := p + mem.Addr(k*mem.Word)
+		out := dst[k*mem.Word : (k+1)*mem.Word]
+		var wData, wMarks []byte
+		if hasWrites {
+			if e := b.write.lookup(base); e != nil {
+				wData, wMarks = e.data[:], e.mark[:]
+				if allMarked8(wMarks) {
+					b.C.ReadSetHits++
+					copy(out, wData)
+					continue
+				}
+			}
+		}
+		if e := b.read.lookup(base); e != nil {
+			b.C.ReadSetHits++
+			copy(out, e.data[:])
+		} else {
+			// Snapshot the arena word already sitting in dst.
+			copy(b.read.insert(base).data[:], out)
+		}
+		if wData != nil {
+			for j := 0; j < mem.Word; j++ {
+				if wMarks[j] == fullMark {
+					out[j] = wData[j]
+				}
+			}
+		}
+	}
+	return OK
+}
+
+// StoreRange performs a buffered write of len(src)/WORD consecutive words
+// at the word-aligned address p; whole words need no arena seeding and set
+// all eight marks at once.
+func (b *chainBuffer) StoreRange(p mem.Addr, src []byte) Status {
+	nWords, ok := rangeGeometry(p, len(src))
+	if !ok {
+		return Misaligned
+	}
+	b.C.Stores += uint64(nWords)
+	for k := 0; k < nWords; k++ {
+		base := p + mem.Addr(k*mem.Word)
+		e := b.write.lookup(base)
+		if e == nil {
+			e = b.write.insert(base)
+		}
+		copy(e.data[:], src[k*mem.Word:(k+1)*mem.Word])
+		binary.LittleEndian.PutUint64(e.mark[:], onesWord)
+	}
+	return OK
+}
+
 // Validate checks every read-set word against the arena.
 func (b *chainBuffer) Validate() bool {
 	b.C.Validations++

@@ -397,19 +397,152 @@ func (b *Buffer) Store(p mem.Addr, size int, v uint64) Status {
 	return st
 }
 
+// LoadRange performs a buffered read of len(dst)/WORD consecutive words at
+// the word-aligned address p — the openaddr bulk path. Consecutive
+// addresses occupy consecutive hash slots (the slot is the address's low
+// bits), so the walk advances a slot cursor instead of re-hashing, seeds
+// every missed snapshot from one arena splice, and falls back to the
+// word-at-a-time overflow machinery only on slots held by foreign
+// addresses.
+func (b *Buffer) LoadRange(p mem.Addr, dst []byte) Status {
+	nWords, ok := rangeGeometry(p, len(dst))
+	if !ok {
+		return Misaligned
+	}
+	if nWords == 0 {
+		return OK
+	}
+	b.C.Loads += uint64(nWords)
+	// Seed dst with the current arena words in one splice; buffered
+	// snapshots overwrite their words below.
+	b.arena.ReadWords(p, dst)
+	hasWrites := b.write.top > 0 || len(b.writeOv) > 0
+	st := OK
+	i := b.read.slot(p)
+	mask := int(b.read.mask)
+	for k := 0; k < nWords; k, i = k+1, (i+1)&mask {
+		base := p + mem.Addr(k*mem.Word)
+		out := dst[k*mem.Word : (k+1)*mem.Word]
+		var wData, wMarks []byte
+		if hasWrites {
+			wData, wMarks = b.writeEntry(base)
+			if wData != nil && allMarked8(wMarks) {
+				b.C.ReadSetHits++
+				copy(out, wData)
+				continue
+			}
+		}
+		switch b.read.addrs[i] {
+		case base:
+			b.C.ReadSetHits++
+			copy(out, b.read.word(i))
+		case mem.NilAddr:
+			// First touch: claim the slot and snapshot the arena word
+			// already sitting in dst.
+			b.read.addrs[i] = base
+			b.read.used[b.read.top] = int32(i)
+			b.read.top++
+			copy(b.read.word(i), out)
+		default:
+			// Foreign address in the slot: the overflow path, one word.
+			rWord, rst := b.readWordEntry(base)
+			if rst == Full {
+				// The caller rolls back here; uncount the words the
+				// word-at-a-time loop would never have reached.
+				b.C.Loads -= uint64(nWords - k - 1)
+				return Full
+			}
+			st = worse(st, rst)
+			copy(out, rWord)
+		}
+		if wData != nil {
+			for j := 0; j < mem.Word; j++ {
+				if wMarks[j] == fullMark {
+					out[j] = wData[j]
+				}
+			}
+		}
+	}
+	return st
+}
+
+// StoreRange performs a buffered write of len(src)/WORD consecutive words
+// at the word-aligned address p, claiming consecutive hash slots with a
+// slot cursor and splicing whole words (full marks set eight at a time).
+func (b *Buffer) StoreRange(p mem.Addr, src []byte) Status {
+	nWords, ok := rangeGeometry(p, len(src))
+	if !ok {
+		return Misaligned
+	}
+	if nWords == 0 {
+		return OK
+	}
+	b.C.Stores += uint64(nWords)
+	st := OK
+	i := b.write.slot(p)
+	mask := int(b.write.mask)
+	for k := 0; k < nWords; k, i = k+1, (i+1)&mask {
+		base := p + mem.Addr(k*mem.Word)
+		in := src[k*mem.Word : (k+1)*mem.Word]
+		var data, marks []byte
+		switch b.write.addrs[i] {
+		case base:
+			data, marks = b.write.word(i), b.write.markWord(i)
+		case mem.NilAddr:
+			b.write.addrs[i] = base
+			b.write.used[b.write.top] = int32(i)
+			b.write.top++
+			data, marks = b.write.word(i), b.write.markWord(i)
+		default:
+			// Foreign address in the slot: the overflow path, one word.
+			if e := b.findWriteOv(base); e != nil {
+				data, marks = e.data[:], e.mark[:]
+			} else {
+				b.C.Conflicts++
+				if len(b.writeOv) >= b.ovCap {
+					// The caller rolls back here; uncount the words the
+					// word-at-a-time loop would never have reached.
+					b.C.Stores -= uint64(nWords - k - 1)
+					return Full
+				}
+				b.writeOv = append(b.writeOv, ovEntry{base: base})
+				e := &b.writeOv[len(b.writeOv)-1]
+				data, marks = e.data[:], e.mark[:]
+				b.mustStop = true
+				st = Conflict
+			}
+		}
+		copy(data, in)
+		binary.LittleEndian.PutUint64(marks, onesWord)
+	}
+	return st
+}
+
 // Validate checks every read-set word against the arena. Conflicts only
 // occur when the speculative thread read an address before the
 // non-speculative thread wrote it, so equality of the snapshot with current
-// memory is exactly the paper's validation criterion.
+// memory is exactly the paper's validation criterion. Bulk loads claim
+// consecutive slots for consecutive addresses, so the walk batches such
+// runs into one arena comparison each; isolated words compare one at a
+// time.
 func (b *Buffer) Validate() bool {
 	b.C.Validations++
-	for k := 0; k < b.read.top; k++ {
+	for k := 0; k < b.read.top; {
 		i := int(b.read.used[k])
 		base := b.read.addrs[i]
-		if binary.LittleEndian.Uint64(b.read.word(i)) != b.arena.ReadWord(base) {
+		run := 1
+		for k+run < b.read.top {
+			j := int(b.read.used[k+run])
+			if j != i+run || b.read.addrs[j] != base+mem.Addr(run*mem.Word) {
+				break
+			}
+			run++
+		}
+		if !b.arena.EqualWords(base, b.read.buf[i*mem.Word:(i+run)*mem.Word]) {
 			b.C.ValidationFail++
 			return false
 		}
+		k += run
 	}
 	for k := range b.readOv {
 		e := &b.readOv[k]
@@ -423,12 +556,29 @@ func (b *Buffer) Validate() bool {
 
 // Commit applies the write set to the arena: whole words at once when all
 // eight marks are set (the paper's -1 mark optimization), marked bytes
-// individually otherwise.
+// individually otherwise. Fully-marked runs over consecutive slots — the
+// shape bulk stores leave behind — are spliced with one arena write each.
 func (b *Buffer) Commit() {
 	b.C.Commits++
-	for k := 0; k < b.write.top; k++ {
+	for k := 0; k < b.write.top; {
 		i := int(b.write.used[k])
-		commitWord(b.arena, &b.C, b.write.addrs[i], b.write.word(i), b.write.markWord(i))
+		base := b.write.addrs[i]
+		run := 0
+		for k+run < b.write.top {
+			j := int(b.write.used[k+run])
+			if j != i+run || b.write.addrs[j] != base+mem.Addr(run*mem.Word) ||
+				!allMarked8(b.write.markWord(j)) {
+				break
+			}
+			run++
+		}
+		if run > 0 {
+			commitRun(b.arena, &b.C, base, b.write.buf[i*mem.Word:(i+run)*mem.Word])
+			k += run
+			continue
+		}
+		commitWord(b.arena, &b.C, base, b.write.word(i), b.write.markWord(i))
+		k++
 	}
 	for k := range b.writeOv {
 		e := &b.writeOv[k]

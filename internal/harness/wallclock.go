@@ -1,0 +1,212 @@
+package harness
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+
+	"repro/internal/bench"
+	"repro/mutls"
+)
+
+// This file is the curated wall-clock suite (ROADMAP: report speedups on
+// real hardware, not only the modelled machine). Unlike the figure
+// harness — which reruns the paper's experiments on the virtual cost model
+// — the wall-clock suite runs the dense-sweep kernels under Real timing
+// with fixed problem sizes, warmup iterations and a host-parallelism
+// sweep, and emits machine-readable JSON (the committed BENCH_wallclock.json
+// baseline) so regressions in the per-access software overhead the bulk
+// paths remove are visible in nanoseconds.
+
+// WallclockConfig parameterizes the suite.
+type WallclockConfig struct {
+	// Quick selects the CI sizes and a short axis (the -quick smoke).
+	Quick bool
+	// CPUAxis is the host-parallelism sweep in total CPUs (the paper's
+	// x-axis convention: the non-speculative thread's CPU counts). Zero
+	// selects {1, 2, 4, 8} clipped to the host's core count.
+	CPUAxis []int
+	// Warmup is the number of unmeasured runs per point (zero selects 1).
+	Warmup int
+	// Reps is the number of measured runs per point, of which the minimum
+	// is reported (zero selects 3; -quick uses 2).
+	Reps int
+}
+
+// wallSizes are the suite's fixed problem sizes: large enough that a run
+// spends its time in the kernels (not fork/join), small enough that the
+// full sweep finishes in tens of seconds on a laptop.
+var wallSizes = map[string]bench.Size{
+	"mandelbrot": {N: 192, M: 3000},
+	"md":         {N: 160, Steps: 6},
+	"fft":        {N: 1 << 16},
+	"matmult":    {N: 128},
+}
+
+// wallWorkloads is the dense-sweep subset rebuilt on the bulk accessors.
+func wallWorkloads() []*bench.Workload {
+	return []*bench.Workload{bench.Mandelbrot, bench.MD, bench.FFT, bench.MatMult}
+}
+
+// WallclockHost describes the machine a baseline was measured on.
+type WallclockHost struct {
+	OS         string `json:"os"`
+	Arch       string `json:"arch"`
+	NumCPU     int    `json:"num_cpu"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	GoVersion  string `json:"go_version"`
+}
+
+// WallclockPoint is one (workload, cpus) measurement.
+type WallclockPoint struct {
+	// CPUs is the axis value (total CPUs including the non-speculative
+	// thread's).
+	CPUs int `json:"cpus"`
+	// NS is the minimum speculative critical-path runtime over Reps runs,
+	// in nanoseconds.
+	NS int64 `json:"ns"`
+	// Speedup is SeqNS / NS.
+	Speedup float64 `json:"speedup"`
+	// Commits/Rollbacks summarize the speculation activity of the
+	// reported (minimum) run.
+	Commits   int `json:"commits"`
+	Rollbacks int `json:"rollbacks"`
+}
+
+// WallclockResult is one workload's sweep.
+type WallclockResult struct {
+	Name string     `json:"name"`
+	Size bench.Size `json:"size"`
+	// SeqNS is the minimum sequential runtime over Reps runs.
+	SeqNS  int64            `json:"seq_ns"`
+	Points []WallclockPoint `json:"points"`
+}
+
+// WallclockReport is the suite's JSON document.
+type WallclockReport struct {
+	Suite     string            `json:"suite"`
+	Quick     bool              `json:"quick"`
+	Warmup    int               `json:"warmup"`
+	Reps      int               `json:"reps"`
+	Host      WallclockHost     `json:"host"`
+	Workloads []WallclockResult `json:"workloads"`
+}
+
+// defaults resolves the config against the host.
+func (c WallclockConfig) defaults() WallclockConfig {
+	if c.Warmup <= 0 {
+		c.Warmup = 1
+	}
+	if c.Reps <= 0 {
+		c.Reps = 3
+		if c.Quick {
+			c.Reps = 2
+		}
+	}
+	if len(c.CPUAxis) == 0 {
+		axis := []int{1, 2, 4, 8}
+		if c.Quick {
+			axis = []int{1, 2, 4}
+		}
+		max := runtime.NumCPU()
+		for _, p := range axis {
+			if p <= max || p <= 2 {
+				c.CPUAxis = append(c.CPUAxis, p)
+			}
+		}
+	}
+	return c
+}
+
+// Wallclock runs the suite and writes the JSON report to out.
+func (h *Harness) Wallclock(out io.Writer, cfg WallclockConfig) error {
+	cfg = cfg.defaults()
+	report := WallclockReport{
+		Suite:  "mutls-wallclock",
+		Quick:  cfg.Quick,
+		Warmup: cfg.Warmup,
+		Reps:   cfg.Reps,
+		Host: WallclockHost{
+			OS:         runtime.GOOS,
+			Arch:       runtime.GOARCH,
+			NumCPU:     runtime.NumCPU(),
+			GOMAXPROCS: runtime.GOMAXPROCS(0),
+			GoVersion:  runtime.Version(),
+		},
+	}
+	for _, w := range wallWorkloads() {
+		res, err := h.wallclockWorkload(w, cfg)
+		if err != nil {
+			return fmt.Errorf("wallclock %s: %w", w.Name, err)
+		}
+		report.Workloads = append(report.Workloads, res)
+	}
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	return enc.Encode(report)
+}
+
+func (h *Harness) wallclockWorkload(w *bench.Workload, cfg WallclockConfig) (WallclockResult, error) {
+	size := wallSizes[w.Name]
+	if cfg.Quick || size == (bench.Size{}) {
+		size = w.CISize
+	}
+	res := WallclockResult{Name: w.Name, Size: size}
+
+	runCfg := func(cpus int) bench.RunConfig {
+		return bench.RunConfig{
+			CPUs:      cpus - 1, // the axis counts the non-speculative CPU
+			Size:      size,
+			Model:     w.DefaultModel,
+			Timing:    mutls.Real,
+			Buffering: h.cfg.Buffering,
+			Chunks:    h.cfg.Chunks,
+		}
+	}
+
+	// Sequential baseline: warmup, then best-of-Reps.
+	var seqSum uint64
+	for i := 0; i < cfg.Warmup; i++ {
+		if _, err := bench.MeasureSeq(w, runCfg(1)); err != nil {
+			return res, err
+		}
+	}
+	for i := 0; i < cfg.Reps; i++ {
+		m, err := bench.MeasureSeq(w, runCfg(1))
+		if err != nil {
+			return res, err
+		}
+		seqSum = m.Checksum
+		if res.SeqNS == 0 || m.Runtime < res.SeqNS {
+			res.SeqNS = m.Runtime
+		}
+	}
+
+	for _, cpus := range cfg.CPUAxis {
+		for i := 0; i < cfg.Warmup; i++ {
+			if _, err := bench.MeasureSpec(w, runCfg(cpus)); err != nil {
+				return res, err
+			}
+		}
+		pt := WallclockPoint{CPUs: cpus}
+		for i := 0; i < cfg.Reps; i++ {
+			m, err := bench.MeasureSpec(w, runCfg(cpus))
+			if err != nil {
+				return res, err
+			}
+			if m.Checksum != seqSum {
+				return res, fmt.Errorf("checksum mismatch at %d CPUs (speculative %#x != sequential %#x)",
+					cpus, m.Checksum, seqSum)
+			}
+			if pt.NS == 0 || m.Runtime < pt.NS {
+				pt.NS = m.Runtime
+				pt.Commits = m.Summary.Commits
+				pt.Rollbacks = m.Summary.Rollbacks
+			}
+		}
+		pt.Speedup = float64(res.SeqNS) / float64(pt.NS)
+		res.Points = append(res.Points, pt)
+	}
+	return res, nil
+}

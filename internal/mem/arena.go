@@ -22,6 +22,7 @@
 package mem
 
 import (
+	"encoding/binary"
 	"fmt"
 	"math"
 	"sync/atomic"
@@ -156,6 +157,55 @@ func (a *Arena) ReadFloat32(p Addr) float32 { return math.Float32frombits(a.Read
 
 // WriteFloat32 stores a float32 at p.
 func (a *Arena) WriteFloat32(p Addr, v float32) { a.WriteUint32(p, math.Float32bits(v)) }
+
+// ReadWords copies len(dst)/Word consecutive words starting at the
+// word-aligned address p into dst as little-endian bytes. It is the bulk
+// read under the GlobalBuffer range paths: one bounds check for the whole
+// run, per-word atomic loads (the same tear-free guarantee as ReadWord,
+// word by word — the run as a whole is not atomic, which is fine because
+// validation, not synchronization, provides safety).
+func (a *Arena) ReadWords(p Addr, dst []byte) {
+	a.checkRun(p, len(dst))
+	w := a.words[p>>3 : int(p>>3)+len(dst)/Word]
+	for i := range w {
+		binary.LittleEndian.PutUint64(dst[i*Word:], atomic.LoadUint64(&w[i]))
+	}
+}
+
+// WriteWords stores len(src)/Word consecutive words of little-endian bytes
+// at the word-aligned address p. Direct writers are serialized by the TLS
+// protocol (commit happens inside the join handshake), so per-word atomic
+// stores suffice.
+func (a *Arena) WriteWords(p Addr, src []byte) {
+	a.checkRun(p, len(src))
+	w := a.words[p>>3 : int(p>>3)+len(src)/Word]
+	for i := range w {
+		atomic.StoreUint64(&w[i], binary.LittleEndian.Uint64(src[i*Word:]))
+	}
+}
+
+// EqualWords reports whether the len(data)/Word words at the word-aligned
+// address p equal the little-endian words of data — the bulk comparison
+// behind range-aware read-set validation walks.
+func (a *Arena) EqualWords(p Addr, data []byte) bool {
+	a.checkRun(p, len(data))
+	w := a.words[p>>3 : int(p>>3)+len(data)/Word]
+	for i := range w {
+		if atomic.LoadUint64(&w[i]) != binary.LittleEndian.Uint64(data[i*Word:]) {
+			return false
+		}
+	}
+	return true
+}
+
+// checkRun validates a word-run access: in bounds, word-aligned, whole
+// words.
+func (a *Arena) checkRun(p Addr, n int) {
+	a.check(p, n)
+	if p&(Word-1) != 0 || n%Word != 0 {
+		panic(fmt.Sprintf("mem: misaligned word-run access [%d,+%d)", p, n))
+	}
+}
 
 // Snapshot copies n bytes starting at p into a fresh slice.
 func (a *Arena) Snapshot(p Addr, n int) []byte {

@@ -213,3 +213,55 @@ func TestQuickWordByteConsistency(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// Bulk word-run helpers must agree with their word-at-a-time equivalents
+// and reject misaligned geometries.
+func TestWordRunHelpers(t *testing.T) {
+	a, _ := NewArena(1 << 12)
+	base := Addr(64)
+	n := 16 // words
+	src := make([]byte, n*Word)
+	for i := range src {
+		src[i] = byte(i*7 + 3)
+	}
+	a.WriteWords(base, src)
+	for k := 0; k < n; k++ {
+		want := uint64(0)
+		for b := Word - 1; b >= 0; b-- {
+			want = want<<8 | uint64(src[k*Word+b])
+		}
+		if got := a.ReadWord(base + Addr(k*Word)); got != want {
+			t.Fatalf("word %d = %#x, want %#x", k, got, want)
+		}
+	}
+	dst := make([]byte, n*Word)
+	a.ReadWords(base, dst)
+	for i := range dst {
+		if dst[i] != src[i] {
+			t.Fatalf("ReadWords byte %d = %#x, want %#x", i, dst[i], src[i])
+		}
+	}
+	if !a.EqualWords(base, src) {
+		t.Fatal("EqualWords false on equal data")
+	}
+	src[37] ^= 0xFF
+	if a.EqualWords(base, src) {
+		t.Fatal("EqualWords true on differing data")
+	}
+
+	for _, bad := range []func(){
+		func() { a.ReadWords(base+1, dst) },
+		func() { a.ReadWords(base, dst[:Word+1]) },
+		func() { a.WriteWords(base+4, src) },
+		func() { a.EqualWords(base+7, src) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("misaligned word-run access did not panic")
+				}
+			}()
+			bad()
+		}()
+	}
+}

@@ -344,3 +344,44 @@ func (a *adaptiveRun) clampSize() {
 		a.size = float64(a.p.MaxSize)
 	}
 }
+
+// inherit seeds a fresh controller with the state a previous run of the
+// same loop learned: the converged chunk size, the per-index latency
+// estimate, the commit-latency target and the retired step directions.
+func (a *adaptiveRun) inherit(prev *adaptiveRun) {
+	a.size = prev.size
+	a.clampSize()
+	a.perIdx = prev.perIdx
+	a.target = prev.target
+	a.noGrow, a.noShrink = prev.noGrow, prev.noShrink
+}
+
+// Persist wraps a Chunker so state learned in one run seeds the next — for
+// loops a program executes repeatedly over the same data, like the
+// per-time-step force loops of md and bh, which otherwise re-learn the
+// schedule from the static start size every step. Only AdaptivePolicy
+// carries cross-run state; any other chunker is returned unchanged. The
+// returned Chunker is stateful and must drive one loop at a time (runs
+// started from it feed the next run's seed), unlike the stateless policy
+// values, which may drive many loops at once.
+func Persist(ck Chunker) Chunker {
+	if ap, ok := ck.(AdaptivePolicy); ok {
+		return &persistentAdaptive{p: ap}
+	}
+	return ck
+}
+
+type persistentAdaptive struct {
+	p    AdaptivePolicy
+	last *adaptiveRun
+}
+
+// NewRun starts a controller seeded with the previous run's learned state.
+func (pc *persistentAdaptive) NewRun(n, cpus int) ChunkController {
+	run := pc.p.NewRun(n, cpus).(*adaptiveRun)
+	if pc.last != nil {
+		run.inherit(pc.last)
+	}
+	pc.last = run
+	return run
+}

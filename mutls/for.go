@@ -100,11 +100,26 @@ type ForOptions struct {
 	// overrides Policy; for For it groups consecutive chunk indices into
 	// one speculation (the default remains one fork per index).
 	Chunker Chunker
+	// PollEvery, when positive, makes speculated chunks poll CheckPoint
+	// after every PollEvery indices (the paper inserts MUTLS_check_point
+	// inside loops so "the non-speculative thread never waits long"). A
+	// thread whose poll reports it must stop — its parent signalled the
+	// join, or a hash-conflict park (gbuf.Conflict) obliges it to wait —
+	// saves its progress and stops early instead of draining the chunk;
+	// the joining thread commits the partial work and runs the remainder
+	// inline. A squashed thread's poll rolls it back on the spot. Zero
+	// disables polling (chunks always run to completion).
+	PollEvery int
 }
 
 // forPoint is the fork/join point id the loop drivers use in their private
 // ranks arrays (and thus the PointCounters slot their feedback reads).
 const forPoint = 0
+
+// pollStopCounter is the synchronization counter a region returns when a
+// CheckPoint poll stopped it mid-chunk; the resume index travels in
+// regvar slot 4.
+const pollStopCounter = 1
 
 // For executes body(c, idx) for idx in [0, nChunks) under loop-level
 // speculation. body must contain only TLS-instrumented work: memory access
@@ -126,7 +141,7 @@ func For(t *Thread, nChunks int, opts ForOptions, body func(c *Thread, idx int))
 	if ck == nil {
 		ck = unitChunker{}
 	}
-	driveChunks(t, nChunks, opts.Model, ck, func(c *Thread, lo, hi int) {
+	driveChunks(t, nChunks, opts.Model, ck, opts.PollEvery, func(c *Thread, lo, hi int) {
 		for idx := lo; idx < hi; idx++ {
 			body(c, idx)
 		}
@@ -146,7 +161,7 @@ func ForRange(t *Thread, n int, opts ForOptions, body func(c *Thread, lo, hi int
 	if ck == nil {
 		ck = opts.Policy
 	}
-	driveChunks(t, n, opts.Model, ck, body)
+	driveChunks(t, n, opts.Model, ck, opts.PollEvery, body)
 }
 
 // driveChunks is the loop controller shared by For and ForRange: it walks
@@ -163,7 +178,7 @@ func ForRange(t *Thread, n int, opts ForOptions, body func(c *Thread, lo, hi int
 // recycled slot, but its forks are never adopted by the chain and their
 // buffers are discarded, so a stale read wastes work without affecting
 // the result.
-func driveChunks(t *Thread, n int, model Model, ck Chunker, body func(c *Thread, lo, hi int)) {
+func driveChunks(t *Thread, n int, model Model, ck Chunker, poll int, body func(c *Thread, lo, hi int)) {
 	if n > 1<<31-1 {
 		// Chunk bounds are packed (lo<<32 | hi) into one ring word; a
 		// larger index space would silently corrupt them.
@@ -222,7 +237,28 @@ func driveChunks(t *Thread, n int, model Model, ck Chunker, body func(c *Thread,
 		hi := int(c.GetRegvarInt64(2))
 		ranks := []Rank{0}
 		fork(c, ranks, seq+1)
-		body(c, lo, hi)
+		if poll > 0 {
+			// Sub-step the chunk, polling between steps: a stop request
+			// (parent join signal or conflict park) saves the progress
+			// index and stops the region early; the joining thread commits
+			// the prefix and completes the remainder inline. A squashed
+			// thread's poll never returns — it rolls back on the spot.
+			for cur := lo; cur < hi; {
+				next := cur + poll
+				if next > hi {
+					next = hi
+				}
+				body(c, cur, next)
+				cur = next
+				if cur < hi && c.CheckPoint() {
+					c.SaveRegvarInt64(3, int64(ranks[0]))
+					c.SaveRegvarInt64(4, int64(cur))
+					return pollStopCounter
+				}
+			}
+		} else {
+			body(c, lo, hi)
+		}
 		// The chained ranks array is live at the join point: save it for
 		// the joining thread (paper §IV-D).
 		c.SaveRegvarInt64(3, int64(ranks[0]))
@@ -255,9 +291,19 @@ func driveChunks(t *Thread, n int, model Model, ck Chunker, body func(c *Thread,
 		res := t.Join(ranks, forPoint)
 		if res.Committed() {
 			ranks[0] = Rank(res.RegvarInt64(3))
+			latency := res.Latency
+			if res.Counter == pollStopCounter {
+				// The chunk stopped early at a poll (join signal or
+				// conflict park): its prefix just committed; finish the
+				// remainder inline before joining further down the chain.
+				done := int(res.RegvarInt64(4))
+				start := t.Now()
+				body(t, done, hi)
+				latency += t.Now() - start
+			}
 			observe(ChunkFeedback{
 				Lo: lo, Hi: hi, Forked: true, Committed: true,
-				Latency:     res.Latency,
+				Latency:     latency,
 				ReadSetPeak: res.ReadSetPeak, WriteSetPeak: res.WriteSetPeak,
 			})
 		} else {

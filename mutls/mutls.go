@@ -22,8 +22,13 @@
 //
 // Code that runs under speculation is still written against core.Thread
 // (aliased here as Thread): all simulated memory traffic flows through the
-// Load*/Store* accessors and pure compute is charged with Tick. What mutls
-// removes is the protocol plumbing around that code.
+// Load*/Store* accessors and pure compute is charged with Tick. Contiguous
+// data should use the bulk accessors — LoadBytes/StoreBytes and the typed
+// slice views LoadWords/StoreWords, LoadInt64s/StoreInt64s,
+// LoadFloat64s/StoreFloat64s — which cost one buffered range access (a
+// single batched clock charge, one GlobalBuffer crossing) instead of one
+// probe per word. What mutls removes is the protocol plumbing around that
+// code.
 package mutls
 
 import (
