@@ -69,6 +69,13 @@ func BenchmarkFig11_RollbackSensitivity(b *testing.B) {
 
 func BenchmarkCoverage(b *testing.B) { runFigure(b, newHarness().Coverage) }
 
+// BenchmarkFigPipeline regenerates the workload-shapes ablation: the
+// pipeline and float-reduction kernels across all models and backends.
+func BenchmarkFigPipeline(b *testing.B) {
+	h := harness.New(harness.Config{CPUAxis: []int{1, 8}, Timing: mutls.Virtual})
+	runFigure(b, h.FigPipeline)
+}
+
 // --- Per-workload wall-clock benches: the real cost of one speculative run
 // at 8 virtual CPUs under real timing (what the runtime itself costs on
 // this host, as opposed to the modelled machine).
@@ -98,6 +105,8 @@ func BenchmarkWorkloadFFT(b *testing.B)        { benchWorkload(b, bench.FFT) }
 func BenchmarkWorkloadMatMult(b *testing.B)    { benchWorkload(b, bench.MatMult) }
 func BenchmarkWorkloadNQueen(b *testing.B)     { benchWorkload(b, bench.NQueen) }
 func BenchmarkWorkloadTSP(b *testing.B)        { benchWorkload(b, bench.TSP) }
+func BenchmarkWorkloadStencil(b *testing.B)    { benchWorkload(b, bench.Stencil) }
+func BenchmarkWorkloadFloatSum(b *testing.B)   { benchWorkload(b, bench.FloatSum) }
 
 // --- Ablations (DESIGN.md §6) ---
 

@@ -8,6 +8,7 @@
 //	mutls-bench -fig 3           # one figure (1, 2 = tables; 3..11 = figures)
 //	mutls-bench -fig gbuf        # GlobalBuffer backend ablation table
 //	mutls-bench -fig chunks      # static vs adaptive chunk-sizing ablation
+//	mutls-bench -fig pipeline    # pipeline + float-reduction kernels, models x backends
 //	mutls-bench -gbuf chain      # run everything on the chain backend
 //	mutls-bench -chunks adaptive # feedback-driven chunk sizing for all runs
 //	mutls-bench -coverage        # the §V-B parallel coverage numbers
@@ -30,7 +31,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "", `regenerate one table (1,2), figure (3..11) or an ablation ("gbuf", "chunks"); empty = everything`)
+	fig := flag.String("fig", "", `regenerate one table (1,2), figure (3..11) or an ablation ("gbuf", "chunks", "pipeline"); empty = everything`)
 	coverage := flag.Bool("coverage", false, "print the §V-B parallel execution coverage")
 	paper := flag.Bool("paper", false, "use the paper's Table II problem sizes")
 	cpus := flag.String("cpus", "", "comma-separated CPU axis (default 1,2,4,8,16,24,32,48,64)")
@@ -90,6 +91,8 @@ func main() {
 		err = h.FigGBuf(os.Stdout)
 	case *fig == "chunks":
 		err = h.FigChunks(os.Stdout)
+	case *fig == "pipeline":
+		err = h.FigPipeline(os.Stdout)
 	default:
 		err = runFigure(h, *fig)
 	}
@@ -103,7 +106,7 @@ func main() {
 func runFigure(h *harness.Harness, fig string) error {
 	n, err := strconv.Atoi(fig)
 	if err != nil {
-		return fmt.Errorf("unknown figure %q (valid: 0..11, gbuf, chunks)", fig)
+		return fmt.Errorf("unknown figure %q (valid: 0..11, gbuf, chunks, pipeline)", fig)
 	}
 	switch n {
 	case 0: // the old int flag's "everything" value
@@ -133,7 +136,7 @@ func runFigure(h *harness.Harness, fig string) error {
 	case 11:
 		return h.Fig11(os.Stdout)
 	}
-	return fmt.Errorf("unknown figure %d (valid: 0..11, gbuf, chunks)", n)
+	return fmt.Errorf("unknown figure %d (valid: 0..11, gbuf, chunks, pipeline)", n)
 }
 
 func validBackend(name string) bool {

@@ -75,9 +75,20 @@ func chunkerFor(ck mutls.Chunker, p mutls.ChunkPolicy) mutls.Chunker {
 // All lists the benchmarks in Table II order.
 var All = []*Workload{X3P1, Mandelbrot, MD, BH, FFT, MatMult, NQueen, TSP}
 
+// Extended lists the workload shapes beyond the paper's Table II: the
+// stage-parallel pipeline (stencil) and the speculative float reduction
+// (floatsum). They run the same verification suites as the Table II set
+// but stay out of the paper's figures, which reproduce Table II exactly.
+var Extended = []*Workload{Stencil, FloatSum}
+
+// Everything returns All plus Extended — the full verification surface.
+func Everything() []*Workload {
+	return append(append([]*Workload{}, All...), Extended...)
+}
+
 // ByName returns the named workload.
 func ByName(name string) (*Workload, error) {
-	for _, w := range All {
+	for _, w := range Everything() {
 		if w.Name == name {
 			return w, nil
 		}

@@ -19,7 +19,7 @@ func ciConfig(w *Workload, cpus int) RunConfig {
 // Every workload must produce the sequential checksum under its default
 // model — the integration test behind every figure.
 func TestAllWorkloadsMatchSequential(t *testing.T) {
-	for _, w := range All {
+	for _, w := range Everything() {
 		w := w
 		t.Run(w.Name, func(t *testing.T) {
 			t.Parallel()
@@ -32,7 +32,7 @@ func TestAllWorkloadsMatchSequential(t *testing.T) {
 
 // The same with a single CPU (speculation starved) and many CPUs.
 func TestWorkloadsAcrossCPUCounts(t *testing.T) {
-	for _, w := range All {
+	for _, w := range Everything() {
 		w := w
 		t.Run(w.Name, func(t *testing.T) {
 			t.Parallel()
@@ -49,7 +49,7 @@ func TestWorkloadsAcrossCPUCounts(t *testing.T) {
 // organization may change performance but never the result — the shared
 // sequential-equivalence suite of the backend ablation.
 func TestWorkloadsAcrossBackends(t *testing.T) {
-	for _, w := range All {
+	for _, w := range Everything() {
 		w := w
 		t.Run(w.Name, func(t *testing.T) {
 			t.Parallel()
@@ -67,7 +67,7 @@ func TestWorkloadsAcrossBackends(t *testing.T) {
 // Every workload under every forking model: the result may be computed with
 // less parallelism but never differently.
 func TestWorkloadsAcrossModels(t *testing.T) {
-	for _, w := range All {
+	for _, w := range Everything() {
 		w := w
 		t.Run(w.Name, func(t *testing.T) {
 			t.Parallel()
@@ -84,7 +84,7 @@ func TestWorkloadsAcrossModels(t *testing.T) {
 
 // Forced rollbacks (the Figure 11 experiment) must never change results.
 func TestWorkloadsUnderInjectedRollbacks(t *testing.T) {
-	for _, w := range All {
+	for _, w := range Everything() {
 		w := w
 		t.Run(w.Name, func(t *testing.T) {
 			t.Parallel()
@@ -103,7 +103,7 @@ func TestWorkloadsUnderInjectedRollbacks(t *testing.T) {
 // Adaptive chunk sizing may change the schedule but never the result —
 // with and without the forced rollbacks that drive its feedback loop.
 func TestWorkloadsWithAdaptiveChunks(t *testing.T) {
-	for _, w := range All {
+	for _, w := range Everything() {
 		w := w
 		t.Run(w.Name, func(t *testing.T) {
 			t.Parallel()
@@ -122,7 +122,7 @@ func TestWorkloadsWithAdaptiveChunks(t *testing.T) {
 
 // Real (wall clock) timing mode end to end.
 func TestWorkloadsRealTiming(t *testing.T) {
-	for _, w := range All {
+	for _, w := range Everything() {
 		w := w
 		t.Run(w.Name, func(t *testing.T) {
 			t.Parallel()
@@ -138,7 +138,7 @@ func TestWorkloadsRealTiming(t *testing.T) {
 // Speculation must actually happen: with several CPUs each workload commits
 // at least one speculative execution under its default model.
 func TestWorkloadsActuallySpeculate(t *testing.T) {
-	for _, w := range All {
+	for _, w := range Everything() {
 		w := w
 		t.Run(w.Name, func(t *testing.T) {
 			t.Parallel()
@@ -212,10 +212,14 @@ func TestBenchmarkSets(t *testing.T) {
 	if len(All) != 8 {
 		t.Fatalf("Table II has 8 benchmarks, got %d", len(All))
 	}
+	if len(Extended) != 2 || len(Everything()) != 10 {
+		t.Fatalf("extended set: %d extra, %d total; want 2 and 10",
+			len(Extended), len(Everything()))
+	}
 	if len(ComputationIntensive()) != 3 || len(MemoryIntensive()) != 5 {
 		t.Fatal("figure 3/4 benchmark sets wrong")
 	}
-	for _, w := range All {
+	for _, w := range Everything() {
 		if w.AmountOfData(w.PaperSize) == "" || w.Description == "" || w.Pattern == "" {
 			t.Errorf("%s: incomplete Table II row", w.Name)
 		}

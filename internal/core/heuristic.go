@@ -58,6 +58,20 @@ func (h *heuristics) observe(p int, committed bool) {
 	}
 }
 
+// reset clears a point's profile and re-enables it. AllocPoint calls it
+// when an id is recycled to a new driver run: the heuristic's verdict is
+// about one loop's behavior, and a point disabled by a rollback-heavy loop
+// must not silently serialize the unrelated loop that inherits the id.
+func (h *heuristics) reset(p int) {
+	if p < 0 || p >= len(h.points) {
+		return
+	}
+	prof := &h.points[p]
+	prof.commits.Store(0)
+	prof.rollbacks.Store(0)
+	prof.disabled.Store(false)
+}
+
 // profile returns the counts for a point (for tests and reports).
 func (h *heuristics) profile(p int) (commits, rollbacks int64, disabled bool) {
 	prof := &h.points[p]

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/lbuf"
 	"repro/internal/mem"
+	"repro/internal/predict"
 	"repro/internal/vclock"
 )
 
@@ -83,6 +84,29 @@ func (t *Thread) ValidateRegvarInt32(ranks []Rank, p int, slot int, actual int32
 // ValidateRegvarFloat64 validates a float64 prediction.
 func (t *Thread) ValidateRegvarFloat64(ranks []Rank, p int, slot int, actual float64) {
 	t.validateRegvar(ranks, p, slot, math.Float64bits(actual))
+}
+
+// ValidateRegvarFloat64Rel validates a float64 prediction under a relative
+// tolerance: the fork-time value passes when it lies within relTol of the
+// actual value (predict.WithinRelTol), the tolerance-based float value
+// prediction mode of the related work. relTol 0 is bit-exact, identical to
+// ValidateRegvarFloat64. With a positive tolerance a committed speculation
+// may have run from a slightly wrong live-in, so the caller is accepting
+// approximate results bounded by the tolerance's propagation through the
+// region — only enable it for reductions that tolerate that.
+func (t *Thread) ValidateRegvarFloat64Rel(ranks []Rank, p int, slot int, actual, relTol float64) {
+	if p < 0 || p >= len(ranks) || ranks[p] == 0 {
+		return
+	}
+	td := &t.rt.cpus[ranks[p]].td
+	if slot < 0 || slot >= len(td.forkRegs) || !td.forkLive[slot] {
+		td.forceInvalid.Store(true)
+		return
+	}
+	pred := math.Float64frombits(td.forkRegs[slot])
+	if !predict.WithinRelTol(pred, actual, relTol) {
+		td.forceInvalid.Store(true)
+	}
 }
 
 // ValidateRegvarAddr validates a pointer prediction.

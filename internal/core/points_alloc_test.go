@@ -1,0 +1,56 @@
+package core
+
+import "testing"
+
+// TestAllocPointDistinctRoundRobin pins the allocator contract: ids walk
+// [0, MaxPoints) in order and wrap, and a block allocation is internally
+// distinct.
+func TestAllocPointDistinctRoundRobin(t *testing.T) {
+	rt := newRT(t, 1, nil)
+	max := rt.MaxPoints()
+	for i := 0; i < 2*max; i++ {
+		if p := rt.AllocPoint(); p != i%max {
+			t.Fatalf("alloc %d = point %d, want %d", i, p, i%max)
+		}
+	}
+	ps := rt.AllocPoints(max)
+	seen := make(map[int]bool, max)
+	for _, p := range ps {
+		if seen[p] {
+			t.Fatalf("AllocPoints handed out point %d twice", p)
+		}
+		seen[p] = true
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("AllocPoints beyond MaxPoints did not panic")
+		}
+	}()
+	rt.AllocPoints(max + 1)
+}
+
+// TestAllocPointResetsHeuristic: a point the adaptive fork heuristic
+// disabled for one loop must come back enabled (with a clean profile) when
+// the allocator recycles its id to a different run — otherwise an
+// unrelated loop inheriting the id would silently run serial forever.
+func TestAllocPointResetsHeuristic(t *testing.T) {
+	rt := newRT(t, 1, func(o *Options) {
+		o.AdaptiveForkHeuristic = true
+		o.HeuristicMinSamples = 2
+		o.HeuristicMaxRollbackRate = 0.4
+	})
+	rt.heur.observe(5, false)
+	rt.heur.observe(5, false)
+	if _, _, disabled := rt.PointProfile(5); !disabled {
+		t.Fatal("rollback-heavy point was not disabled")
+	}
+	for i := 0; i < rt.MaxPoints(); i++ {
+		if p := rt.AllocPoint(); p == 5 {
+			break
+		}
+	}
+	c, r, disabled := rt.PointProfile(5)
+	if disabled || c != 0 || r != 0 {
+		t.Fatalf("recycled point kept its old profile: commits=%d rollbacks=%d disabled=%v", c, r, disabled)
+	}
+}

@@ -193,6 +193,9 @@ type Runtime struct {
 	// not-yet-squashed thread can fork onto a CPU the scan already passed.
 	active atomic.Int64
 
+	// pointSeq hands out fork/join point ids round-robin (AllocPoint).
+	pointSeq atomic.Int64
+
 	// nonSpecStackTop is the bump pointer of the non-speculative stack.
 	nonSpecStackTop mem.Addr
 }
@@ -259,6 +262,40 @@ func (rt *Runtime) Options() Options { return rt.opts }
 
 // NumCPUs returns the number of speculative virtual CPUs.
 func (rt *Runtime) NumCPUs() int { return rt.opts.NumCPUs }
+
+// MaxPoints returns the number of fork/join point ids the runtime supports
+// (point ids are 0..MaxPoints-1).
+func (rt *Runtime) MaxPoints() int { return rt.opts.MaxPoints }
+
+// AllocPoint returns a fork/join point id for one driver run, cycling
+// round-robin through [0, MaxPoints). Loop drivers (mutls.For/Reduce/
+// Pipeline) allocate a fresh point per run so the live PointCounters
+// feedback of overlapping runs — a nested loop started from the inline
+// portion of an outer loop's body, or a pipeline's per-stage points — does
+// not mix rollback signals across loops. A recycled id starts with a
+// clean adaptive-heuristic profile (a point disabled by one loop's
+// rollbacks must not serialize the unrelated loop that inherits the id);
+// only more than MaxPoints simultaneously live runs can alias a point,
+// and aliasing degrades feedback/heuristic quality, never correctness.
+func (rt *Runtime) AllocPoint() int {
+	p := int((rt.pointSeq.Add(1) - 1) % int64(rt.opts.MaxPoints))
+	rt.heur.reset(p)
+	return p
+}
+
+// AllocPoints returns n distinct point ids allocated as one block (the
+// multi-point form of AllocPoint, for drivers with one point per stage).
+// It panics when n exceeds MaxPoints, the static protocol limit.
+func (rt *Runtime) AllocPoints(n int) []int {
+	if n > rt.opts.MaxPoints {
+		panic(fmt.Sprintf("core: AllocPoints(%d) exceeds MaxPoints %d", n, rt.opts.MaxPoints))
+	}
+	ps := make([]int, n)
+	for i := range ps {
+		ps[i] = rt.AllocPoint()
+	}
+	return ps
+}
 
 // Run executes fn as the non-speculative thread and returns the paper's
 // TN: the critical-path runtime (virtual units or nanoseconds). Any

@@ -412,6 +412,64 @@ func (t *Thread) rangeScratch(p mem.Addr, nWords int) []byte {
 	return t.scratch(nWords * mem.Word)
 }
 
+// subRangeScratch validates a typed sub-word bulk access of n elements of
+// the given size at p and returns the byte scratch backing it. p must be
+// size-aligned; the word-run contract then extends naturally: a misaligned
+// head or tail decomposes into one maximal aligned sub-word access each
+// (charged once), and the aligned middle is one batched word-run crossing.
+func (t *Thread) subRangeScratch(p mem.Addr, n, size int) []byte {
+	if !mem.Aligned(p, size) {
+		if t.speculative {
+			t.rollbackNow(RollbackUnsafeOp)
+		}
+		panic(fmt.Sprintf("core: misaligned %d-byte-run access at %d", size, p))
+	}
+	return t.scratch(n * size)
+}
+
+// LoadFloat32s reads len(dst) consecutive float32s starting at the
+// 4-aligned address p: at most one 4-byte head access, one bulk word-run
+// (a single batched clock charge, one Backend range crossing) for the
+// aligned middle, and at most one 4-byte tail access — the sub-word slice
+// view on the single-charge range contract.
+func (t *Thread) LoadFloat32s(p mem.Addr, dst []float32) {
+	s := t.subRangeScratch(p, len(dst), 4)
+	t.LoadBytes(p, s)
+	for i := range dst {
+		dst[i] = math.Float32frombits(binary.LittleEndian.Uint32(s[i*4:]))
+	}
+}
+
+// StoreFloat32s writes len(src) consecutive float32s at the 4-aligned
+// address p (see LoadFloat32s for the decomposition).
+func (t *Thread) StoreFloat32s(p mem.Addr, src []float32) {
+	s := t.subRangeScratch(p, len(src), 4)
+	for i, v := range src {
+		binary.LittleEndian.PutUint32(s[i*4:], math.Float32bits(v))
+	}
+	t.StoreBytes(p, s)
+}
+
+// LoadInt32s reads len(dst) consecutive int32s starting at the 4-aligned
+// address p (the int32 slice view; see LoadFloat32s).
+func (t *Thread) LoadInt32s(p mem.Addr, dst []int32) {
+	s := t.subRangeScratch(p, len(dst), 4)
+	t.LoadBytes(p, s)
+	for i := range dst {
+		dst[i] = int32(binary.LittleEndian.Uint32(s[i*4:]))
+	}
+}
+
+// StoreInt32s writes len(src) consecutive int32s at the 4-aligned address
+// p.
+func (t *Thread) StoreInt32s(p mem.Addr, src []int32) {
+	s := t.subRangeScratch(p, len(src), 4)
+	for i, v := range src {
+		binary.LittleEndian.PutUint32(s[i*4:], uint32(v))
+	}
+	t.StoreBytes(p, s)
+}
+
 // Alloc allocates n bytes on the heap. Speculative threads may not allocate
 // (the paper intercepts malloc and forbids it because the thread may roll
 // back); a speculative call is an unsafe operation and rolls back — regions

@@ -480,6 +480,46 @@ func (h *Harness) FigChunks(out io.Writer) error {
 	return tw.Flush()
 }
 
+// FigPipeline is the workload-shapes ablation (beyond the paper): the new
+// pipeline (stencil) and float-reduction (floatsum) kernels run under all
+// four forking models and every registered GlobalBuffer backend at the
+// largest axis point, each speculative result checksum-verified against
+// the sequential version — the acceptance matrix of the Pipeline and
+// ReduceFloat64 drivers.
+func (h *Harness) FigPipeline(out io.Writer) error {
+	cpus := h.cfg.CPUAxis[len(h.cfg.CPUAxis)-1]
+	models := []mutls.Model{mutls.InOrder, mutls.OutOfOrder, mutls.Mixed, mutls.MixedLinear}
+	tw := newTab(out)
+	fmt.Fprintf(out, "PIPELINE ABLATION. Pipeline and float-reduction kernels across models and backends at %d CPUs\n", cpus)
+	fmt.Fprintln(out, "(Pipeline/Reduce continuations cannot run in-order; the inorder rows exercise the requested name's remap to outoforder.)")
+	fmt.Fprintln(tw, "Benchmark\tModel\tBackend\tSpeedup\tCommits\tRollbacks\tRdPeak\tWrPeak")
+	for _, w := range bench.Extended {
+		seq, err := h.Seq(w, "c")
+		if err != nil {
+			return err
+		}
+		for _, model := range models {
+			for _, backend := range mutls.Backends() {
+				cfg := h.runCfg(w, cpus, model, 0, costFor("c"))
+				cfg.Buffering = overrideBackend(cfg.Buffering, backend)
+				m, err := bench.MeasureSpec(w, cfg)
+				if err != nil {
+					return fmt.Errorf("%s/%v/%s: %w", w.Name, model, backend, err)
+				}
+				if m.Checksum != seq.Checksum {
+					return fmt.Errorf("%s/%v/%s: checksum mismatch (speculative %#x != sequential %#x)",
+						w.Name, model, backend, m.Checksum, seq.Checksum)
+				}
+				s := m.Summary
+				fmt.Fprintf(tw, "%s\t%v\t%s\t%.2f\t%d\t%d\t%d\t%d\n",
+					w.Name, model, backend, float64(seq.Runtime)/float64(m.Runtime),
+					s.Commits, s.Rollbacks, s.ReadSetPeak, s.WriteSetPeak)
+			}
+		}
+	}
+	return tw.Flush()
+}
+
 // Fig11 regenerates Figure 11: rollback sensitivity — the relative slowdown
 // with respect to the non-rollback scenario under forced rollbacks.
 func (h *Harness) Fig11(out io.Writer) error {

@@ -219,6 +219,28 @@ func TestFigChunksRunsAndVerifies(t *testing.T) {
 	}
 }
 
+// TestFigPipelineRunsAndVerifies: the workload-shapes ablation produces a
+// row per (kernel, model, backend) cell — its internal checksum guard is
+// the all-models x all-backends acceptance matrix of Pipeline and
+// ReduceFloat64.
+func TestFigPipelineRunsAndVerifies(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.CPUAxis = []int{4}
+	var buf bytes.Buffer
+	if err := New(cfg).FigPipeline(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, frag := range []string{"stencil", "floatsum", "inorder", "outoforder", "mixedlinear", "openaddr", "chain", "bitmap"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("FigPipeline missing %q", frag)
+		}
+	}
+	if rows := strings.Count(out, "\n"); rows < 2+2*4*3 {
+		t.Fatalf("FigPipeline printed %d lines, want at least %d", rows, 2+2*4*3)
+	}
+}
+
 func TestAllRunsEndToEnd(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full harness in short mode")

@@ -42,11 +42,17 @@ var wallSizes = map[string]bench.Size{
 	"md":         {N: 160, Steps: 6},
 	"fft":        {N: 1 << 16},
 	"matmult":    {N: 128},
+	"stencil":    {N: 1 << 15, Steps: 6},
+	"floatsum":   {N: 1 << 20},
 }
 
-// wallWorkloads is the dense-sweep subset rebuilt on the bulk accessors.
+// wallWorkloads is the dense-sweep subset rebuilt on the bulk accessors,
+// plus the pipeline and float-reduction shapes.
 func wallWorkloads() []*bench.Workload {
-	return []*bench.Workload{bench.Mandelbrot, bench.MD, bench.FFT, bench.MatMult}
+	return []*bench.Workload{
+		bench.Mandelbrot, bench.MD, bench.FFT, bench.MatMult,
+		bench.Stencil, bench.FloatSum,
+	}
 }
 
 // WallclockHost describes the machine a baseline was measured on.
@@ -85,12 +91,17 @@ type WallclockResult struct {
 
 // WallclockReport is the suite's JSON document.
 type WallclockReport struct {
-	Suite     string            `json:"suite"`
-	Quick     bool              `json:"quick"`
-	Warmup    int               `json:"warmup"`
-	Reps      int               `json:"reps"`
-	Host      WallclockHost     `json:"host"`
-	Workloads []WallclockResult `json:"workloads"`
+	Suite  string        `json:"suite"`
+	Quick  bool          `json:"quick"`
+	Warmup int           `json:"warmup"`
+	Reps   int           `json:"reps"`
+	Host   WallclockHost `json:"host"`
+	// Provenance states what the baseline is good for, derived from
+	// host.num_cpu at measurement time: a single-core host serializes the
+	// worker goroutines, so its numbers validate runtime overhead only,
+	// never parallel speedup.
+	Provenance string            `json:"provenance"`
+	Workloads  []WallclockResult `json:"workloads"`
 }
 
 // defaults resolves the config against the host.
@@ -134,6 +145,13 @@ func (h *Harness) Wallclock(out io.Writer, cfg WallclockConfig) error {
 			GOMAXPROCS: runtime.GOMAXPROCS(0),
 			GoVersion:  runtime.Version(),
 		},
+	}
+	if report.Host.NumCPU > 1 {
+		report.Provenance = fmt.Sprintf(
+			"measured on a %d-core host: speedups reflect real parallelism up to that width",
+			report.Host.NumCPU)
+	} else {
+		report.Provenance = "measured on a 1-core host: validates runtime overhead only, not parallel speedup"
 	}
 	for _, w := range wallWorkloads() {
 		res, err := h.wallclockWorkload(w, cfg)

@@ -33,7 +33,13 @@ func TestWallclockQuickSuite(t *testing.T) {
 	if report.Host.NumCPU < 1 || report.Host.GoVersion == "" {
 		t.Fatalf("host not recorded: %+v", report.Host)
 	}
-	want := map[string]bool{"mandelbrot": true, "md": true, "fft": true, "matmult": true}
+	if report.Provenance == "" {
+		t.Fatal("no provenance recorded for the baseline")
+	}
+	want := map[string]bool{
+		"mandelbrot": true, "md": true, "fft": true, "matmult": true,
+		"stencil": true, "floatsum": true,
+	}
 	for _, w := range report.Workloads {
 		if !want[w.Name] {
 			t.Fatalf("unexpected workload %q", w.Name)

@@ -8,9 +8,19 @@
 // the two classic predictors — last value and stride — keyed by (fork point,
 // slot), plus accuracy accounting so the ablation bench can report how
 // prediction quality translates into locals-validation rollbacks.
+//
+// Integer histories use exact two's-complement arithmetic (Predict/Observe);
+// float64 histories use float arithmetic for the stride extrapolation
+// (PredictFloat64/ObserveFloat64) with an optional relative tolerance for
+// hit scoring — the tolerance-based float value prediction of the related
+// work, where a prediction "close enough" to the actual value still counts
+// as usable.
 package predict
 
-import "sync"
+import (
+	"math"
+	"sync"
+)
 
 // Kind selects a prediction strategy.
 type Kind uint8
@@ -88,6 +98,45 @@ func (p *Predictor) Predict(point, slot int) (uint64, bool) {
 	}
 }
 
+// Warm reports whether the slot has enough history for its strategy to
+// extrapolate rather than guess: one sample for last-value, two for stride
+// (one sample leaves the stride unknown, so the predicted value would just
+// be the last observation — wrong for any accumulator with a nonzero
+// per-chunk delta). Drivers that fork a speculation from a predicted value
+// should hold the fork until the slot is warm; the cold-start fork is the
+// one that is guaranteed to roll back on growing accumulators.
+func (p *Predictor) Warm(point, slot int) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	e, ok := p.entries[key{point, slot}]
+	if !ok {
+		return false
+	}
+	if p.kind == Stride {
+		return e.samples >= 2
+	}
+	return e.samples >= 1
+}
+
+// PredictFloat64 is Predict over a float64 history: the stride is
+// extrapolated in float arithmetic (last + (last - prev)), not over the raw
+// bit patterns, so a constant float delta is followed exactly.
+func (p *Predictor) PredictFloat64(point, slot int) (float64, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	e, ok := p.entries[key{point, slot}]
+	if !ok || e.samples == 0 {
+		p.cold++
+		return 0, false
+	}
+	last := math.Float64frombits(e.last)
+	if p.kind == Stride && e.samples >= 2 {
+		prev := math.Float64frombits(e.prev)
+		return last + (last - prev), true
+	}
+	return last, true
+}
+
 // Observe records the actual value seen at the join point and scores the
 // prediction that was (or would have been) made.
 func (p *Predictor) Observe(point, slot int, actual uint64) {
@@ -116,6 +165,57 @@ func (p *Predictor) Observe(point, slot int, actual uint64) {
 	e.prev = e.last
 	e.last = actual
 	e.samples++
+}
+
+// ObserveFloat64 records the actual float64 value seen at the join point
+// and scores the float prediction that was (or would have been) made. A
+// prediction within relTol of the actual value (WithinRelTol) counts as a
+// hit — relTol 0 keeps bit-exact scoring.
+func (p *Predictor) ObserveFloat64(point, slot int, actual, relTol float64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	k := key{point, slot}
+	e, ok := p.entries[k]
+	if !ok {
+		e = &entry{}
+		p.entries[k] = e
+	}
+	if e.samples > 0 {
+		last := math.Float64frombits(e.last)
+		predicted := last
+		if p.kind == Stride && e.samples >= 2 {
+			predicted = last + (last - math.Float64frombits(e.prev))
+		}
+		if WithinRelTol(predicted, actual, relTol) {
+			p.hits++
+		} else {
+			p.misses++
+		}
+	}
+	e.prev = e.last
+	e.last = math.Float64bits(actual)
+	e.samples++
+}
+
+// WithinRelTol reports whether a predicted float64 is acceptable against
+// the actual value under a relative tolerance: |pred-actual| <=
+// relTol*max(|pred|,|actual|). A non-positive tolerance demands bit
+// equality (so -0 vs +0 and NaN payloads are distinguished exactly like
+// integer validation would).
+func WithinRelTol(pred, actual, relTol float64) bool {
+	if relTol <= 0 {
+		return math.Float64bits(pred) == math.Float64bits(actual)
+	}
+	// Non-finite values fall back to bit equality: Inf-Inf is NaN (a
+	// correctly predicted Inf must still pass) and any finite value is
+	// unboundedly far from an Inf (diff <= relTol*Inf would accept it).
+	if math.IsNaN(pred) || math.IsNaN(actual) ||
+		math.IsInf(pred, 0) || math.IsInf(actual, 0) {
+		return math.Float64bits(pred) == math.Float64bits(actual)
+	}
+	diff := math.Abs(pred - actual)
+	scale := math.Max(math.Abs(pred), math.Abs(actual))
+	return diff <= relTol*scale
 }
 
 // Accuracy returns hits/(hits+misses), or 0 with no scored predictions.

@@ -1,6 +1,7 @@
 package predict
 
 import (
+	"math"
 	"sync"
 	"testing"
 	"testing/quick"
@@ -147,5 +148,92 @@ func TestQuickAccuracyBounds(t *testing.T) {
 	}
 	if err := quick.Check(f, nil); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// --- Warm gate and float prediction ---
+
+func TestWarmGate(t *testing.T) {
+	lv := New(LastValue)
+	if lv.Warm(0, 0) {
+		t.Fatal("last-value warm with no history")
+	}
+	lv.Observe(0, 0, 7)
+	if !lv.Warm(0, 0) {
+		t.Fatal("last-value not warm after one sample")
+	}
+
+	st := New(Stride)
+	st.Observe(0, 0, 7)
+	if st.Warm(0, 0) {
+		t.Fatal("stride warm after one sample (stride unknown)")
+	}
+	st.Observe(0, 0, 14)
+	if !st.Warm(0, 0) {
+		t.Fatal("stride not warm after two samples")
+	}
+	if st.Warm(0, 1) || st.Warm(1, 0) {
+		t.Fatal("warmth leaked across slots/points")
+	}
+}
+
+func TestPredictFloat64Stride(t *testing.T) {
+	p := New(Stride)
+	if _, ok := p.PredictFloat64(0, 0); ok {
+		t.Fatal("cold float prediction claimed history")
+	}
+	p.ObserveFloat64(0, 0, 1.5, 0)
+	p.ObserveFloat64(0, 0, 2.75, 0)
+	got, ok := p.PredictFloat64(0, 0)
+	if !ok || got != 4.0 {
+		t.Fatalf("float stride = %v, %v; want 4.0 (1.5, 2.75, +1.25)", got, ok)
+	}
+	// The float stride is float arithmetic, not bit arithmetic: a bitwise
+	// stride over these patterns would not land on 4.0.
+	ip := New(Stride)
+	ip.Observe(0, 0, math.Float64bits(1.5))
+	ip.Observe(0, 0, math.Float64bits(2.75))
+	raw, _ := ip.Predict(0, 0)
+	if math.Float64frombits(raw) == 4.0 {
+		t.Fatal("test vector too weak: bit stride coincides with float stride")
+	}
+}
+
+func TestObserveFloat64ToleranceScoring(t *testing.T) {
+	p := New(LastValue)
+	p.ObserveFloat64(0, 0, 100.0, 1e-6)
+	p.ObserveFloat64(0, 0, 100.00001, 1e-6) // off by 1e-7 relative: hit
+	p.ObserveFloat64(0, 0, 101.0, 1e-6)     // off by 1e-2 relative: miss
+	h, m, _ := p.Stats()
+	if h != 1 || m != 1 {
+		t.Fatalf("tolerant scoring: %d hits, %d misses; want 1 and 1", h, m)
+	}
+}
+
+func TestWithinRelTol(t *testing.T) {
+	cases := []struct {
+		pred, actual, tol float64
+		want              bool
+	}{
+		{1.0, 1.0, 0, true},
+		{1.0, math.Nextafter(1.0, 2), 0, false},
+		{100, 100.00001, 1e-6, true},
+		{100, 101, 1e-6, false},
+		{0, 0, 1e-6, true},
+		{math.Copysign(0, -1), 0, 0, false}, // -0 vs +0 is a bit mismatch
+		{math.NaN(), math.NaN(), 1e-3, true},
+		{math.NaN(), 1.0, 1e-3, false},
+		{1.0, math.NaN(), 1e-3, false},
+		{-50, -50.000001, 1e-6, true},
+		{math.Inf(1), math.Inf(1), 1e-3, true},
+		{math.Inf(-1), math.Inf(-1), 1e-3, true},
+		{math.Inf(-1), math.Inf(1), 1e-3, false},
+		{42, math.Inf(1), 1e-3, false},
+		{math.Inf(1), 42, 1e-3, false},
+	}
+	for _, tc := range cases {
+		if got := WithinRelTol(tc.pred, tc.actual, tc.tol); got != tc.want {
+			t.Errorf("WithinRelTol(%v, %v, %v) = %v, want %v", tc.pred, tc.actual, tc.tol, got, tc.want)
+		}
 	}
 }

@@ -112,10 +112,6 @@ type ForOptions struct {
 	PollEvery int
 }
 
-// forPoint is the fork/join point id the loop drivers use in their private
-// ranks arrays (and thus the PointCounters slot their feedback reads).
-const forPoint = 0
-
 // pollStopCounter is the synchronization counter a region returns when a
 // CheckPoint poll stopped it mid-chunk; the resume index travels in
 // regvar slot 4.
@@ -187,6 +183,11 @@ func driveChunks(t *Thread, n int, model Model, ck Chunker, poll int, body func(
 	rt := t.Runtime()
 	cpus := rt.NumCPUs()
 	ctrl := ck.NewRun(n, cpus)
+	// Each run speculates on its own fork/join point, so the PointCounters
+	// deltas feeding the chunk controller never mix rollback signals with a
+	// nested run started from this loop's inline body (or any other driver
+	// overlapping this one).
+	point := rt.AllocPoint()
 
 	window := cpus + 2
 	if window < 2 {
@@ -224,7 +225,7 @@ func driveChunks(t *Thread, n int, model Model, ck Chunker, poll int, body func(
 			return
 		}
 		lo, hi := boundsOf(seq)
-		if h := c.Fork(ranks, forPoint, model); h != nil {
+		if h := c.Fork(ranks, point, model); h != nil {
 			h.SetRegvarInt64(0, int64(seq))
 			h.SetRegvarInt64(1, int64(lo))
 			h.SetRegvarInt64(2, int64(hi))
@@ -235,7 +236,7 @@ func driveChunks(t *Thread, n int, model Model, ck Chunker, poll int, body func(
 		seq := int(c.GetRegvarInt64(0))
 		lo := int(c.GetRegvarInt64(1))
 		hi := int(c.GetRegvarInt64(2))
-		ranks := []Rank{0}
+		ranks := make([]Rank, point+1)
 		fork(c, ranks, seq+1)
 		if poll > 0 {
 			// Sub-step the chunk, polling between steps: a stop request
@@ -251,7 +252,7 @@ func driveChunks(t *Thread, n int, model Model, ck Chunker, poll int, body func(
 				body(c, cur, next)
 				cur = next
 				if cur < hi && c.CheckPoint() {
-					c.SaveRegvarInt64(3, int64(ranks[0]))
+					c.SaveRegvarInt64(3, int64(ranks[point]))
 					c.SaveRegvarInt64(4, int64(cur))
 					return pollStopCounter
 				}
@@ -261,20 +262,20 @@ func driveChunks(t *Thread, n int, model Model, ck Chunker, poll int, body func(
 		}
 		// The chained ranks array is live at the join point: save it for
 		// the joining thread (paper §IV-D).
-		c.SaveRegvarInt64(3, int64(ranks[0]))
+		c.SaveRegvarInt64(3, int64(ranks[point]))
 		return 0
 	}
 
-	base := rt.PointCounters(forPoint)
+	base := rt.PointCounters(point)
 	observe := func(fb ChunkFeedback) {
-		fb.Points = rt.PointCounters(forPoint).Sub(base)
+		fb.Points = rt.PointCounters(point).Sub(base)
 		fb.Now = t.Now()
 		ctrl.Observe(fb)
 	}
 
 	decide()
 	mark := t.ChildMark()
-	ranks := []Rank{0}
+	ranks := make([]Rank, point+1)
 	fork(t, ranks, 1)
 	lo, hi := boundsOf(0)
 	start := t.Now()
@@ -288,9 +289,9 @@ func driveChunks(t *Thread, n int, model Model, ck Chunker, poll int, body func(
 	for joined < decided {
 		seq := joined
 		lo, hi := boundsOf(seq)
-		res := t.Join(ranks, forPoint)
+		res := t.Join(ranks, point)
 		if res.Committed() {
-			ranks[0] = Rank(res.RegvarInt64(3))
+			ranks[point] = Rank(res.RegvarInt64(3))
 			latency := res.Latency
 			if res.Counter == pollStopCounter {
 				// The chunk stopped early at a poll (join signal or
@@ -315,7 +316,7 @@ func driveChunks(t *Thread, n int, model Model, ck Chunker, poll int, body func(
 			if res.Status == core.JoinRolledBack {
 				t.SquashChildren(mark)
 			}
-			ranks[0] = 0
+			ranks[point] = 0
 			fork(t, ranks, seq+1)
 			start := t.Now()
 			body(t, lo, hi)

@@ -12,9 +12,15 @@
 //   - For / ForRange — chunked loop-level speculation with chained in-order
 //     forks (the 3x+1/mandelbrot shape of Figure 2), with a selectable
 //     forking model and chunk policy.
-//   - Reduce — speculative reduction: the continuation is forked with a
-//     value-predicted accumulator that the join validates
-//     (MUTLS_validate_local, §IV-G4).
+//   - Reduce / ReduceFloat64 / ReduceFunc — speculative reduction over
+//     int64, float64 and general word-encoded monoids: the continuation is
+//     forked with a value-predicted accumulator that the join validates
+//     (MUTLS_validate_local, §IV-G4), warm-gated so cold predictions never
+//     fork, with float-arithmetic stride prediction and an optional
+//     relative-tolerance validation mode for float folds.
+//   - Pipeline — stage-parallel speculative pipelines (the DSWP-style
+//     decoupled shape): tokens flow in order, each downstream stage is its
+//     own fork point speculating on a predicted upstream live-out.
 //   - Tree / Task — tree-form recursion under the paper's mixed forking
 //     model (fft/matmult/nqueen/tsp): speculative regions spawn subtrees and
 //     hand their continuation to the parent chain (Figure 2(d)); the
@@ -25,10 +31,11 @@
 // Load*/Store* accessors and pure compute is charged with Tick. Contiguous
 // data should use the bulk accessors — LoadBytes/StoreBytes and the typed
 // slice views LoadWords/StoreWords, LoadInt64s/StoreInt64s,
-// LoadFloat64s/StoreFloat64s — which cost one buffered range access (a
-// single batched clock charge, one GlobalBuffer crossing) instead of one
-// probe per word. What mutls removes is the protocol plumbing around that
-// code.
+// LoadFloat64s/StoreFloat64s, plus the sub-word views
+// LoadFloat32s/StoreFloat32s and LoadInt32s/StoreInt32s — which cost one
+// buffered range access (a single batched clock charge, one GlobalBuffer
+// crossing) instead of one probe per word. What mutls removes is the
+// protocol plumbing around that code.
 package mutls
 
 import (

@@ -1,6 +1,8 @@
 package mutls
 
 import (
+	"math"
+
 	"repro/internal/core"
 	"repro/internal/predict"
 )
@@ -11,8 +13,17 @@ import (
 // time (§IV-G4) and validated with MUTLS_validate_local at the join; a
 // misprediction rolls the speculation back and the chunk re-executes
 // inline with the true accumulator.
+//
+// Three accumulator domains share one driver engine (reduceWord), which
+// moves raw 64-bit words and delegates prediction and validation to
+// per-domain hooks:
+//
+//   - Reduce        — int64, exact two's-complement stride prediction.
+//   - ReduceFloat64 — float64, float-arithmetic stride prediction with an
+//     optional relative-tolerance validation mode.
+//   - ReduceFunc    — any word-encoded monoid, bit-exact validation.
 
-// ReduceOptions configures Reduce.
+// ReduceOptions configures Reduce and ReduceFunc.
 type ReduceOptions struct {
 	// Model is the forking model of the continuation forks; the zero value
 	// is OutOfOrder, the classic method-level continuation shape.
@@ -28,6 +39,37 @@ type ReduceOptions struct {
 	Chunks Chunker
 }
 
+// ReduceFloatOptions configures ReduceFloat64.
+type ReduceFloatOptions struct {
+	// Model, Predictor and Chunks as in ReduceOptions. The predictor
+	// extrapolates in float64 arithmetic, so Stride follows a constant
+	// float delta exactly.
+	Model     Model
+	Predictor Predictor
+	Chunks    Chunker
+	// RelTol, when positive, validates the predicted accumulator under a
+	// relative tolerance instead of bit equality: a prediction within
+	// RelTol of the actual value commits the speculation even though the
+	// continuation ran from a slightly wrong live-in. This is the
+	// tolerance-based float value prediction mode of the related work; the
+	// result may deviate from the sequential fold by the tolerance's
+	// propagation through the remaining chunks, so enable it only for
+	// reductions that accept approximate answers. Zero keeps bit-exact
+	// validation and exact sequential semantics.
+	RelTol float64
+}
+
+// reduceHooks are the per-domain prediction/validation callbacks of the
+// shared reduction engine. predict must return ok=false until the
+// predictor is warm — the cold-start fork is the one guaranteed to roll
+// back on a growing accumulator (and, before the warm gate existed, to
+// run from accumulator 0 whenever init != 0).
+type reduceHooks struct {
+	predict  func() (uint64, bool)
+	observe  func(actual uint64)
+	validate func(t *Thread, ranks []Rank, p int, actual uint64)
+}
+
 // Reduce folds body over the chunks [0, nChunks) starting from init and
 // returns the final accumulator. body(c, idx, acc) executes chunk idx on
 // top of accumulator value acc and returns the updated accumulator; it must
@@ -41,21 +83,93 @@ type ReduceOptions struct {
 // index per group by default), decided on the non-speculative thread in
 // sequential order — the continuation form of the adaptive chunk schedule.
 func Reduce(t *Thread, nChunks int, init int64, opts ReduceOptions, body func(c *Thread, idx int, acc int64) int64) int64 {
+	out := ReduceFunc(t, nChunks, uint64(init), opts, func(c *Thread, idx int, acc uint64) uint64 {
+		return uint64(body(c, idx, int64(acc)))
+	})
+	return int64(out)
+}
+
+// ReduceFunc is the monoid-generic reduction: the accumulator is an opaque
+// word — any value the caller encodes into 64 bits (a saturating max, a
+// modular product, a packed pair, a float via math.Float64bits…). The
+// engine predicts the word with the configured predictor (LastValue by
+// default; Stride extrapolates over the raw two's-complement encoding, so
+// only choose it when the encoding is integer-linear) and validates it
+// bit-exactly at the join, preserving exact sequential semantics for every
+// encoding.
+func ReduceFunc(t *Thread, nChunks int, init uint64, opts ReduceOptions, body func(c *Thread, idx int, acc uint64) uint64) uint64 {
+	pred := predict.New(opts.Predictor)
+	hooks := reduceHooks{
+		predict: func() (uint64, bool) {
+			if !pred.Warm(0, 0) {
+				return 0, false
+			}
+			return pred.Predict(0, 0)
+		},
+		observe: func(actual uint64) { pred.Observe(0, 0, actual) },
+		validate: func(t *Thread, ranks []Rank, p int, actual uint64) {
+			t.ValidateRegvarInt64(ranks, p, 0, int64(actual))
+		},
+	}
+	return reduceWord(t, nChunks, init, opts.Model, opts.Chunks, hooks, body)
+}
+
+// ReduceFloat64 folds body over the chunks [0, nChunks) starting from init
+// and returns the final float64 accumulator — the float form of Reduce.
+// Prediction runs in float64 arithmetic (a constant float per-group delta
+// is followed exactly by the Stride predictor) and validation is bit-exact
+// unless opts.RelTol enables the relative-tolerance mode. The fold order
+// is the sequential order in every outcome — committed speculations adopt
+// the live-out of a fold that ran in that same order — so with RelTol 0
+// the result is bit-identical to the sequential fold.
+func ReduceFloat64(t *Thread, nChunks int, init float64, opts ReduceFloatOptions, body func(c *Thread, idx int, acc float64) float64) float64 {
+	pred := predict.New(opts.Predictor)
+	hooks := reduceHooks{
+		predict: func() (uint64, bool) {
+			if !pred.Warm(0, 0) {
+				return 0, false
+			}
+			v, ok := pred.PredictFloat64(0, 0)
+			return math.Float64bits(v), ok
+		},
+		observe: func(actual uint64) {
+			pred.ObserveFloat64(0, 0, math.Float64frombits(actual), opts.RelTol)
+		},
+		validate: func(t *Thread, ranks []Rank, p int, actual uint64) {
+			t.ValidateRegvarFloat64Rel(ranks, p, 0, math.Float64frombits(actual), opts.RelTol)
+		},
+	}
+	out := reduceWord(t, nChunks, math.Float64bits(init), opts.Model, opts.Chunks, hooks,
+		func(c *Thread, idx int, acc uint64) uint64 {
+			return math.Float64bits(body(c, idx, math.Float64frombits(acc)))
+		})
+	return math.Float64frombits(out)
+}
+
+// reduceWord is the shared reduction engine. The accumulator travels as a
+// raw word in regvar slot 0 (the predicted live-in) and slot 3 (the saved
+// live-out); slots 1 and 2 carry the group bounds. Every group's outcome
+// is observed exactly once through the chunk controller, and every group
+// boundary's accumulator value is observed exactly once by the predictor —
+// including init itself and the boundaries of groups that were never
+// forked, so the prediction history always matches the join-point value
+// sequence (a refused fork no longer punches a hole in the stride).
+func reduceWord(t *Thread, nChunks int, init uint64, model Model, ck Chunker, hooks reduceHooks, body func(c *Thread, idx int, acc uint64) uint64) uint64 {
 	if nChunks <= 0 {
 		return init
 	}
-	model := opts.Model
 	if model == InOrder {
 		// InOrder is the Model zero value and an in-order chain cannot
 		// carry a predicted accumulator (each link would need the previous
 		// link's live-out), so it maps to the out-of-order default.
 		model = OutOfOrder
 	}
-	ck := opts.Chunks
 	if ck == nil {
 		ck = unitChunker{}
 	}
 	rt := t.Runtime()
+	point := rt.AllocPoint()
+	ranks := make([]Rank, point+1)
 	ctrl := ck.NewRun(nChunks, rt.NumCPUs())
 	next := func(lo int) int {
 		hi := ctrl.Next(lo)
@@ -67,43 +181,48 @@ func Reduce(t *Thread, nChunks int, init int64, opts ReduceOptions, body func(c 
 		}
 		return hi
 	}
-	base := rt.PointCounters(forPoint)
+	base := rt.PointCounters(point)
 	observe := func(fb ChunkFeedback) {
-		fb.Points = rt.PointCounters(forPoint).Sub(base)
+		fb.Points = rt.PointCounters(point).Sub(base)
 		fb.Now = t.Now()
 		ctrl.Observe(fb)
 	}
 
-	pred := predict.New(opts.Predictor)
 	acc := init
+	// Seed the predictor with the fold's entry value: the first group
+	// boundary the continuation forks will predict is extrapolated from
+	// here, not from a zero-filled cold entry.
+	hooks.observe(acc)
 	lo, hi := 0, next(0)
 	// rolledBack carries the failed speculation of the current group, so
 	// its single observation (like For's: Forked, not Committed, with the
 	// inline re-execution latency) is emitted when the group is re-folded.
 	var rolledBack *ChunkFeedback
 	for lo < nChunks {
-		ranks := []Rank{0}
 		var h *core.ForkHandle
 		specLo, specHi := hi, hi
 		if hi < nChunks { // the last group has no continuation to fork
 			specHi = next(hi)
-			h = t.Fork(ranks, forPoint, model)
-			if h != nil {
-				// Predict the accumulator's value at the join point.
-				raw, _ := pred.Predict(0, 0)
-				h.SetRegvarInt64(0, int64(raw))
-				h.SetRegvarInt64(1, int64(specLo))
-				h.SetRegvarInt64(2, int64(specHi))
-				h.Start(func(c *Thread) uint32 {
-					specAcc := c.GetRegvarInt64(0)
-					sLo := int(c.GetRegvarInt64(1))
-					sHi := int(c.GetRegvarInt64(2))
-					for i := sLo; i < sHi; i++ {
-						specAcc = body(c, i, specAcc)
-					}
-					c.SaveRegvarInt64(3, specAcc)
-					return 0
-				})
+			// Fork only from a warm prediction: a cold fork's continuation
+			// would run from a guessed accumulator and roll back on any
+			// nonzero per-group delta, wasting the CPU it claimed.
+			if raw, ok := hooks.predict(); ok {
+				h = t.Fork(ranks, point, model)
+				if h != nil {
+					h.SetRegvarInt64(0, int64(raw))
+					h.SetRegvarInt64(1, int64(specLo))
+					h.SetRegvarInt64(2, int64(specHi))
+					h.Start(func(c *Thread) uint32 {
+						specAcc := uint64(c.GetRegvarInt64(0))
+						sLo := int(c.GetRegvarInt64(1))
+						sHi := int(c.GetRegvarInt64(2))
+						for i := sLo; i < sHi; i++ {
+							specAcc = body(c, i, specAcc)
+						}
+						c.SaveRegvarInt64(3, int64(specAcc))
+						return 0
+					})
+				}
 			}
 		}
 		start := t.Now()
@@ -111,6 +230,10 @@ func Reduce(t *Thread, nChunks int, init int64, opts ReduceOptions, body func(c 
 			acc = body(t, i, acc)
 		}
 		inlineLatency := t.Now() - start
+		// The boundary value after the inline group is exactly the value a
+		// concurrent fork predicted; record it before validation so the
+		// predictor's history stays one-to-one with the boundary sequence.
+		hooks.observe(acc)
 		// Every group is observed exactly once: a group whose speculation
 		// rolled back reports that outcome with its inline re-execution
 		// latency; any other inline group is a plain latency calibration.
@@ -125,20 +248,19 @@ func Reduce(t *Thread, nChunks int, init int64, opts ReduceOptions, body func(c 
 			break
 		}
 		if h == nil {
-			// Fork refused: the decided group simply becomes the next
-			// inline group.
+			// Fork refused (or predictor cold): the decided group simply
+			// becomes the next inline group.
 			lo, hi = specLo, specHi
 			continue
 		}
 		// MUTLS_validate_local: was the prediction right?
-		pred.Observe(0, 0, uint64(acc))
-		t.ValidateRegvarInt64(ranks, 0, 0, acc)
-		res := t.Join(ranks, forPoint)
+		hooks.validate(t, ranks, point, acc)
+		res := t.Join(ranks, point)
 		if res.Committed() {
-			acc = res.RegvarInt64(3)
+			acc = uint64(res.RegvarInt64(3))
 			// Keep the predictor's history aligned with the join-point
 			// values it predicts: the adopted live-out is the next one.
-			pred.Observe(0, 0, uint64(acc))
+			hooks.observe(acc)
 			observe(ChunkFeedback{
 				Lo: specLo, Hi: specHi, Forked: true, Committed: true,
 				Latency:     res.Latency,

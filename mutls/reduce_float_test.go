@@ -1,0 +1,377 @@
+package mutls_test
+
+import (
+	"math"
+	"testing"
+
+	"repro/mutls"
+)
+
+// models4 is the full forking-model matrix (the Figure 10 trio plus the
+// linear mixed baseline).
+var models4 = []mutls.Model{mutls.InOrder, mutls.OutOfOrder, mutls.Mixed, mutls.MixedLinear}
+
+// recordingChunker wraps a Chunker (nil = the default unit split) and
+// appends every observed ChunkFeedback to fbs. Observe is called only from
+// the non-speculative thread, so plain appends are race-free.
+type recordingChunker struct {
+	inner mutls.Chunker
+	fbs   *[]mutls.ChunkFeedback
+}
+
+func (rc recordingChunker) NewRun(n, cpus int) mutls.ChunkController {
+	r := &recordingRun{fbs: rc.fbs}
+	if rc.inner != nil {
+		r.inner = rc.inner.NewRun(n, cpus)
+	}
+	return r
+}
+
+type recordingRun struct {
+	inner mutls.ChunkController
+	fbs   *[]mutls.ChunkFeedback
+}
+
+func (r *recordingRun) Next(lo int) int {
+	if r.inner != nil {
+		return r.inner.Next(lo)
+	}
+	return lo + 1
+}
+
+func (r *recordingRun) Observe(fb mutls.ChunkFeedback) {
+	*r.fbs = append(*r.fbs, fb)
+	if r.inner != nil {
+		r.inner.Observe(fb)
+	}
+}
+
+// TestReduceColdStartFirstForkCommits is the regression test for the
+// cold-predictor fork: with a nonzero init and a constant per-chunk delta,
+// the warm-gated stride predictor must make the very first forked
+// continuation commit (the old code predicted accumulator 0 for the first
+// fork, which could only validate when init was 0).
+func TestReduceColdStartFirstForkCommits(t *testing.T) {
+	const nChunks, init, delta = 16, int64(5), int64(3)
+	rt := newRuntime(t, 4, nil)
+	var fbs []mutls.ChunkFeedback
+	opts := mutls.ReduceOptions{
+		Predictor: mutls.Stride,
+		Chunks:    recordingChunker{fbs: &fbs},
+	}
+	var got int64
+	rt.Run(func(t0 *mutls.Thread) {
+		got = mutls.Reduce(t0, nChunks, init, opts, func(c *mutls.Thread, idx int, acc int64) int64 {
+			c.Tick(200)
+			return acc + delta
+		})
+	})
+	if want := init + nChunks*delta; got != want {
+		t.Fatalf("Reduce = %d, want %d", got, want)
+	}
+	first := -1
+	for i := range fbs {
+		if fbs[i].Forked {
+			first = i
+			break
+		}
+	}
+	if first < 0 {
+		t.Fatal("no group was ever forked")
+	}
+	if !fbs[first].Committed {
+		t.Fatalf("first forked group [%d,%d) rolled back; the cold-start fix must make it commit",
+			fbs[first].Lo, fbs[first].Hi)
+	}
+	if s := rt.Stats(); s.Commits == 0 {
+		t.Fatal("no commits recorded")
+	}
+}
+
+// TestReduceFeedbackExactlyOncePerGroup drives Reduce through forced
+// mispredictions (strictly growing per-chunk deltas defeat the stride
+// predictor) on every GlobalBuffer backend: the result must stay
+// sequential and the chunk controller must observe every group exactly
+// once, in order, tiling [0, nChunks) — rollbacks included.
+func TestReduceFeedbackExactlyOncePerGroup(t *testing.T) {
+	const nChunks = 24
+	delta := func(idx int) int64 { return int64(idx*idx + 1) }
+	want := int64(7)
+	for idx := 0; idx < nChunks; idx++ {
+		want += delta(idx)
+	}
+	for _, backend := range mutls.Backends() {
+		backend := backend
+		t.Run(backend, func(t *testing.T) {
+			rt := newRuntime(t, 4, func(o *mutls.Options) {
+				o.Buffering = mutls.Buffering{Backend: backend}
+			})
+			var fbs []mutls.ChunkFeedback
+			opts := mutls.ReduceOptions{
+				Predictor: mutls.Stride,
+				Chunks:    recordingChunker{fbs: &fbs},
+			}
+			var got int64
+			rt.Run(func(t0 *mutls.Thread) {
+				got = mutls.Reduce(t0, nChunks, 7, opts, func(c *mutls.Thread, idx int, acc int64) int64 {
+					c.Tick(150)
+					return acc + delta(idx)
+				})
+			})
+			if got != want {
+				t.Fatalf("Reduce = %d, want %d", got, want)
+			}
+			cover := 0
+			for i, fb := range fbs {
+				if fb.Lo != cover || fb.Hi <= fb.Lo {
+					t.Fatalf("feedback %d is [%d,%d), want a group starting at %d (duplicate or gap)",
+						i, fb.Lo, fb.Hi, cover)
+				}
+				cover = fb.Hi
+			}
+			if cover != nChunks {
+				t.Fatalf("feedback covered [0,%d), want [0,%d)", cover, nChunks)
+			}
+			if s := rt.Stats(); s.Rollbacks == 0 {
+				t.Fatal("growing deltas produced no mispredictions (predictor too strong or no forks)")
+			}
+		})
+	}
+}
+
+// reduceFloatSeq is the sequential reference fold.
+func reduceFloatSeq(nChunks int, init float64, delta func(int) float64) float64 {
+	acc := init
+	for idx := 0; idx < nChunks; idx++ {
+		acc += delta(idx)
+	}
+	return acc
+}
+
+// TestReduceFloat64MatchesSequential: with RelTol 0 the float reduction is
+// bit-identical to the sequential fold under every model and backend, even
+// when the deltas are irregular (every misprediction re-executes inline).
+func TestReduceFloat64MatchesSequential(t *testing.T) {
+	const nChunks, init = 32, 0.5
+	delta := func(idx int) float64 { return float64(idx) * 0.375 }
+	want := reduceFloatSeq(nChunks, init, delta)
+	for _, model := range models4 {
+		for _, backend := range mutls.Backends() {
+			rt := newRuntime(t, 4, func(o *mutls.Options) {
+				o.Buffering = mutls.Buffering{Backend: backend}
+			})
+			opts := mutls.ReduceFloatOptions{Model: model, Predictor: mutls.Stride}
+			var got float64
+			rt.Run(func(t0 *mutls.Thread) {
+				got = mutls.ReduceFloat64(t0, nChunks, init, opts, func(c *mutls.Thread, idx int, acc float64) float64 {
+					c.Tick(100)
+					return acc + delta(idx)
+				})
+			})
+			if math.Float64bits(got) != math.Float64bits(want) {
+				t.Fatalf("model %v backend %s: ReduceFloat64 = %v, want bit-exact %v", model, backend, got, want)
+			}
+		}
+	}
+}
+
+// TestReduceFloat64StrideCommits: a constant float delta is followed
+// exactly by the float-arithmetic stride predictor, so continuations
+// commit and the result stays bit-exact (nonzero init, per the cold-start
+// fix).
+func TestReduceFloat64StrideCommits(t *testing.T) {
+	const nChunks, init = 32, 2.5
+	rt := newRuntime(t, 4, nil)
+	opts := mutls.ReduceFloatOptions{Predictor: mutls.Stride}
+	var got float64
+	rt.Run(func(t0 *mutls.Thread) {
+		got = mutls.ReduceFloat64(t0, nChunks, init, opts, func(c *mutls.Thread, idx int, acc float64) float64 {
+			c.Tick(200)
+			return acc + 0.25
+		})
+	})
+	if want := init + nChunks*0.25; math.Float64bits(got) != math.Float64bits(want) {
+		t.Fatalf("ReduceFloat64 = %v, want %v", got, want)
+	}
+	if s := rt.Stats(); s.Commits == 0 {
+		t.Fatalf("constant-delta float reduction committed nothing (%d rollbacks)", s.Rollbacks)
+	}
+}
+
+// TestReduceFloat64ToleranceMode: per-chunk deltas with a tiny jitter
+// defeat bit-exact validation (every fork rolls back, result stays exact)
+// but commit under a relative tolerance, with the final deviation bounded
+// far below the tolerance.
+func TestReduceFloat64ToleranceMode(t *testing.T) {
+	const nChunks, init = 48, 1.0
+	delta := func(idx int) float64 { return 1.0 + float64(idx%5)*1e-12 }
+	want := reduceFloatSeq(nChunks, init, delta)
+	body := func(c *mutls.Thread, idx int, acc float64) float64 {
+		c.Tick(150)
+		return acc + delta(idx)
+	}
+
+	exact := newRuntime(t, 4, nil)
+	var got float64
+	exact.Run(func(t0 *mutls.Thread) {
+		got = mutls.ReduceFloat64(t0, nChunks, init, mutls.ReduceFloatOptions{Predictor: mutls.Stride}, body)
+	})
+	if math.Float64bits(got) != math.Float64bits(want) {
+		t.Fatalf("exact mode: ReduceFloat64 = %v, want bit-exact %v", got, want)
+	}
+	if s := exact.Stats(); s.Rollbacks == 0 {
+		t.Fatal("jittered deltas should roll back every bit-exact validation")
+	}
+
+	tol := newRuntime(t, 4, nil)
+	tol.Run(func(t0 *mutls.Thread) {
+		got = mutls.ReduceFloat64(t0, nChunks, init,
+			mutls.ReduceFloatOptions{Predictor: mutls.Stride, RelTol: 1e-6}, body)
+	})
+	if diff := math.Abs(got - want); diff > 1e-6*math.Abs(want) {
+		t.Fatalf("tolerance mode drifted: got %v, want %v (+-%v)", got, want, 1e-6*math.Abs(want))
+	}
+	if s := tol.Stats(); s.Commits == 0 {
+		t.Fatalf("tolerance mode committed nothing (%d rollbacks)", s.Rollbacks)
+	}
+}
+
+// TestReduceFuncMonoids drives the word-generic reduction over two
+// non-additive monoids: max (predictable once the running max plateaus —
+// last-value commits) and a wrapping product (unpredictable — every fork
+// rolls back, the result still matches the sequential fold).
+func TestReduceFuncMonoids(t *testing.T) {
+	const nChunks = 32
+	maxVal := func(idx int) uint64 {
+		if idx > 10 {
+			idx = 10
+		}
+		return uint64(idx * 7)
+	}
+	wantMax := uint64(3)
+	for idx := 0; idx < nChunks; idx++ {
+		if v := maxVal(idx); v > wantMax {
+			wantMax = v
+		}
+	}
+	wantProd := uint64(1)
+	for idx := 0; idx < nChunks; idx++ {
+		wantProd *= 2*uint64(idx) + 3
+	}
+
+	for _, model := range models4 {
+		rt := newRuntime(t, 4, nil)
+		var gotMax, gotProd uint64
+		rt.Run(func(t0 *mutls.Thread) {
+			gotMax = mutls.ReduceFunc(t0, nChunks, 3, mutls.ReduceOptions{Model: model},
+				func(c *mutls.Thread, idx int, acc uint64) uint64 {
+					c.Tick(120)
+					if v := maxVal(idx); v > acc {
+						return v
+					}
+					return acc
+				})
+			gotProd = mutls.ReduceFunc(t0, nChunks, 1, mutls.ReduceOptions{Model: model},
+				func(c *mutls.Thread, idx int, acc uint64) uint64 {
+					c.Tick(120)
+					return acc * (2*uint64(idx) + 3)
+				})
+		})
+		if gotMax != wantMax {
+			t.Fatalf("model %v: max monoid = %d, want %d", model, gotMax, wantMax)
+		}
+		if gotProd != wantProd {
+			t.Fatalf("model %v: product monoid = %#x, want %#x", model, gotProd, wantProd)
+		}
+	}
+
+	// The plateaued max under last-value prediction must actually commit.
+	rt := newRuntime(t, 4, nil)
+	rt.Run(func(t0 *mutls.Thread) {
+		mutls.ReduceFunc(t0, nChunks, 3, mutls.ReduceOptions{},
+			func(c *mutls.Thread, idx int, acc uint64) uint64 {
+				c.Tick(200)
+				if v := maxVal(idx); v > acc {
+					return v
+				}
+				return acc
+			})
+	})
+	if s := rt.Stats(); s.Commits == 0 {
+		t.Fatalf("plateaued max committed nothing (%d rollbacks)", s.Rollbacks)
+	}
+}
+
+// TestDriverRunsUseDistinctPoints: consecutive driver runs on one runtime
+// speculate on distinct fork/join points (AllocPoint round-robin), so one
+// run's live counters never absorb another's executions.
+func TestDriverRunsUseDistinctPoints(t *testing.T) {
+	const n, chunks = 2048, 16
+	rt := newRuntime(t, 4, nil)
+	var c0After, c0Final, c1Final int64
+	rt.Run(func(t0 *mutls.Thread) {
+		arr := t0.Alloc(8 * n)
+		body := func(c *mutls.Thread, idx int) {
+			for i := idx; i < n; i += chunks {
+				c.Tick(4)
+				c.StoreInt64(arr+mutls.Addr(8*i), int64(i))
+			}
+		}
+		mutls.For(t0, chunks, mutls.ForOptions{Model: mutls.InOrder}, body)
+		c0After = rt.PointCounters(0).Executions()
+		mutls.For(t0, chunks, mutls.ForOptions{Model: mutls.InOrder}, body)
+		c0Final = rt.PointCounters(0).Executions()
+		c1Final = rt.PointCounters(1).Executions()
+		t0.Free(arr)
+	})
+	if c0After == 0 {
+		t.Fatal("first run recorded no executions on point 0")
+	}
+	if c0Final != c0After {
+		t.Fatalf("second run touched point 0 (executions %d -> %d); runs must use distinct points", c0After, c0Final)
+	}
+	if c1Final == 0 {
+		t.Fatal("second run recorded no executions on its own point")
+	}
+}
+
+// TestNestedDriversAdaptive: an outer adaptive ForRange whose inline
+// (non-speculative) bodies drive a nested adaptive For. The nested run
+// allocates its own fork point, so the outer controller's feedback deltas
+// stay clean — and, per the driver contract, nested drivers are legal only
+// on the non-speculative thread, so speculative chunks do the same work
+// directly.
+func TestNestedDriversAdaptive(t *testing.T) {
+	const rows, cols = 24, 64
+	rt := newRuntime(t, 4, nil)
+	var sum int64
+	rt.Run(func(t0 *mutls.Thread) {
+		arr := t0.Alloc(8 * rows * cols)
+		fill := func(c *mutls.Thread, r, i int) {
+			c.Tick(3)
+			c.StoreInt64(arr+mutls.Addr(8*(r*cols+i)), int64(r*cols+i))
+		}
+		outer := mutls.ForOptions{Model: mutls.InOrder, Chunker: mutls.AdaptivePolicy{}}
+		mutls.ForRange(t0, rows, outer, func(c *mutls.Thread, lo, hi int) {
+			for r := lo; r < hi; r++ {
+				if c.Speculative() {
+					for i := 0; i < cols; i++ {
+						fill(c, r, i)
+					}
+				} else {
+					inner := mutls.ForOptions{Model: mutls.Mixed, Chunker: mutls.AdaptivePolicy{}}
+					mutls.For(c, cols, inner, func(cc *mutls.Thread, i int) {
+						fill(cc, r, i)
+					})
+				}
+			}
+		})
+		for k := 0; k < rows*cols; k++ {
+			sum += t0.LoadInt64(arr + mutls.Addr(8*k))
+		}
+		t0.Free(arr)
+	})
+	if want := int64(rows*cols) * int64(rows*cols-1) / 2; sum != want {
+		t.Fatalf("nested adaptive loops sum = %d, want %d", sum, want)
+	}
+}
