@@ -41,6 +41,7 @@ func main() {
 	chunks := flag.String("chunks", "", `chunk-sizing policy for all runs ("static" or "adaptive")`)
 	wallclock := flag.Bool("wallclock", false, "run the curated wall-clock suite (fixed sizes, warmup, host-parallelism sweep) and emit JSON")
 	quick := flag.Bool("quick", false, "with -wallclock: CI sizes and a short axis")
+	baseline := flag.String("baseline", "", "with -wallclock: diff speedups against a committed report (e.g. BENCH_wallclock.json); refuses baselines from a different host shape")
 	flag.Parse()
 
 	cfg := harness.DefaultConfig()
@@ -82,7 +83,7 @@ func main() {
 		if *cpus != "" {
 			wcfg.CPUAxis = cfg.CPUAxis
 		}
-		err = h.Wallclock(os.Stdout, wcfg)
+		err = runWallclock(h, wcfg, *baseline)
 	case *coverage:
 		err = h.Coverage(os.Stdout)
 	case *fig == "":
@@ -100,6 +101,32 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
+}
+
+// runWallclock measures the suite, writes the JSON report to stdout and,
+// when a baseline path is given, prints the speedup diff to stderr (the
+// comparison fails rather than diffing across host shapes).
+func runWallclock(h *harness.Harness, wcfg harness.WallclockConfig, baselinePath string) error {
+	report, err := h.MeasureWallclock(wcfg)
+	if err != nil {
+		return err
+	}
+	if err := harness.WriteWallclock(os.Stdout, report); err != nil {
+		return err
+	}
+	if baselinePath == "" {
+		return nil
+	}
+	f, err := os.Open(baselinePath)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	base, err := harness.LoadWallclockBaseline(f)
+	if err != nil {
+		return err
+	}
+	return harness.CompareWallclock(os.Stderr, base, report)
 }
 
 // runFigure dispatches a numeric -fig value.

@@ -1,0 +1,53 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+)
+
+// gateSpin is the number of scheduler-yield probes a waiter burns before
+// parking. The spin prefix keeps the common case — the awaited flag is
+// published within a few scheduler quanta — free of lock traffic, while
+// long waits (virtual CPUs outnumbering GOMAXPROCS, a child still deep in
+// its region) park the goroutine instead of churning the run queue.
+const gateSpin = 64
+
+// waitGate parks a goroutine until a predicate over published atomics
+// holds. It replaces the runtime.Gosched() spin loops of the join
+// handshake: a spinning waiter occupies a real CPU the awaited thread may
+// need, which on hosts with fewer cores than virtual CPUs turns every
+// join into a scheduler fight. The zero value is not ready; call init
+// before use (NewRuntime does).
+type waitGate struct {
+	mu   sync.Mutex
+	cond sync.Cond
+}
+
+func (g *waitGate) init() { g.cond.L = &g.mu }
+
+// wait returns once pred() holds. pred must read only atomics: it is
+// called both outside and inside the gate lock.
+func (g *waitGate) wait(pred func() bool) {
+	for i := 0; i < gateSpin; i++ {
+		if pred() {
+			return
+		}
+		runtime.Gosched()
+	}
+	g.mu.Lock()
+	for !pred() {
+		g.cond.Wait()
+	}
+	g.mu.Unlock()
+}
+
+// wake unparks all waiters. The caller must publish the state the
+// waiters' predicates read (an atomic store) BEFORE calling wake: the
+// broadcast is taken under the gate lock, so a waiter has either already
+// observed the new state or is parked and receives the broadcast — the
+// store-check-park gap of a bare signal cannot lose the wakeup.
+func (g *waitGate) wake() {
+	g.mu.Lock()
+	g.cond.Broadcast()
+	g.mu.Unlock()
+}

@@ -3,7 +3,6 @@ package core
 import (
 	"fmt"
 	"math"
-	"runtime"
 
 	"repro/internal/lbuf"
 	"repro/internal/mem"
@@ -177,7 +176,8 @@ func (t *Thread) Join(ranks []Rank, p int) JoinResult {
 	td := &child.td
 	cost := t.clock.Model
 
-	// Signal SYNC and busy-wait for valid_status (the flag-based barrier).
+	// Signal SYNC and wait for valid_status (the flag-based barrier; a
+	// short spin, then parked on the child's gate).
 	t.clock.Charge(vclock.Join, cost.SyncCost)
 	td.syncTime.Store(t.clock.Now())
 	if !td.signal(ref.epoch, syncSync) {
@@ -187,9 +187,7 @@ func (t *Thread) Join(ranks []Rank, p int) JoinResult {
 		return JoinResult{Status: JoinRolledBack, Reason: RollbackNoSync}
 	}
 	idleStop := t.clock.Span(vclock.Idle)
-	for td.validStatus.Load() == validNull {
-		runtime.Gosched()
-	}
+	td.gate.wait(func() bool { return td.validStatus.Load() != validNull })
 	idleStop()
 	committed := td.validStatus.Load() == validCommit
 

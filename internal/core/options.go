@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"runtime"
 
 	"repro/internal/gbuf"
 	"repro/internal/lbuf"
@@ -21,6 +22,16 @@ type Options struct {
 	// Timing selects virtual (deterministic cost model) or real (wall
 	// clock) time.
 	Timing vclock.Mode
+
+	// RealCPUCap bounds NumCPUs under Real timing. Wall-clock results are
+	// only meaningful while every virtual CPU maps to a schedulable OS
+	// thread; beyond that the workers time-slice and the measured "speedup"
+	// is scheduler noise. Zero selects the default cap,
+	// runtime.GOMAXPROCS(0) at NewRuntime time; RealCPUsUncapped disables
+	// the clamp (oversubscription experiments, tests that need more virtual
+	// CPUs than the host has). Virtual timing is never capped — the modeled
+	// machine is independent of the host.
+	RealCPUCap int
 
 	// Cost prices runtime events under virtual timing. Zero value selects
 	// vclock.DefaultCostModel.
@@ -68,10 +79,25 @@ type Options struct {
 	MaxPoints int
 }
 
+// RealCPUsUncapped disables the Real-timing virtual-CPU clamp.
+const RealCPUsUncapped = -1
+
 // withDefaults fills zero values.
 func (o Options) withDefaults() (Options, error) {
 	if o.NumCPUs < 0 {
 		return o, fmt.Errorf("core: NumCPUs must be non-negative, got %d", o.NumCPUs)
+	}
+	if o.RealCPUCap < RealCPUsUncapped {
+		return o, fmt.Errorf("core: RealCPUCap must be non-negative or RealCPUsUncapped, got %d", o.RealCPUCap)
+	}
+	if o.Timing == vclock.Real && o.RealCPUCap != RealCPUsUncapped {
+		limit := o.RealCPUCap
+		if limit == 0 {
+			limit = runtime.GOMAXPROCS(0)
+		}
+		if o.NumCPUs > limit {
+			o.NumCPUs = limit
+		}
 	}
 	if o.Cost == (vclock.CostModel{}) {
 		o.Cost = vclock.DefaultCostModel()

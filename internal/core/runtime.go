@@ -79,6 +79,12 @@ type threadData struct {
 	// while the worker is still reading it).
 	workerDone atomic.Bool
 
+	// gate parks whoever waits on this CPU's published flags: the parent
+	// waiting for validStatus or workerDone, the worker waiting for
+	// sync_status. Wakers call gate.wake after every store those waits
+	// observe (signal, validStatus, workerDone).
+	gate waitGate
+
 	// Owned by the speculating (child) thread while RUNNING; read by the
 	// parent after valid_status != NULL.
 	point        int
@@ -112,10 +118,15 @@ func (td *threadData) syncStatus() uint64 { return td.syncWord.Load() & syncStat
 
 // signal CASes sync_status from NULL to the given status under the given
 // epoch. It fails — harmlessly — when the epoch is stale (the CPU was
-// reclaimed) or a different signal won the race.
+// reclaimed) or a different signal won the race. A successful signal
+// wakes the CPU's worker, which may be parked in waitSync.
 func (td *threadData) signal(epoch, status uint64) bool {
 	base := epoch << syncStatusBits
-	return td.syncWord.CompareAndSwap(base|syncNull, base|status)
+	if td.syncWord.CompareAndSwap(base|syncNull, base|status) {
+		td.gate.wake()
+		return true
+	}
+	return false
 }
 
 // bumpEpoch starts a new generation with sync_status NULL (done at release).
@@ -146,6 +157,15 @@ type cpu struct {
 	// friends); it persists across speculations so the range hot path
 	// stays alloc-free.
 	scratch []byte
+
+	// Pre-validation state of the current execution: the stamp-table
+	// snapshot taken before the optimistic read-set walk, whether that walk
+	// ran, and its result. dirtyFn is the prebuilt ValidateDirty oracle
+	// closing over preSnap (built once so the commit path stays alloc-free).
+	preSnap uint64
+	preOK   bool
+	preDone bool
+	dirtyFn func(base mem.Addr, nBytes int) bool
 }
 
 // specTask is one speculation handed to a worker.
@@ -198,6 +218,25 @@ type Runtime struct {
 
 	// nonSpecStackTop is the bump pointer of the non-speculative stack.
 	nonSpecStackTop mem.Addr
+
+	// stamps is the page-granularity dirty table over the arena that lets
+	// read-set validation run before the commit serial section: direct
+	// writers (non-speculative stores, commits) mark the pages they touch,
+	// pre-validators snapshot the sequence and the lock-time re-check
+	// covers only pages stamped after the snapshot. nil when the runtime
+	// has no speculative CPUs; markFn is stamps.Mark then, also nil.
+	stamps *mem.WriteStamps
+	markFn func(mem.Addr, int)
+	// overlapValidation enables the optimistic pre-validation walk. It is
+	// off when GOMAXPROCS is 1 at construction: with a single schedulable
+	// CPU the walk cannot overlap the joining thread — it time-slices
+	// against it and the lock-time re-check repeats most of the work (the
+	// joiner's stores dirty the pages), so the split only adds overhead.
+	overlapValidation bool
+
+	// drainGate parks the non-speculative thread in drain until active
+	// reaches zero; releaseCPU wakes it after every decrement.
+	drainGate waitGate
 }
 
 // NewRuntime builds a runtime with NumCPUs speculative virtual CPUs.
@@ -224,6 +263,16 @@ func NewRuntime(opts Options) (*Runtime, error) {
 		return nil, err
 	}
 	rt.nonSpecStackTop = r0.Start
+	rt.drainGate.init()
+	if o.NumCPUs > 0 {
+		ws, err := mem.NewWriteStamps(space.Arena.Size(), 0)
+		if err != nil {
+			return nil, err
+		}
+		rt.stamps = ws
+		rt.markFn = ws.Mark
+		rt.overlapValidation = runtime.GOMAXPROCS(0) > 1
+	}
 	for r := 1; r <= o.NumCPUs; r++ {
 		gb, err := gbuf.NewBackend(space.Arena, o.GBuf)
 		if err != nil {
@@ -245,8 +294,12 @@ func NewRuntime(opts Options) (*Runtime, error) {
 			stack: stack,
 		}
 		c.td.rank = Rank(r)
+		c.td.gate.init()
 		c.td.forkRegs = make([]uint64, o.LBuf.RegSlots)
 		c.td.forkLive = make([]bool, o.LBuf.RegSlots)
+		c.dirtyFn = func(base mem.Addr, nBytes int) bool {
+			return rt.stamps.DirtySince(base, nBytes, c.preSnap)
+		}
 		rt.cpus[r] = c
 		rt.wg.Add(1)
 		go rt.worker(c)
@@ -346,9 +399,7 @@ func (rt *Runtime) drain(t *Thread) {
 		rt.cpus[c.rank].td.signal(c.epoch, syncNoSync)
 	}
 	t.children = t.children[:0]
-	for rt.active.Load() != 0 {
-		runtime.Gosched()
-	}
+	rt.drainGate.wait(func() bool { return rt.active.Load() == 0 })
 }
 
 // Stats summarizes the last Run. Only meaningful with CollectStats. The
@@ -458,17 +509,20 @@ func (rt *Runtime) runSpec(c *cpu, task specTask) {
 		td.finalTime = t.clock.Now()
 		td.state.Store(cpuReady)
 		td.validStatus.Store(validRollback)
+		td.gate.wake()
 		rt.awaitVerdict(t, c, execStart)
 		return
 	}
 
 	// Stopped at a check point, barrier point, terminate point or the
-	// region's end. Publish the stop and wait for the join signal.
+	// region's end. Publish the stop, pre-validate the read set while the
+	// parent is still running, then wait for the join signal.
 	td.stopCounter = out.counter
 	td.overflowStop = c.gb.MustStop()
 	td.stopTime = t.clock.Now()
 	td.state.Store(cpuReady)
 
+	rt.preValidate(t, c)
 	verdict := rt.waitSync(t, c)
 	if verdict == syncNoSync {
 		rt.finishNoSync(t, c, execStart)
@@ -492,27 +546,45 @@ func (rt *Runtime) runSpec(c *cpu, task specTask) {
 	} else {
 		td.validStatus.Store(validRollback)
 	}
+	td.gate.wake()
 	rt.record(t, c, execStart, committed)
 	// The parent adopts children, copies locals and reclaims the CPU once
 	// the worker signals it is done with the ThreadData.
 	td.workerDone.Store(true)
+	td.gate.wake()
 }
 
-// waitSync spins until the parent signals SYNC or NOSYNC. In real mode the
-// wait is booked as idle (or overflow) time.
+// waitSync waits (spin prefix, then parked) until the parent signals SYNC
+// or NOSYNC. In real mode the wait is booked as idle (or overflow) time.
 func (rt *Runtime) waitSync(t *Thread, c *cpu) uint64 {
 	phase := vclock.Idle
 	if c.td.overflowStop {
 		phase = vclock.Overflow
 	}
 	stop := t.clock.Span(phase)
-	for {
-		if s := c.td.syncStatus(); s != syncNull {
-			stop()
-			return s
-		}
-		runtime.Gosched()
+	c.td.gate.wait(func() bool { return c.td.syncStatus() != syncNull })
+	stop()
+	return c.td.syncStatus()
+}
+
+// preValidate runs the read-set walk optimistically, before the parent's
+// SYNC hands this thread the commit serial section: the stamp sequence is
+// snapshotted, the full read set is compared against the arena, and the
+// verdict is remembered so validateAndCommit can limit its lock-time walk
+// to the pages dirtied after the snapshot (ValidateDirty). Skipped when
+// the parent has already signalled — the serial section is open anyway —
+// or when the runtime has no stamp table. Advisory only: no validation
+// counters move here.
+func (rt *Runtime) preValidate(t *Thread, c *cpu) {
+	c.preDone = false
+	if !rt.overlapValidation || c.td.syncStatus() != syncNull {
+		return
 	}
+	stop := t.clock.Span(vclock.Validation)
+	c.preSnap = rt.stamps.Snapshot()
+	c.preOK = c.gb.PreValidate()
+	c.preDone = true
+	stop()
 }
 
 // awaitVerdict handles the tail of a self-rolled-back execution: the parent
@@ -526,6 +598,7 @@ func (rt *Runtime) awaitVerdict(t *Thread, c *cpu, execStart vclock.Cost) {
 	}
 	rt.record(t, c, execStart, false)
 	c.td.workerDone.Store(true)
+	c.td.gate.wake()
 }
 
 // finishNoSync is the self-cleanup path of a squashed thread: roll back,
@@ -545,6 +618,7 @@ func (rt *Runtime) finishNoSync(t *Thread, c *cpu, execStart vclock.Cost) {
 	// The worker is releasing its own CPU; mark itself done so releaseCPU
 	// does not wait for anyone.
 	td.workerDone.Store(true)
+	td.gate.wake()
 	rt.releaseCPU(c, td.finalTime)
 }
 
@@ -567,7 +641,17 @@ func (rt *Runtime) validateAndCommit(t *Thread, c *cpu) bool {
 		return false
 	}
 	valStop := t.clock.Span(vclock.Validation)
-	ok := c.gb.Validate()
+	var ok bool
+	if c.preDone && c.preOK {
+		// The optimistic pre-validation passed; re-check only the read-set
+		// runs on pages stamped after its snapshot. Verdict and counters
+		// are identical to a full Validate at this instant.
+		ok = c.gb.ValidateDirty(c.dirtyFn)
+	} else {
+		// No pre-validation ran (or it already failed — the mismatch could
+		// have been overwritten since, so the full walk decides).
+		ok = c.gb.Validate()
+	}
 	valStop()
 	if !ok {
 		td.reason = RollbackValidation
@@ -575,7 +659,7 @@ func (rt *Runtime) validateAndCommit(t *Thread, c *cpu) bool {
 	}
 	t.clock.Charge(vclock.Commit, vclock.Cost(writes)*model.CommitPerWord)
 	commitStop := t.clock.Span(vclock.Commit)
-	c.gb.Commit()
+	c.gb.Commit(rt.markFn)
 	commitStop()
 	return true
 }
@@ -624,9 +708,7 @@ func (rt *Runtime) record(t *Thread, c *cpu, execStart vclock.Cost, committed bo
 // its post-processing so no flag is reset under the worker's feet.
 func (rt *Runtime) releaseCPU(c *cpu, freeAt vclock.Cost) {
 	if c.td.state.Load() == cpuReady {
-		for !c.td.workerDone.Load() {
-			runtime.Gosched()
-		}
+		c.td.gate.wait(c.td.workerDone.Load)
 	}
 	c.freeAt.Store(freeAt)
 	// If the retiring thread was the in-order tail, the chain is fully
@@ -642,6 +724,7 @@ func (rt *Runtime) releaseCPU(c *cpu, freeAt vclock.Cost) {
 	c.td.bumpEpoch()
 	c.td.state.Store(cpuIdle)
 	rt.active.Add(-1)
+	rt.drainGate.wake()
 }
 
 // linearInsert places a MixedLinear child immediately after its parent in

@@ -105,6 +105,9 @@ func (t *Thread) store(p mem.Addr, size int, v uint64) {
 			panic(fmt.Sprintf("core: non-speculative store to invalid address %d (+%d)", p, size))
 		}
 		directStore(t.rt.space.Arena, p, size, v)
+		if t.rt.markFn != nil {
+			t.rt.markFn(p, size)
+		}
 		return
 	}
 	t.clock.Charge(vclock.Work, model.BufferedAccess)
@@ -245,6 +248,9 @@ func (t *Thread) storeRange(p mem.Addr, src []byte) {
 			panic(fmt.Sprintf("core: non-speculative store to invalid range %d (+%d)", p, n))
 		}
 		t.rt.space.Arena.WriteWords(p, src)
+		if t.rt.markFn != nil {
+			t.rt.markFn(p, n)
+		}
 		return
 	}
 	t.clock.Charge(vclock.Work, model.BufferedAccess*vclock.Cost(nWords))
@@ -257,6 +263,51 @@ func (t *Thread) storeRange(p mem.Addr, src []byte) {
 	}
 	t.handleBufferStatus(t.cpu.gb.StoreRange(p, src))
 }
+
+// FillWords writes nWords copies of the word v starting at the word-aligned
+// address p — the memset-shaped store. Like storeRange it pays one batched
+// clock charge and one crossing, but there is no materialized source
+// buffer: the non-speculative path is the arena's fill intrinsic and the
+// speculative path is the Backend's StoreFill. Misalignment is an unsafe
+// operation: speculative threads roll back, the non-speculative thread
+// panics.
+func (t *Thread) FillWords(p mem.Addr, nWords int, v uint64) {
+	if nWords <= 0 {
+		return
+	}
+	if !mem.Aligned(p, mem.Word) {
+		if t.speculative {
+			t.rollbackNow(RollbackUnsafeOp)
+		}
+		panic(fmt.Sprintf("core: misaligned word-fill at %d", p))
+	}
+	n := nWords * mem.Word
+	model := t.clock.Model
+	if !t.speculative {
+		t.clock.Charge(vclock.Work, model.DirectAccess*vclock.Cost(nWords))
+		if !t.rt.space.InGlobal(p, n) {
+			panic(fmt.Sprintf("core: non-speculative fill of invalid range %d (+%d)", p, n))
+		}
+		t.rt.space.Arena.FillWords(p, nWords, v)
+		if t.rt.markFn != nil {
+			t.rt.markFn(p, n)
+		}
+		return
+	}
+	t.clock.Charge(vclock.Work, model.BufferedAccess*vclock.Cost(nWords))
+	if t.inOwnStack(p, n) {
+		t.rt.space.Arena.FillWords(p, nWords, v)
+		return
+	}
+	if !t.rt.space.InGlobal(p, n) {
+		t.rollbackNow(RollbackInvalidAddress)
+	}
+	t.handleBufferStatus(t.cpu.gb.StoreFill(p, nWords, v))
+}
+
+// ZeroWords zeroes nWords consecutive words at the word-aligned address p
+// (see FillWords).
+func (t *Thread) ZeroWords(p mem.Addr, nWords int) { t.FillWords(p, nWords, 0) }
 
 // subAccessSize returns the largest supported access size (1, 2 or 4) that
 // is aligned at p and fits in the remaining n bytes — the paper's
@@ -509,6 +560,12 @@ func (t *Thread) StackAlloc(n int) mem.Addr {
 	p := t.stackTop
 	t.stackTop += need
 	t.rt.space.Arena.Zero(p, int(need))
+	if !t.speculative && t.rt.markFn != nil {
+		// The non-speculative stack is global address space: zeroing it is
+		// a direct write other threads' read sets may have snapshotted.
+		// Speculative stacks are private — no stamp needed.
+		t.rt.markFn(p, int(need))
+	}
 	return p
 }
 

@@ -136,7 +136,7 @@ func TestChainAbsorbsCollisions(t *testing.T) {
 	if !b.Validate() {
 		t.Fatal("validation failed without interference")
 	}
-	b.Commit()
+	b.Commit(nil)
 	for i := 0; i < n; i++ {
 		if got := arena.ReadWord(mem.Addr(8 * (1 + i))); got != uint64(i)*3 {
 			t.Fatalf("commit word %d = %d", i, got)
@@ -178,7 +178,7 @@ func TestBitmapDenseWrites(t *testing.T) {
 	if b.MustStop() {
 		t.Fatal("bitmap backend set MustStop")
 	}
-	b.Commit()
+	b.Commit(nil)
 	for i := 0; i < n; i++ {
 		if got := arena.ReadWord(mem.Addr(8 * (1 + i))); got != uint64(i)+1 {
 			t.Fatalf("commit word %d = %d", i, got)
@@ -205,7 +205,7 @@ func TestBitmapSubWordMerge(t *testing.T) {
 	// The arena word changes underneath; unmarked bytes keep the latest
 	// arena values after commit.
 	arena.WriteWord(64, 0x1111111111111111)
-	b.Commit()
+	b.Commit(nil)
 	if got := arena.ReadWord(64); got != 0x11111111BEEF1111 {
 		t.Fatalf("commit result %#x, want 0x11111111BEEF1111", got)
 	}

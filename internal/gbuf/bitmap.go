@@ -24,7 +24,10 @@ type bitmapBuffer struct {
 	pageMask  uint64 // pageWords - 1
 	read      bitmapSet
 	write     bitmapSet
-	C         Counters
+	// anyPartial is sticky: set by the first sub-word store of the
+	// speculation; while false the commit walk skips mark scanning.
+	anyPartial bool
+	C          Counters
 }
 
 // bitmapPage shadows one page of one set.
@@ -189,6 +192,9 @@ func (b *bitmapBuffer) Store(p mem.Addr, size int, v uint64) Status {
 		return Misaligned
 	}
 	b.C.Stores++
+	if size < mem.Word {
+		b.anyPartial = true
+	}
 	base := mem.WordBase(p)
 	off := mem.WordOffset(p)
 	pageIdx, slot := b.locate(base)
@@ -363,6 +369,34 @@ func (b *bitmapBuffer) StoreRange(p mem.Addr, src []byte) Status {
 	return OK
 }
 
+// StoreFill performs a buffered write of nWords copies of the word v at the
+// word-aligned address p (the memset shape): per page, one shadow fill, one
+// mark fill and one bitmap-range set.
+func (b *bitmapBuffer) StoreFill(p mem.Addr, nWords int, v uint64) Status {
+	if nWords < 0 || !mem.Aligned(p, mem.Word) {
+		return Misaligned
+	}
+	b.C.Stores += uint64(nWords)
+	for nWords > 0 {
+		pageIdx, slot := b.locate(p)
+		count := b.pageWords - slot
+		if count > nWords {
+			count = nWords
+		}
+		pg := b.write.page(b, pageIdx, true)
+		off := slot * mem.Word
+		dst := pg.data[off : off+count*mem.Word]
+		for w := 0; w+mem.Word <= len(dst); w += mem.Word {
+			binary.LittleEndian.PutUint64(dst[w:], v)
+		}
+		setFullMarks(pg.mark[off : off+count*mem.Word])
+		b.write.words += setBitRange(pg.present, slot, count)
+		p += mem.Addr(count * mem.Word)
+		nWords -= count
+	}
+	return OK
+}
+
 // forEachRun visits every maximal run of consecutive buffered words of a
 // set (runs are clipped at 64-slot bitmap-word boundaries) as
 // (base, data, marks); marks is nil for the read set.
@@ -394,31 +428,54 @@ func (b *bitmapBuffer) forEachRun(s *bitmapSet, fn func(base mem.Addr, data, mar
 	return true
 }
 
-// Validate checks every read-set word against the arena, one bulk
-// comparison per run of consecutive buffered words.
-func (b *bitmapBuffer) Validate() bool {
-	b.C.Validations++
-	ok := b.forEachRun(&b.read, func(base mem.Addr, data, _ []byte) bool {
+// validateWalk is the read-set comparison shared by Validate, PreValidate
+// and ValidateDirty: one bulk comparison per run of consecutive buffered
+// words; a non-nil dirty oracle skips runs on clean pages.
+func (b *bitmapBuffer) validateWalk(dirty func(mem.Addr, int) bool) bool {
+	return b.forEachRun(&b.read, func(base mem.Addr, data, _ []byte) bool {
+		if dirty != nil && !dirty(base, len(data)) {
+			return true
+		}
 		return b.arena.EqualWords(base, data)
 	})
-	if !ok {
+}
+
+// Validate checks every read-set word against the arena.
+func (b *bitmapBuffer) Validate() bool {
+	b.C.Validations++
+	if !b.validateWalk(nil) {
 		b.C.ValidationFail++
+		return false
 	}
-	return ok
+	return true
+}
+
+// PreValidate runs the read-set walk without counter effects.
+func (b *bitmapBuffer) PreValidate() bool { return b.validateWalk(nil) }
+
+// ValidateDirty re-checks only the possibly-dirty runs, with Validate's
+// counter effects.
+func (b *bitmapBuffer) ValidateDirty(dirty func(base mem.Addr, nBytes int) bool) bool {
+	b.C.Validations++
+	if !b.validateWalk(dirty) {
+		b.C.ValidationFail++
+		return false
+	}
+	return true
 }
 
 // Commit applies the write set to the arena: fully-marked runs are spliced
 // with one arena write each, partially-marked words fall back to the
-// marked-byte walk.
-func (b *bitmapBuffer) Commit() {
+// marked-byte walk. A non-nil mark is invoked after each applied run.
+func (b *bitmapBuffer) Commit(mark func(base mem.Addr, nBytes int)) {
 	b.C.Commits++
 	b.forEachRun(&b.write, func(base mem.Addr, data, marks []byte) bool {
-		if allMarked(marks) {
-			commitRun(b.arena, &b.C, base, data)
+		if !b.anyPartial || allMarkedWords(marks) {
+			commitRun(b.arena, &b.C, base, data, mark)
 			return true
 		}
 		for w := 0; w < len(data); w += mem.Word {
-			commitWord(b.arena, &b.C, base+mem.Addr(w), data[w:w+mem.Word], marks[w:w+mem.Word])
+			commitWord(b.arena, &b.C, base+mem.Addr(w), data[w:w+mem.Word], marks[w:w+mem.Word], mark)
 		}
 		return true
 	})
@@ -428,4 +485,5 @@ func (b *bitmapBuffer) Commit() {
 func (b *bitmapBuffer) Finalize() {
 	b.read.reset()
 	b.write.reset()
+	b.anyPartial = false
 }

@@ -3,6 +3,7 @@ package gbuf
 import (
 	"encoding/binary"
 	"fmt"
+	"slices"
 
 	"repro/internal/mem"
 )
@@ -23,7 +24,16 @@ type chainBuffer struct {
 	arena *mem.Arena
 	read  chainSet
 	write chainSet
-	C     Counters
+	// anyPartial is sticky: set by the first sub-word store of the
+	// speculation; while false the commit walk skips mark scanning.
+	anyPartial bool
+	C          Counters
+
+	// Commit scratch, reused across speculations: entry indices in address
+	// order and a staging buffer for splicing non-contiguous entries into
+	// one arena run.
+	commitIdx     []int32
+	commitScratch []byte
 }
 
 // chainEntry is one buffered word on a bucket chain.
@@ -151,6 +161,9 @@ func (b *chainBuffer) Store(p mem.Addr, size int, v uint64) Status {
 		return Misaligned
 	}
 	b.C.Stores++
+	if size < mem.Word {
+		b.anyPartial = true
+	}
 	base := mem.WordBase(p)
 	off := mem.WordOffset(p)
 	e := b.write.lookup(base)
@@ -237,25 +250,113 @@ func (b *chainBuffer) StoreRange(p mem.Addr, src []byte) Status {
 	return OK
 }
 
-// Validate checks every read-set word against the arena.
-func (b *chainBuffer) Validate() bool {
-	b.C.Validations++
+// StoreFill performs a buffered write of nWords copies of the word v at the
+// word-aligned address p (the memset shape), mirroring StoreRange.
+func (b *chainBuffer) StoreFill(p mem.Addr, nWords int, v uint64) Status {
+	if nWords < 0 || !mem.Aligned(p, mem.Word) {
+		return Misaligned
+	}
+	b.C.Stores += uint64(nWords)
+	for k := 0; k < nWords; k++ {
+		base := p + mem.Addr(k*mem.Word)
+		e := b.write.lookup(base)
+		if e == nil {
+			e = b.write.insert(base)
+		}
+		binary.LittleEndian.PutUint64(e.data[:], v)
+		binary.LittleEndian.PutUint64(e.mark[:], onesWord)
+	}
+	return OK
+}
+
+// validateWalk is the read-set comparison shared by Validate, PreValidate
+// and ValidateDirty; a non-nil dirty oracle skips words on clean pages.
+func (b *chainBuffer) validateWalk(dirty func(mem.Addr, int) bool) bool {
 	for i := range b.read.entries {
 		e := &b.read.entries[i]
+		if dirty != nil && !dirty(e.base, mem.Word) {
+			continue
+		}
 		if binary.LittleEndian.Uint64(e.data[:]) != b.arena.ReadWord(e.base) {
-			b.C.ValidationFail++
 			return false
 		}
 	}
 	return true
 }
 
-// Commit applies the write set to the arena.
-func (b *chainBuffer) Commit() {
+// Validate checks every read-set word against the arena.
+func (b *chainBuffer) Validate() bool {
+	b.C.Validations++
+	if !b.validateWalk(nil) {
+		b.C.ValidationFail++
+		return false
+	}
+	return true
+}
+
+// PreValidate runs the read-set walk without counter effects.
+func (b *chainBuffer) PreValidate() bool { return b.validateWalk(nil) }
+
+// ValidateDirty re-checks only the possibly-dirty words, with Validate's
+// counter effects.
+func (b *chainBuffer) ValidateDirty(dirty func(base mem.Addr, nBytes int) bool) bool {
+	b.C.Validations++
+	if !b.validateWalk(dirty) {
+		b.C.ValidationFail++
+		return false
+	}
+	return true
+}
+
+// Commit applies the write set to the arena as address-sorted maximal runs:
+// entry indices are sorted by base address, fully-marked consecutive words
+// are staged into a reusable scratch buffer and spliced with one arena
+// write each, and partially-marked words fall back to the marked-byte walk.
+// Chained insertion order is hash order, so without the sort even a dense
+// writer would commit word at a time.
+func (b *chainBuffer) Commit(mark func(base mem.Addr, nBytes int)) {
 	b.C.Commits++
-	for i := range b.write.entries {
-		e := &b.write.entries[i]
-		commitWord(b.arena, &b.C, e.base, e.data[:], e.mark[:])
+	n := len(b.write.entries)
+	if n == 0 {
+		return
+	}
+	idx := b.commitIdx[:0]
+	for i := 0; i < n; i++ {
+		idx = append(idx, int32(i))
+	}
+	slices.SortFunc(idx, func(x, y int32) int {
+		if b.write.entries[x].base < b.write.entries[y].base {
+			return -1
+		}
+		return 1
+	})
+	b.commitIdx = idx
+	for k := 0; k < n; {
+		e := &b.write.entries[idx[k]]
+		run := 0
+		for k+run < n {
+			f := &b.write.entries[idx[k+run]]
+			if f.base != e.base+mem.Addr(run*mem.Word) ||
+				(b.anyPartial && !allMarked8(f.mark[:])) {
+				break
+			}
+			run++
+		}
+		if run > 1 {
+			need := run * mem.Word
+			if cap(b.commitScratch) < need {
+				b.commitScratch = make([]byte, need)
+			}
+			scratch := b.commitScratch[:need]
+			for r := 0; r < run; r++ {
+				copy(scratch[r*mem.Word:(r+1)*mem.Word], b.write.entries[idx[k+r]].data[:])
+			}
+			commitRun(b.arena, &b.C, e.base, scratch, mark)
+			k += run
+			continue
+		}
+		commitWord(b.arena, &b.C, e.base, e.data[:], e.mark[:], mark)
+		k++
 	}
 }
 
@@ -263,4 +364,5 @@ func (b *chainBuffer) Commit() {
 func (b *chainBuffer) Finalize() {
 	b.read.reset()
 	b.write.reset()
+	b.anyPartial = false
 }

@@ -169,7 +169,12 @@ type Buffer struct {
 	writeOv  []ovEntry
 	ovCap    int
 	mustStop bool
-	C        Counters
+	// anyPartial is sticky: set by the first sub-word store of the
+	// speculation. While false every buffered word is provably fully
+	// marked, so the commit walk — the serialized section — skips mark
+	// scanning entirely.
+	anyPartial bool
+	C          Counters
 }
 
 // Config selects and sizes a GlobalBuffer backend. Only the fields of the
@@ -367,6 +372,9 @@ func (b *Buffer) Store(p mem.Addr, size int, v uint64) Status {
 		return Misaligned
 	}
 	b.C.Stores++
+	if size < mem.Word {
+		b.anyPartial = true
+	}
 	base := mem.WordBase(p)
 	off := mem.WordOffset(p)
 	data, marks := b.writeEntry(base)
@@ -518,15 +526,65 @@ func (b *Buffer) StoreRange(p mem.Addr, src []byte) Status {
 	return st
 }
 
-// Validate checks every read-set word against the arena. Conflicts only
-// occur when the speculative thread read an address before the
-// non-speculative thread wrote it, so equality of the snapshot with current
-// memory is exactly the paper's validation criterion. Bulk loads claim
-// consecutive slots for consecutive addresses, so the walk batches such
-// runs into one arena comparison each; isolated words compare one at a
-// time.
-func (b *Buffer) Validate() bool {
-	b.C.Validations++
+// StoreFill performs a buffered write of nWords copies of the word v at the
+// word-aligned address p — StoreRange's walk without a source buffer, the
+// memset shape that allocator zeroing and constant fills produce.
+func (b *Buffer) StoreFill(p mem.Addr, nWords int, v uint64) Status {
+	if nWords < 0 || !mem.Aligned(p, mem.Word) {
+		return Misaligned
+	}
+	if nWords == 0 {
+		return OK
+	}
+	b.C.Stores += uint64(nWords)
+	st := OK
+	i := b.write.slot(p)
+	mask := int(b.write.mask)
+	for k := 0; k < nWords; k, i = k+1, (i+1)&mask {
+		base := p + mem.Addr(k*mem.Word)
+		var data, marks []byte
+		switch b.write.addrs[i] {
+		case base:
+			data, marks = b.write.word(i), b.write.markWord(i)
+		case mem.NilAddr:
+			b.write.addrs[i] = base
+			b.write.used[b.write.top] = int32(i)
+			b.write.top++
+			data, marks = b.write.word(i), b.write.markWord(i)
+		default:
+			// Foreign address in the slot: the overflow path, one word.
+			if e := b.findWriteOv(base); e != nil {
+				data, marks = e.data[:], e.mark[:]
+			} else {
+				b.C.Conflicts++
+				if len(b.writeOv) >= b.ovCap {
+					// The caller rolls back here; uncount the words the
+					// word-at-a-time loop would never have reached.
+					b.C.Stores -= uint64(nWords - k - 1)
+					return Full
+				}
+				b.writeOv = append(b.writeOv, ovEntry{base: base})
+				e := &b.writeOv[len(b.writeOv)-1]
+				data, marks = e.data[:], e.mark[:]
+				b.mustStop = true
+				st = Conflict
+			}
+		}
+		binary.LittleEndian.PutUint64(data, v)
+		binary.LittleEndian.PutUint64(marks, onesWord)
+	}
+	return st
+}
+
+// validateWalk is the read-set comparison shared by Validate, PreValidate
+// and ValidateDirty. Conflicts only occur when the speculative thread read
+// an address before the non-speculative thread wrote it, so equality of the
+// snapshot with current memory is exactly the paper's validation criterion.
+// Bulk loads claim consecutive slots for consecutive addresses, so the walk
+// batches such runs into one arena comparison each; isolated words compare
+// one at a time. A non-nil dirty oracle skips runs whose pages are known
+// clean since the pre-validation snapshot.
+func (b *Buffer) validateWalk(dirty func(mem.Addr, int) bool) bool {
 	for k := 0; k < b.read.top; {
 		i := int(b.read.used[k])
 		base := b.read.addrs[i]
@@ -538,18 +596,47 @@ func (b *Buffer) Validate() bool {
 			}
 			run++
 		}
-		if !b.arena.EqualWords(base, b.read.buf[i*mem.Word:(i+run)*mem.Word]) {
-			b.C.ValidationFail++
-			return false
+		if dirty == nil || dirty(base, run*mem.Word) {
+			if !b.arena.EqualWords(base, b.read.buf[i*mem.Word:(i+run)*mem.Word]) {
+				return false
+			}
 		}
 		k += run
 	}
 	for k := range b.readOv {
 		e := &b.readOv[k]
+		if dirty != nil && !dirty(e.base, mem.Word) {
+			continue
+		}
 		if binary.LittleEndian.Uint64(e.data[:]) != b.arena.ReadWord(e.base) {
-			b.C.ValidationFail++
 			return false
 		}
+	}
+	return true
+}
+
+// Validate checks every read-set word against the arena.
+func (b *Buffer) Validate() bool {
+	b.C.Validations++
+	if !b.validateWalk(nil) {
+		b.C.ValidationFail++
+		return false
+	}
+	return true
+}
+
+// PreValidate runs the full read-set walk without touching any counter —
+// the optimistic half executed outside the commit serial section.
+func (b *Buffer) PreValidate() bool { return b.validateWalk(nil) }
+
+// ValidateDirty is the lock-time half: it re-checks only the runs the dirty
+// oracle reports possibly written since the pre-validation snapshot, with
+// Validate's counter effects.
+func (b *Buffer) ValidateDirty(dirty func(base mem.Addr, nBytes int) bool) bool {
+	b.C.Validations++
+	if !b.validateWalk(dirty) {
+		b.C.ValidationFail++
+		return false
 	}
 	return true
 }
@@ -558,31 +645,48 @@ func (b *Buffer) Validate() bool {
 // eight marks are set (the paper's -1 mark optimization), marked bytes
 // individually otherwise. Fully-marked runs over consecutive slots — the
 // shape bulk stores leave behind — are spliced with one arena write each.
-func (b *Buffer) Commit() {
+// A non-nil mark is invoked after each applied run (write-then-stamp).
+func (b *Buffer) Commit(mark func(base mem.Addr, nBytes int)) {
 	b.C.Commits++
-	for k := 0; k < b.write.top; {
-		i := int(b.write.used[k])
-		base := b.write.addrs[i]
-		run := 0
-		for k+run < b.write.top {
-			j := int(b.write.used[k+run])
-			if j != i+run || b.write.addrs[j] != base+mem.Addr(run*mem.Word) ||
-				!allMarked8(b.write.markWord(j)) {
-				break
-			}
-			run++
+	w := &b.write
+	for k := 0; k < w.top; {
+		i := int(w.used[k])
+		base := w.addrs[i]
+		// Maximal consecutive-address run first (the shape bulk stores
+		// leave behind), then split it at partially-marked words — two
+		// tight loops instead of one with every check fused.
+		n := 1
+		for k+n < w.top && int(w.used[k+n]) == i+n &&
+			w.addrs[i+n] == base+mem.Addr(n*mem.Word) {
+			n++
 		}
-		if run > 0 {
-			commitRun(b.arena, &b.C, base, b.write.buf[i*mem.Word:(i+run)*mem.Word])
-			k += run
+		if !b.anyPartial {
+			// No sub-word store happened: every mark is full by
+			// construction, the whole address run splices at once.
+			commitRun(b.arena, &b.C, base, w.buf[i*mem.Word:(i+n)*mem.Word], mark)
+			k += n
 			continue
 		}
-		commitWord(b.arena, &b.C, base, b.write.word(i), b.write.markWord(i))
-		k++
+		marks := w.mark[i*mem.Word : (i+n)*mem.Word]
+		for s := 0; s < n; {
+			f := s
+			for f < n && binary.LittleEndian.Uint64(marks[f*mem.Word:]) == onesWord {
+				f++
+			}
+			if f > s {
+				commitRun(b.arena, &b.C, base+mem.Addr(s*mem.Word),
+					w.buf[(i+s)*mem.Word:(i+f)*mem.Word], mark)
+				s = f
+				continue
+			}
+			commitWord(b.arena, &b.C, base+mem.Addr(s*mem.Word), w.word(i+s), w.markWord(i+s), mark)
+			s++
+		}
+		k += n
 	}
 	for k := range b.writeOv {
 		e := &b.writeOv[k]
-		commitWord(b.arena, &b.C, e.base, e.data[:], e.mark[:])
+		commitWord(b.arena, &b.C, e.base, e.data[:], e.mark[:], mark)
 	}
 }
 
@@ -595,6 +699,7 @@ func (b *Buffer) Finalize() {
 	b.readOv = b.readOv[:0]
 	b.writeOv = b.writeOv[:0]
 	b.mustStop = false
+	b.anyPartial = false
 }
 
 func validSize(size int) bool {

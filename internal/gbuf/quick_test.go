@@ -171,7 +171,7 @@ func TestQuickBufferMatchesReference(t *testing.T) {
 				return false
 			}
 			// Commit both and compare the full arena images.
-			buf.Commit()
+			buf.Commit(nil)
 			ref.commit()
 			for i := 8; i < 1<<12; i++ {
 				if arenaA.ReadUint8(mem.Addr(i)) != arenaB.ReadUint8(mem.Addr(i)) {
@@ -270,7 +270,7 @@ func TestQuickOracleUnderConflicts(t *testing.T) {
 			t.Logf("validation disagreement: real=%v ref=%v", okA, okB)
 			return false
 		}
-		buf.Commit()
+		buf.Commit(nil)
 		ref.commit()
 		for i := 8; i < 1<<12; i++ {
 			if arenaA.ReadUint8(mem.Addr(i)) != arenaB.ReadUint8(mem.Addr(i)) {
@@ -349,7 +349,7 @@ func TestQuickCommitTouchesOnlyWrittenBytes(t *testing.T) {
 					written[p+mem.Addr(i)] = byte(v >> (8 * i))
 				}
 			}
-			buf.Commit()
+			buf.Commit(nil)
 			for i := mem.Addr(8); i < 1<<12; i++ {
 				want, ok := written[i]
 				if !ok {
@@ -429,7 +429,7 @@ func TestQuickFinalizeIsFresh(t *testing.T) {
 				t.Fatalf("round %d: post-finalize load = %d", round, v)
 			}
 			buf.Finalize()
-			buf.Commit() // empty commit is a no-op
+			buf.Commit(nil) // empty commit is a no-op
 			if arena.ReadWord(64) != uint64(round)+100 {
 				t.Fatalf("round %d: empty commit changed memory", round)
 			}

@@ -120,7 +120,11 @@ func (c WallclockConfig) defaults() WallclockConfig {
 		if c.Quick {
 			axis = []int{1, 2, 4}
 		}
-		max := runtime.NumCPU()
+		// The ceiling is the schedulable parallelism, not the hardware core
+		// count: under a CPU quota (containers, CI runners) GOMAXPROCS is
+		// what the Go scheduler will actually run in parallel, and axis
+		// points beyond it would measure time-slicing noise.
+		max := runtime.GOMAXPROCS(0)
 		for _, p := range axis {
 			if p <= max || p <= 2 {
 				c.CPUAxis = append(c.CPUAxis, p)
@@ -132,6 +136,23 @@ func (c WallclockConfig) defaults() WallclockConfig {
 
 // Wallclock runs the suite and writes the JSON report to out.
 func (h *Harness) Wallclock(out io.Writer, cfg WallclockConfig) error {
+	report, err := h.MeasureWallclock(cfg)
+	if err != nil {
+		return err
+	}
+	return WriteWallclock(out, report)
+}
+
+// WriteWallclock encodes a report as the suite's JSON document.
+func WriteWallclock(out io.Writer, report *WallclockReport) error {
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	return enc.Encode(report)
+}
+
+// MeasureWallclock runs the suite and returns the report (the programmatic
+// form of Wallclock, for callers that want to compare before serializing).
+func (h *Harness) MeasureWallclock(cfg WallclockConfig) (*WallclockReport, error) {
 	cfg = cfg.defaults()
 	report := WallclockReport{
 		Suite:  "mutls-wallclock",
@@ -156,13 +177,11 @@ func (h *Harness) Wallclock(out io.Writer, cfg WallclockConfig) error {
 	for _, w := range wallWorkloads() {
 		res, err := h.wallclockWorkload(w, cfg)
 		if err != nil {
-			return fmt.Errorf("wallclock %s: %w", w.Name, err)
+			return nil, fmt.Errorf("wallclock %s: %w", w.Name, err)
 		}
 		report.Workloads = append(report.Workloads, res)
 	}
-	enc := json.NewEncoder(out)
-	enc.SetIndent("", "  ")
-	return enc.Encode(report)
+	return &report, nil
 }
 
 func (h *Harness) wallclockWorkload(w *bench.Workload, cfg WallclockConfig) (WallclockResult, error) {

@@ -1,0 +1,98 @@
+package harness
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// LoadWallclockBaseline decodes a committed wall-clock report (the
+// BENCH_wallclock.json format emitted by Wallclock).
+func LoadWallclockBaseline(r io.Reader) (*WallclockReport, error) {
+	var report WallclockReport
+	if err := json.NewDecoder(r).Decode(&report); err != nil {
+		return nil, fmt.Errorf("wallclock baseline: %w", err)
+	}
+	if report.Suite != "mutls-wallclock" {
+		return nil, fmt.Errorf("wallclock baseline: suite %q is not a wall-clock report", report.Suite)
+	}
+	return &report, nil
+}
+
+// hostShapeMismatch names the first field on which two hosts differ in a
+// way that makes their wall-clock numbers incomparable, or "" when the
+// shapes match.
+func hostShapeMismatch(base, cur WallclockHost) string {
+	switch {
+	case base.OS != cur.OS:
+		return fmt.Sprintf("os %q vs %q", base.OS, cur.OS)
+	case base.Arch != cur.Arch:
+		return fmt.Sprintf("arch %q vs %q", base.Arch, cur.Arch)
+	case base.NumCPU != cur.NumCPU:
+		return fmt.Sprintf("num_cpu %d vs %d", base.NumCPU, cur.NumCPU)
+	case base.GOMAXPROCS != cur.GOMAXPROCS:
+		return fmt.Sprintf("gomaxprocs %d vs %d", base.GOMAXPROCS, cur.GOMAXPROCS)
+	}
+	return ""
+}
+
+// CompareWallclock writes a per-point speedup diff of cur against base. It
+// refuses to diff when the baseline was measured on a different host shape
+// (OS, architecture, core count or GOMAXPROCS): a speedup measured on an
+// 8-core machine says nothing about a 1-core container, and silently
+// comparing the two is how provenance-free "regressions" get chased. The
+// baseline's recorded provenance is echoed so the reader knows what the
+// numbers are good for. Points present on only one side are reported, not
+// compared; Quick and full runs never compare (different problem sizes).
+func CompareWallclock(out io.Writer, base, cur *WallclockReport) error {
+	if mismatch := hostShapeMismatch(base.Host, cur.Host); mismatch != "" {
+		return fmt.Errorf(
+			"wallclock: baseline host does not match this host (%s); re-measure the baseline on this machine instead of diffing across hosts (baseline provenance: %s)",
+			mismatch, base.Provenance)
+	}
+	if base.Quick != cur.Quick {
+		return fmt.Errorf("wallclock: baseline quick=%v but current run quick=%v — the problem sizes differ", base.Quick, cur.Quick)
+	}
+	fmt.Fprintf(out, "wallclock diff vs baseline (%s)\n", base.Provenance)
+	fmt.Fprintf(out, "%-12s %5s %10s %10s %8s\n", "workload", "cpus", "base", "now", "delta")
+	for _, cw := range cur.Workloads {
+		bw, ok := findWallclockWorkload(base, cw.Name)
+		if !ok {
+			fmt.Fprintf(out, "%-12s        (not in baseline)\n", cw.Name)
+			continue
+		}
+		if bw.Size != cw.Size {
+			fmt.Fprintf(out, "%-12s        (size changed: %+v vs %+v — not compared)\n", cw.Name, bw.Size, cw.Size)
+			continue
+		}
+		for _, cp := range cw.Points {
+			bp, ok := findWallclockPoint(bw, cp.CPUs)
+			if !ok {
+				fmt.Fprintf(out, "%-12s %5d        (not in baseline)\n", cw.Name, cp.CPUs)
+				continue
+			}
+			delta := (cp.Speedup - bp.Speedup) / bp.Speedup * 100
+			fmt.Fprintf(out, "%-12s %5d %9.3fx %9.3fx %+7.1f%%\n",
+				cw.Name, cp.CPUs, bp.Speedup, cp.Speedup, delta)
+		}
+	}
+	return nil
+}
+
+func findWallclockWorkload(r *WallclockReport, name string) (WallclockResult, bool) {
+	for _, w := range r.Workloads {
+		if w.Name == name {
+			return w, true
+		}
+	}
+	return WallclockResult{}, false
+}
+
+func findWallclockPoint(w WallclockResult, cpus int) (WallclockPoint, bool) {
+	for _, p := range w.Points {
+		if p.CPUs == cpus {
+			return p, true
+		}
+	}
+	return WallclockPoint{}, false
+}

@@ -1,0 +1,103 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/bench"
+)
+
+func sampleReport(host WallclockHost) *WallclockReport {
+	return &WallclockReport{
+		Suite:      "mutls-wallclock",
+		Host:       host,
+		Provenance: "test fixture",
+		Workloads: []WallclockResult{{
+			Name:  "fft",
+			Size:  bench.Size{N: 64},
+			SeqNS: 1000,
+			Points: []WallclockPoint{
+				{CPUs: 1, NS: 1100, Speedup: 0.91},
+				{CPUs: 2, NS: 600, Speedup: 1.67},
+			},
+		}},
+	}
+}
+
+// CompareWallclock must refuse host-shape mismatches: a baseline measured
+// on different parallelism (or OS/arch) cannot ground a speedup diff.
+func TestCompareWallclockHostGuard(t *testing.T) {
+	h1 := WallclockHost{OS: "linux", Arch: "amd64", NumCPU: 1, GOMAXPROCS: 1}
+	cur := sampleReport(h1)
+	for _, tc := range []struct {
+		name  string
+		tweak func(*WallclockHost)
+		want  string
+	}{
+		{"numcpu", func(h *WallclockHost) { h.NumCPU = 8 }, "num_cpu"},
+		{"gomaxprocs", func(h *WallclockHost) { h.GOMAXPROCS = 4 }, "gomaxprocs"},
+		{"os", func(h *WallclockHost) { h.OS = "darwin" }, "os"},
+		{"arch", func(h *WallclockHost) { h.Arch = "arm64" }, "arch"},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			bh := h1
+			tc.tweak(&bh)
+			base := sampleReport(bh)
+			var buf strings.Builder
+			err := CompareWallclock(&buf, base, cur)
+			if err == nil {
+				t.Fatal("cross-host diff accepted")
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not name the mismatched field %q", err, tc.want)
+			}
+			if !strings.Contains(err.Error(), base.Provenance) {
+				t.Fatalf("error %q does not echo the baseline provenance", err)
+			}
+		})
+	}
+}
+
+func TestCompareWallclockSameHost(t *testing.T) {
+	h1 := WallclockHost{OS: "linux", Arch: "amd64", NumCPU: 1, GOMAXPROCS: 1}
+	base, cur := sampleReport(h1), sampleReport(h1)
+	cur.Workloads[0].Points[1].Speedup = 1.8
+	var buf strings.Builder
+	if err := CompareWallclock(&buf, base, cur); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"fft", "1.670x", "1.800x", "+7.8%"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("diff output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCompareWallclockQuickMismatch(t *testing.T) {
+	h1 := WallclockHost{OS: "linux", Arch: "amd64", NumCPU: 1, GOMAXPROCS: 1}
+	base, cur := sampleReport(h1), sampleReport(h1)
+	base.Quick = true
+	var buf strings.Builder
+	if err := CompareWallclock(&buf, base, cur); err == nil {
+		t.Fatal("quick-vs-full diff accepted")
+	}
+}
+
+func TestLoadWallclockBaseline(t *testing.T) {
+	h1 := WallclockHost{OS: "linux", Arch: "amd64", NumCPU: 1, GOMAXPROCS: 1}
+	var buf strings.Builder
+	if err := WriteWallclock(&buf, sampleReport(h1)); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := LoadWallclockBaseline(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Workloads) != 1 || rep.Workloads[0].Name != "fft" {
+		t.Fatalf("roundtrip lost workloads: %+v", rep.Workloads)
+	}
+	if _, err := LoadWallclockBaseline(strings.NewReader(`{"suite":"other"}`)); err == nil {
+		t.Fatal("foreign JSON accepted as baseline")
+	}
+}

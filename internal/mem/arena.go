@@ -168,7 +168,8 @@ func (a *Arena) ReadWords(p Addr, dst []byte) {
 	a.checkRun(p, len(dst))
 	w := a.words[p>>3 : int(p>>3)+len(dst)/Word]
 	for i := range w {
-		binary.LittleEndian.PutUint64(dst[i*Word:], atomic.LoadUint64(&w[i]))
+		binary.LittleEndian.PutUint64(dst[:Word], atomic.LoadUint64(&w[i]))
+		dst = dst[Word:]
 	}
 }
 
@@ -180,7 +181,8 @@ func (a *Arena) WriteWords(p Addr, src []byte) {
 	a.checkRun(p, len(src))
 	w := a.words[p>>3 : int(p>>3)+len(src)/Word]
 	for i := range w {
-		atomic.StoreUint64(&w[i], binary.LittleEndian.Uint64(src[i*Word:]))
+		atomic.StoreUint64(&w[i], binary.LittleEndian.Uint64(src[:Word]))
+		src = src[Word:]
 	}
 }
 
@@ -191,9 +193,10 @@ func (a *Arena) EqualWords(p Addr, data []byte) bool {
 	a.checkRun(p, len(data))
 	w := a.words[p>>3 : int(p>>3)+len(data)/Word]
 	for i := range w {
-		if atomic.LoadUint64(&w[i]) != binary.LittleEndian.Uint64(data[i*Word:]) {
+		if atomic.LoadUint64(&w[i]) != binary.LittleEndian.Uint64(data[:Word]) {
 			return false
 		}
+		data = data[Word:]
 	}
 	return true
 }
@@ -207,35 +210,148 @@ func (a *Arena) checkRun(p Addr, n int) {
 	}
 }
 
-// Snapshot copies n bytes starting at p into a fresh slice.
+// FillWords stores the word v into nWords consecutive words starting at the
+// word-aligned address p — the arena's memset intrinsic. One bounds check
+// for the whole run, then a range fill of per-word atomic stores (the same
+// tear-free contract as WriteWord, without the per-word call, check and
+// byte-encoding overhead of the generic paths).
+func (a *Arena) FillWords(p Addr, nWords int, v uint64) {
+	if nWords < 0 {
+		panic(fmt.Sprintf("mem: negative fill length %d", nWords))
+	}
+	a.checkRun(p, nWords*Word)
+	w := a.words[p>>3 : int(p>>3)+nWords]
+	for i := range w {
+		atomic.StoreUint64(&w[i], v)
+	}
+}
+
+// ZeroWords clears nWords consecutive words at the word-aligned address p
+// (FillWords with zero — the allocator-zeroing fast path).
+func (a *Arena) ZeroWords(p Addr, nWords int) { a.FillWords(p, nWords, 0) }
+
+// CopyWords copies nWords consecutive words from src to dst (both
+// word-aligned) — the arena's memmove intrinsic. Overlapping ranges copy
+// back-to-front when dst is inside the source run, matching Go's copy.
+func (a *Arena) CopyWords(dst, src Addr, nWords int) {
+	if nWords < 0 {
+		panic(fmt.Sprintf("mem: negative copy length %d", nWords))
+	}
+	a.checkRun(src, nWords*Word)
+	a.checkRun(dst, nWords*Word)
+	d := a.words[dst>>3 : int(dst>>3)+nWords]
+	s := a.words[src>>3 : int(src>>3)+nWords]
+	if dst > src && dst < src+Addr(nWords*Word) {
+		for i := nWords - 1; i >= 0; i-- {
+			atomic.StoreUint64(&d[i], atomic.LoadUint64(&s[i]))
+		}
+		return
+	}
+	for i := range d {
+		atomic.StoreUint64(&d[i], atomic.LoadUint64(&s[i]))
+	}
+}
+
+// splitRun decomposes a byte span at p into a sub-word head up to the next
+// word boundary, a run of whole words and a sub-word tail.
+func splitRun(p Addr, n int) (head, nWords, tail int) {
+	if off := WordOffset(p); off != 0 {
+		head = Word - off
+		if head > n {
+			head = n
+		}
+		n -= head
+	}
+	return head, n / Word, n % Word
+}
+
+// Snapshot copies n bytes starting at p into a fresh slice: sub-word head
+// and tail, one bulk word read for the aligned middle.
 func (a *Arena) Snapshot(p Addr, n int) []byte {
 	a.check(p, n)
 	out := make([]byte, n)
-	for i := 0; i < n; i++ {
-		out[i] = a.ReadUint8(p + Addr(i))
+	head, nWords, tail := splitRun(p, n)
+	if head > 0 {
+		putLEBytes(out[:head], a.readSub(p, head))
+		p += Addr(head)
+	}
+	if nWords > 0 {
+		a.ReadWords(p, out[head:head+nWords*Word])
+		p += Addr(nWords * Word)
+	}
+	if tail > 0 {
+		putLEBytes(out[n-tail:], a.readSub(p, tail))
 	}
 	return out
 }
 
-// WriteBytes stores the given bytes starting at p.
+// WriteBytes stores the given bytes starting at p: sub-word head and tail,
+// one bulk word splice for the aligned middle.
 func (a *Arena) WriteBytes(p Addr, data []byte) {
-	a.check(p, len(data))
-	for i, b := range data {
-		a.WriteUint8(p+Addr(i), b)
+	n := len(data)
+	a.check(p, n)
+	head, nWords, tail := splitRun(p, n)
+	if head > 0 {
+		a.writeSub(p, head, getLEBytes(data[:head]))
+		p += Addr(head)
+	}
+	if nWords > 0 {
+		a.WriteWords(p, data[head:head+nWords*Word])
+		p += Addr(nWords * Word)
+	}
+	if tail > 0 {
+		a.writeSub(p, tail, getLEBytes(data[n-tail:]))
 	}
 }
 
 // Copy copies n bytes from src to dst inside the arena (memmove semantics).
+// Word-aligned source and destination copy whole words in place via
+// CopyWords; mixed alignments stage through a snapshot.
 func (a *Arena) Copy(dst, src Addr, n int) {
+	if Aligned(dst, Word) && Aligned(src, Word) {
+		nWords := n / Word
+		a.CopyWords(dst, src, nWords)
+		if tail := n % Word; tail > 0 {
+			off := Addr(nWords * Word)
+			a.writeSub(dst+off, tail, a.readSub(src+off, tail))
+		}
+		return
+	}
 	a.WriteBytes(dst, a.Snapshot(src, n))
 }
 
-// Zero clears n bytes starting at p.
+// Zero clears n bytes starting at p: sub-word head and tail, ZeroWords for
+// the aligned middle.
 func (a *Arena) Zero(p Addr, n int) {
 	a.check(p, n)
-	for i := 0; i < n; i++ {
-		a.WriteUint8(p+Addr(i), 0)
+	head, nWords, tail := splitRun(p, n)
+	if head > 0 {
+		a.writeSub(p, head, 0)
+		p += Addr(head)
 	}
+	if nWords > 0 {
+		a.ZeroWords(p, nWords)
+		p += Addr(nWords * Word)
+	}
+	if tail > 0 {
+		a.writeSub(p, tail, 0)
+	}
+}
+
+// putLEBytes spreads the low len(b) bytes of v into b, little-endian.
+func putLEBytes(b []byte, v uint64) {
+	for i := range b {
+		b[i] = byte(v >> (8 * i))
+	}
+}
+
+// getLEBytes packs len(b) little-endian bytes into the low bytes of a word.
+func getLEBytes(b []byte) uint64 {
+	var v uint64
+	for i := len(b) - 1; i >= 0; i-- {
+		v = v<<8 | uint64(b[i])
+	}
+	return v
 }
 
 // Aligned reports whether p is aligned to size bytes. The paper supports

@@ -1,0 +1,114 @@
+package mem
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// DefaultStampPageBytes is the dirty-table granularity: coarse enough that
+// the table stays small and marking a bulk store touches few entries, fine
+// enough that an unrelated hot write rarely dirties a validated page.
+const DefaultStampPageBytes = 4096
+
+// WriteStamps is a page-granularity dirty table over an arena: every direct
+// arena write (non-speculative stores, write-set commits) stamps the pages
+// it touched with a fresh global sequence number. It exists so read-set
+// validation can run *outside* the commit serial section: a speculative
+// thread snapshots the sequence, pre-validates optimistically while the
+// joining thread is still running, and at lock time re-checks only the
+// read-set runs whose pages were stamped after the snapshot.
+//
+// Ordering contract (the soundness of the scheme depends on it):
+//
+//   - Writers store the data FIRST, then call Mark. If a pre-validating
+//     reader saw the stale value of a racing write, the write's data store
+//     is ordered after the reader's load, so the write's Mark — which
+//     follows the data store — produces a stamp strictly greater than any
+//     sequence snapshot the reader took before its loads. DirtySince then
+//     reports the page dirty and the run is re-checked under the lock.
+//   - Readers call Snapshot BEFORE loading any arena word they intend to
+//     pre-validate against.
+//   - Marks from writes that happened before the lock window are visible at
+//     lock time through the join handshake's release/acquire chain; no
+//     direct write runs concurrently with the lock window itself, because
+//     commits and non-speculative stores are serialized through the
+//     non-speculative thread.
+//
+// The stamp slots are atomics, so marking and checking race cleanly with
+// each other and with the arena's racy-by-design reads.
+type WriteStamps struct {
+	seq       atomic.Uint64
+	pageShift uint
+	pageMask  Addr
+	stamps    []atomic.Uint64
+}
+
+// NewWriteStamps builds a dirty table covering size arena bytes with the
+// given page granularity (a power of two; 0 selects DefaultStampPageBytes).
+func NewWriteStamps(size, pageBytes int) (*WriteStamps, error) {
+	if pageBytes == 0 {
+		pageBytes = DefaultStampPageBytes
+	}
+	if pageBytes < Word || pageBytes&(pageBytes-1) != 0 {
+		return nil, fmt.Errorf("mem: stamp page size %d must be a power of two ≥ %d", pageBytes, Word)
+	}
+	if size < 0 {
+		return nil, fmt.Errorf("mem: negative stamp coverage %d", size)
+	}
+	nPages := (size + pageBytes - 1) / pageBytes
+	if nPages == 0 {
+		nPages = 1
+	}
+	shift := uint(0)
+	for 1<<shift != pageBytes {
+		shift++
+	}
+	return &WriteStamps{
+		pageShift: shift,
+		pageMask:  Addr(pageBytes - 1),
+		stamps:    make([]atomic.Uint64, nPages),
+	}, nil
+}
+
+// PageBytes returns the table's page granularity.
+func (ws *WriteStamps) PageBytes() int { return 1 << ws.pageShift }
+
+// Snapshot returns the current sequence number. Pre-validation must take
+// it before loading any arena word it will compare against.
+func (ws *WriteStamps) Snapshot() uint64 { return ws.seq.Load() }
+
+// Mark stamps every page overlapping [p, p+n) with a fresh sequence
+// number. The caller must have stored the data already (write-then-stamp).
+func (ws *WriteStamps) Mark(p Addr, n int) {
+	if n <= 0 {
+		return
+	}
+	s := ws.seq.Add(1)
+	first := int(uint64(p) >> ws.pageShift)
+	last := int(uint64(p+Addr(n)-1) >> ws.pageShift)
+	if last >= len(ws.stamps) {
+		last = len(ws.stamps) - 1
+	}
+	for i := first; i <= last && i >= 0; i++ {
+		ws.stamps[i].Store(s)
+	}
+}
+
+// DirtySince reports whether any page overlapping [p, p+n) was marked
+// after the given Snapshot value.
+func (ws *WriteStamps) DirtySince(p Addr, n int, snap uint64) bool {
+	if n <= 0 {
+		return false
+	}
+	first := int(uint64(p) >> ws.pageShift)
+	last := int(uint64(p+Addr(n)-1) >> ws.pageShift)
+	if last >= len(ws.stamps) {
+		last = len(ws.stamps) - 1
+	}
+	for i := first; i <= last && i >= 0; i++ {
+		if ws.stamps[i].Load() > snap {
+			return true
+		}
+	}
+	return false
+}

@@ -93,6 +93,10 @@ const (
 	Real    = vclock.Real
 )
 
+// RealCPUsUncapped disables the Real-timing virtual-CPU clamp
+// (Options.RealCPUCap).
+const RealCPUsUncapped = core.RealCPUsUncapped
+
 // CostModel prices runtime events under virtual timing.
 type CostModel = vclock.CostModel
 
@@ -142,6 +146,13 @@ type Options struct {
 	// Timing selects Virtual (default, deterministic) or Real time.
 	Timing TimingMode
 
+	// RealCPUCap bounds CPUs under Real timing: wall-clock numbers are only
+	// meaningful while every virtual CPU maps to a schedulable OS thread.
+	// Zero selects the default cap, runtime.GOMAXPROCS(0) at construction
+	// time; RealCPUsUncapped disables the clamp for oversubscription
+	// experiments. Virtual timing is never capped.
+	RealCPUCap int
+
 	// Cost prices runtime events under virtual timing. Zero selects
 	// DefaultCostModel.
 	Cost CostModel
@@ -187,6 +198,7 @@ func (o Options) coreOptions() core.Options {
 	co := core.Options{
 		NumCPUs:               o.CPUs,
 		Timing:                o.Timing,
+		RealCPUCap:            o.RealCPUCap,
 		Cost:                  o.Cost,
 		RollbackProb:          o.RollbackProb,
 		Seed:                  o.Seed,

@@ -504,7 +504,12 @@ func TestGBufAliasStillWorks(t *testing.T) {
 }
 
 func TestRealTiming(t *testing.T) {
-	rt := newRuntime(t, 2, func(o *mutls.Options) { o.Timing = mutls.Real })
+	rt := newRuntime(t, 2, func(o *mutls.Options) {
+		o.Timing = mutls.Real
+		// The test wants both virtual CPUs on any host; it checks results,
+		// not wall-clock fidelity.
+		o.RealCPUCap = mutls.RealCPUsUncapped
+	})
 	const n, chunks = 2048, 8
 	want := int64(0)
 	for i := 0; i < n; i++ {
