@@ -30,7 +30,7 @@ func main() {
 	defer rt.Close()
 
 	var img mutls.Addr
-	tn := rt.Run(func(t *mutls.Thread) {
+	tn, err := rt.Run(func(t *mutls.Thread) {
 		img = t.Alloc(8 * width * height)
 		mutls.For(t, chunks, mutls.ForOptions{Model: mutls.InOrder}, func(c *mutls.Thread, idx int) {
 			for y := idx; y < height; y += chunks {
@@ -48,6 +48,9 @@ func main() {
 			}
 		})
 	})
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	arena := rt.Space().Arena
 	for y := 0; y < height; y++ {

@@ -23,7 +23,7 @@ func main() {
 	const n = 1 << 16
 	const chunks = 2
 	var sum int64
-	tn := rt.Run(func(t *mutls.Thread) {
+	tn, err := rt.Run(func(t *mutls.Thread) {
 		arr := t.Alloc(8 * n)
 
 		// Each chunk fills its half of the array; chunk 1 runs as a
@@ -43,6 +43,9 @@ func main() {
 			sum += t.LoadInt64(arr + mutls.Addr(8*i))
 		}
 	})
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	fmt.Printf("sum = %d (expect %d)\n", sum, int64(3*(n-1)*n/2))
 	s := rt.Stats()

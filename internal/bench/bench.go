@@ -174,7 +174,10 @@ func MeasureSeq(w *Workload, cfg RunConfig) (Measurement, error) {
 	}
 	defer rt.Close()
 	var sum uint64
-	ts := rt.Run(func(t *mutls.Thread) { sum = w.Seq(t, cfg.Size) })
+	ts, err := rt.Run(func(t *mutls.Thread) { sum = w.Seq(t, cfg.Size) })
+	if err != nil {
+		return Measurement{}, err
+	}
 	return Measurement{Runtime: ts, Checksum: sum, Summary: rt.Stats()}, nil
 }
 
@@ -188,7 +191,10 @@ func MeasureSpec(w *Workload, cfg RunConfig) (Measurement, error) {
 	defer rt.Close()
 	opts := SpecOptions{Model: cfg.Model, Chunks: cfg.Chunks}
 	var sum uint64
-	tn := rt.Run(func(t *mutls.Thread) { sum = w.Spec(t, cfg.Size, opts) })
+	tn, err := rt.Run(func(t *mutls.Thread) { sum = w.Spec(t, cfg.Size, opts) })
+	if err != nil {
+		return Measurement{}, err
+	}
 	return Measurement{Runtime: tn, Checksum: sum, Summary: rt.Stats()}, nil
 }
 

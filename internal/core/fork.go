@@ -45,6 +45,11 @@ func (t *Thread) Fork(ranks []Rank, p int, model Model) *ForkHandle {
 	if !t.rt.heur.allow(p) {
 		return nil
 	}
+	if t.rt.cancelled.Load() {
+		// A cancelled run stops growing its speculative frontier: the
+		// remaining work runs sequentially until a CancelPoint unwinds it.
+		return nil
+	}
 	// Forking-model policy (§II, §IV-F).
 	switch model {
 	case InOrder:
@@ -119,7 +124,8 @@ func (t *Thread) tailWord() uint64 {
 // time) would serialize the new speculation behind it and destroy the
 // schedule's fidelity.
 func (rt *Runtime) claimIdleCPU(now vclock.Cost) *cpu {
-	for r := 1; r <= rt.opts.NumCPUs; r++ {
+	limit := int(rt.cpuLimit.Load())
+	for r := 1; r <= limit; r++ {
 		c := rt.cpus[r]
 		if c.td.state.Load() != cpuIdle || c.freeAt.Load() > now {
 			continue

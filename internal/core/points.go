@@ -119,3 +119,24 @@ func (t *Thread) PtrIntCast(v mem.Addr, counter uint32) {
 func (t *Thread) Rollback() {
 	t.rollbackNow(RollbackUnsafeOp)
 }
+
+// Cancelled reports whether the current run has been cancelled (the
+// RunCtx context expired, or CancelRun was called). Loop drivers may poll
+// it to stop issuing work early.
+func (t *Thread) Cancelled() bool { return t.rt.cancelled.Load() }
+
+// CancelPoint is the cooperative cancellation poll of the driving,
+// non-speculative thread — the service-mode analogue of CheckPoint. If
+// the run has been cancelled it unwinds the non-speculative thread back
+// to RunCtx, which squashes outstanding speculation through the normal
+// drain and reports the context's error. On a speculative thread it is a
+// no-op: speculative work is reclaimed by the drain's NOSYNC cascade, not
+// by unwinding.
+func (t *Thread) CancelPoint() {
+	if t.speculative {
+		return
+	}
+	if t.rt.cancelled.Load() {
+		panic(cancelSignal{})
+	}
+}

@@ -2,6 +2,59 @@ package core
 
 import "testing"
 
+// TestAllocPointExhaustion: ids freed by finished runs are reused without
+// aliasing, and only more than MaxPoints *simultaneously live* runs trip
+// the exhaustion counter — which Summary surfaces so a long-lived
+// multi-tenant runtime can see its feedback quality degrade.
+func TestAllocPointExhaustion(t *testing.T) {
+	rt := newRT(t, 1, func(o *Options) { o.MaxPoints = 4 })
+	var ps []int
+	for i := 0; i < 4; i++ {
+		ps = append(ps, rt.AllocPoint())
+	}
+	if got := rt.PointsExhausted(); got != 0 {
+		t.Fatalf("PointsExhausted = %d after filling the namespace, want 0", got)
+	}
+	// Alloc/free churn at full-minus-one occupancy never aliases.
+	rt.FreePoint(ps[2])
+	for i := 0; i < 10; i++ {
+		p := rt.AllocPoint()
+		if p != 2 {
+			t.Fatalf("alloc with only id 2 free returned %d", p)
+		}
+		rt.FreePoint(p)
+	}
+	if got := rt.PointsExhausted(); got != 0 {
+		t.Fatalf("PointsExhausted = %d under churn, want 0", got)
+	}
+	// A fifth simultaneously live run must alias — and be counted.
+	rt.AllocPoint()
+	p := rt.AllocPoint()
+	if p < 0 || p >= 4 {
+		t.Fatalf("aliased point %d out of range", p)
+	}
+	if got := rt.PointsExhausted(); got != 1 {
+		t.Fatalf("PointsExhausted = %d after aliasing alloc, want 1", got)
+	}
+	if got := rt.Stats().PointsExhausted; got != 1 {
+		t.Fatalf("Summary.PointsExhausted = %d, want 1", got)
+	}
+	// ResetStats clears the counter; ResetPoints clears the namespace.
+	rt.ResetStats()
+	if got := rt.Stats().PointsExhausted; got != 0 {
+		t.Fatalf("Summary.PointsExhausted = %d after ResetStats, want 0", got)
+	}
+	rt.ResetPoints()
+	for i := 0; i < 4; i++ {
+		if p := rt.AllocPoint(); p != i {
+			t.Fatalf("post-reset alloc %d = %d, want %d", i, p, i)
+		}
+	}
+	if got := rt.PointsExhausted(); got != 0 {
+		t.Fatalf("PointsExhausted = %d after ResetPoints refill, want 0", got)
+	}
+}
+
 // TestAllocPointDistinctRoundRobin pins the allocator contract: ids walk
 // [0, MaxPoints) in order and wrap, and a block allocation is internally
 // distinct.

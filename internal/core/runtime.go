@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
@@ -13,6 +15,21 @@ import (
 	"repro/internal/stats"
 	"repro/internal/vclock"
 )
+
+// ErrClosed is returned by RunCtx on a runtime whose Close has completed
+// (or started): the virtual-CPU workers are gone, so no run can execute.
+var ErrClosed = errors.New("core: runtime is closed")
+
+// ErrCancelled is returned by RunCtx when the run was unwound by a
+// CancelPoint poll after CancelRun, and no context error is available to
+// report instead (a context-driven cancellation returns ctx.Err()).
+var ErrCancelled = errors.New("core: run cancelled")
+
+// cancelSignal unwinds the non-speculative thread out of a cancelled run.
+// It is raised only by Thread.CancelPoint on the non-speculative thread
+// and recovered only by RunCtx, which then squashes outstanding
+// speculation and reports the cancellation as an error.
+type cancelSignal struct{}
 
 // CPU states (paper §IV-D): every virtual CPU is RUNNING, IDLE or READY TO
 // RECLAIM, initialized IDLE at program start. cpuClaimed is the transient
@@ -213,8 +230,27 @@ type Runtime struct {
 	// not-yet-squashed thread can fork onto a CPU the scan already passed.
 	active atomic.Int64
 
-	// pointSeq hands out fork/join point ids round-robin (AllocPoint).
-	pointSeq atomic.Int64
+	// cancelled marks the in-flight run as cancelled (RunCtx context
+	// expiry or an explicit CancelRun): Fork refuses new speculation and
+	// CancelPoint unwinds the non-speculative thread at its next poll.
+	// RunCtx clears it at run entry and exit.
+	cancelled atomic.Bool
+
+	// cpuLimit bounds the virtual CPUs claimIdleCPU may hand out (ranks
+	// 1..cpuLimit). It defaults to NumCPUs; a runtime pool lowers it per
+	// run so concurrent tenants share a host-CPU budget, down to 0 for
+	// fully sequential (every fork refused) execution.
+	cpuLimit atomic.Int32
+
+	// Fork/join point allocation (AllocPoint/FreePoint): live ids are
+	// tracked so concurrent long-lived runs alias a point only when all
+	// MaxPoints ids are genuinely in use — and that exhaustion is counted
+	// instead of silently degrading feedback quality.
+	pointMu         sync.Mutex
+	pointLive       []bool
+	pointLiveCount  int
+	pointNext       int
+	pointsExhausted atomic.Int64
 
 	// nonSpecStackTop is the bump pointer of the non-speculative stack.
 	nonSpecStackTop mem.Addr
@@ -264,6 +300,8 @@ func NewRuntime(opts Options) (*Runtime, error) {
 	}
 	rt.nonSpecStackTop = r0.Start
 	rt.drainGate.init()
+	rt.pointLive = make([]bool, o.MaxPoints)
+	rt.cpuLimit.Store(int32(o.NumCPUs))
 	if o.NumCPUs > 0 {
 		ws, err := mem.NewWriteStamps(space.Arena.Size(), 0)
 		if err != nil {
@@ -320,20 +358,89 @@ func (rt *Runtime) NumCPUs() int { return rt.opts.NumCPUs }
 // (point ids are 0..MaxPoints-1).
 func (rt *Runtime) MaxPoints() int { return rt.opts.MaxPoints }
 
-// AllocPoint returns a fork/join point id for one driver run, cycling
-// round-robin through [0, MaxPoints). Loop drivers (mutls.For/Reduce/
-// Pipeline) allocate a fresh point per run so the live PointCounters
-// feedback of overlapping runs — a nested loop started from the inline
-// portion of an outer loop's body, or a pipeline's per-stage points — does
-// not mix rollback signals across loops. A recycled id starts with a
-// clean adaptive-heuristic profile (a point disabled by one loop's
-// rollbacks must not serialize the unrelated loop that inherits the id);
-// only more than MaxPoints simultaneously live runs can alias a point,
-// and aliasing degrades feedback/heuristic quality, never correctness.
+// AllocPoint returns a fork/join point id for one driver run, walking
+// round-robin through [0, MaxPoints) and skipping ids still held by
+// another run. Loop drivers (mutls.For/Reduce/Pipeline) allocate a fresh
+// point per run — and free it with FreePoint when the run ends — so the
+// live PointCounters feedback of overlapping runs — a nested loop started
+// from the inline portion of an outer loop's body, or a pipeline's
+// per-stage points — does not mix rollback signals across loops. A
+// recycled id starts with a clean adaptive-heuristic profile (a point
+// disabled by one loop's rollbacks must not serialize the unrelated loop
+// that inherits the id).
+//
+// When every id is live — more than MaxPoints simultaneously live runs —
+// the allocator falls back to plain round-robin aliasing and counts the
+// exhaustion (PointsExhausted, surfaced in Summary): aliasing degrades
+// feedback/heuristic quality, never correctness, but a long-lived
+// multi-tenant runtime should see it rather than silently serve worse
+// schedules.
 func (rt *Runtime) AllocPoint() int {
-	p := int((rt.pointSeq.Add(1) - 1) % int64(rt.opts.MaxPoints))
+	max := rt.opts.MaxPoints
+	rt.pointMu.Lock()
+	var p int
+	if rt.pointLiveCount >= max {
+		p = rt.pointNext % max
+		rt.pointNext++
+		rt.pointsExhausted.Add(1)
+	} else {
+		p = rt.pointNext % max
+		for rt.pointLive[p] {
+			rt.pointNext++
+			p = rt.pointNext % max
+		}
+		rt.pointLive[p] = true
+		rt.pointLiveCount++
+		rt.pointNext++
+	}
+	rt.pointMu.Unlock()
 	rt.heur.reset(p)
 	return p
+}
+
+// FreePoint returns a point id to the allocator. Freeing an id that was
+// handed out twice under exhaustion simply makes it preferred again; out
+// of range or already-free ids are ignored.
+func (rt *Runtime) FreePoint(p int) {
+	if p < 0 || p >= rt.opts.MaxPoints {
+		return
+	}
+	rt.pointMu.Lock()
+	if rt.pointLive[p] {
+		rt.pointLive[p] = false
+		rt.pointLiveCount--
+	}
+	rt.pointMu.Unlock()
+}
+
+// FreePoints frees a block of point ids (the inverse of AllocPoints).
+func (rt *Runtime) FreePoints(ps []int) {
+	for _, p := range ps {
+		rt.FreePoint(p)
+	}
+}
+
+// PointsExhausted reports how many AllocPoint calls found every point id
+// live and had to alias (cumulative until ResetStats/ResetPoints).
+func (rt *Runtime) PointsExhausted() int64 { return rt.pointsExhausted.Load() }
+
+// ResetPoints returns the point namespace to its initial state: no live
+// ids, allocation restarting at 0, exhaustion counter cleared, every
+// heuristic profile clean. It is part of the between-tenants recycle of a
+// pooled runtime and must only be called while the runtime is quiescent
+// (no driver run in flight).
+func (rt *Runtime) ResetPoints() {
+	rt.pointMu.Lock()
+	for i := range rt.pointLive {
+		rt.pointLive[i] = false
+	}
+	rt.pointLiveCount = 0
+	rt.pointNext = 0
+	rt.pointMu.Unlock()
+	rt.pointsExhausted.Store(0)
+	for p := 0; p < rt.opts.MaxPoints; p++ {
+		rt.heur.reset(p)
+	}
 }
 
 // AllocPoints returns n distinct point ids allocated as one block (the
@@ -350,13 +457,58 @@ func (rt *Runtime) AllocPoints(n int) []int {
 	return ps
 }
 
+// SetCPULimit bounds the virtual CPUs available to subsequent forks to
+// ranks 1..n (clamped to [0, NumCPUs]). A limit of 0 refuses every fork —
+// the run executes sequentially. The limit is read at claim time, so it
+// should be changed between runs: already-claimed CPUs above a lowered
+// limit finish their speculation normally. A runtime pool uses this to
+// split one host-CPU budget across concurrent tenants without rebuilding
+// runtimes.
+func (rt *Runtime) SetCPULimit(n int) {
+	if n < 0 {
+		n = 0
+	}
+	if n > rt.opts.NumCPUs {
+		n = rt.opts.NumCPUs
+	}
+	rt.cpuLimit.Store(int32(n))
+}
+
+// CPULimit returns the current virtual-CPU claim bound.
+func (rt *Runtime) CPULimit() int { return int(rt.cpuLimit.Load()) }
+
 // Run executes fn as the non-speculative thread and returns the paper's
 // TN: the critical-path runtime (virtual units or nanoseconds). Any
 // speculative threads still outstanding when fn returns are squashed, as the
-// paper's runtime does at program exit.
+// paper's runtime does at program exit. Run panics on a closed runtime —
+// the error-reporting form is RunCtx (which the public mutls façade uses).
 func (rt *Runtime) Run(fn func(t *Thread)) vclock.Cost {
-	if rt.closed.Load() {
+	c, err := rt.RunCtx(context.Background(), fn)
+	if err != nil {
 		panic("core: Run on closed runtime")
+	}
+	return c
+}
+
+// RunCtx executes fn as the non-speculative thread, like Run, under a
+// context. It returns ErrClosed (without executing fn) on a closed
+// runtime, and ctx.Err() when the context expires before or during the
+// run. Cancellation is cooperative: once the context is done, Fork
+// refuses new speculation, and the next Thread.CancelPoint poll on the
+// non-speculative thread unwinds the run. Either way the runtime drains —
+// outstanding speculation is squashed through the join-protocol gates
+// exactly as at a normal run end — so the runtime is reusable afterwards.
+// A cancelled run's partial effects on the simulated address space are
+// unspecified; a pooled runtime recycles (Recycle) before its next tenant.
+func (rt *Runtime) RunCtx(ctx context.Context, fn func(t *Thread)) (vclock.Cost, error) {
+	if rt.closed.Load() {
+		return 0, ErrClosed
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		return 0, err
 	}
 	if rt.opts.Timing == vclock.Real {
 		// Re-stamp the shared epoch so the measured span starts at the
@@ -375,11 +527,93 @@ func (rt *Runtime) Run(fn func(t *Thread)) vclock.Cost {
 	}
 	t.stackTop = t.stack.Start
 	rt.inOrderTail.Store(0)
-	fn(t)
+	rt.cancelled.Store(false)
+	// Each run's clock restarts at zero, so the previous run's freeAt
+	// stamps would make every CPU look virtually busy until the new clock
+	// catches up — refusing all early forks on a reused (pooled) runtime.
+	// The runtime is quiescent here: the previous drain waited for every
+	// worker, and workers only read freeAt after a fork hands them a task.
+	for r := Rank(1); int(r) <= rt.opts.NumCPUs; r++ {
+		rt.cpus[r].freeAt.Store(0)
+	}
+	var stopWatch func()
+	if ctx.Done() != nil {
+		stopWatch = rt.watchCancel(ctx)
+	}
+	err := rt.runNonSpec(t, fn)
+	if stopWatch != nil {
+		stopWatch()
+	}
 	rt.drain(t)
+	rt.cancelled.Store(false)
 	runtime := t.clock.Now()
 	rt.collector.SetNonSpec(runtime, t.clock.Ledger())
-	return runtime
+	if err != nil {
+		if cerr := ctx.Err(); cerr != nil {
+			return runtime, cerr
+		}
+		return runtime, err
+	}
+	return runtime, nil
+}
+
+// runNonSpec runs fn, translating a CancelPoint unwind into ErrCancelled.
+// Any other panic propagates unchanged (and, as before, skips the drain:
+// the runtime is not reusable after a kernel panic).
+func (rt *Runtime) runNonSpec(t *Thread, fn func(t *Thread)) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			if _, ok := r.(cancelSignal); ok {
+				err = ErrCancelled
+				return
+			}
+			panic(r)
+		}
+	}()
+	fn(t)
+	return nil
+}
+
+// watchCancel relays ctx expiry to CancelRun. The returned stop function
+// tears the watcher down and waits for it, so no goroutine outlives the
+// run it watches.
+func (rt *Runtime) watchCancel(ctx context.Context) (stop func()) {
+	quit := make(chan struct{})
+	finished := make(chan struct{})
+	go func() {
+		defer close(finished)
+		select {
+		case <-ctx.Done():
+			rt.CancelRun()
+		case <-quit:
+		}
+	}()
+	return func() {
+		close(quit)
+		<-finished
+	}
+}
+
+// CancelRun requests cooperative cancellation of the in-flight run: Fork
+// refuses from now on (speculation degrades to sequential execution), and
+// the non-speculative thread unwinds at its next CancelPoint poll. RunCtx
+// clears the flag when the run ends.
+func (rt *Runtime) CancelRun() { rt.cancelled.Store(true) }
+
+// Recycle prepares an idle runtime for its next logical tenant without
+// rebuilding it: statistics and live counters reset, the fork/join point
+// namespace cleared, and the simulated heap released wholesale (arena and
+// buffers are reused as-is). Addresses obtained from Alloc before Recycle
+// are invalid afterwards. The runtime must be quiescent (no Run in
+// flight).
+func (rt *Runtime) Recycle() {
+	rt.ResetStats()
+	rt.ResetPoints()
+	if err := rt.space.Heap.Reset(); err != nil {
+		// Deregistering live allocations can only fail on registry
+		// corruption, which no recycled tenant should inherit.
+		panic(err)
+	}
 }
 
 func mustStackRegion(s *mem.Space, rank int) mem.Range {
@@ -411,6 +645,7 @@ func (rt *Runtime) Stats() *stats.Summary {
 	for r := 1; r <= rt.opts.NumCPUs; r++ {
 		s.GBuf.Add(rt.cpus[r].gb.Counters())
 	}
+	s.PointsExhausted = rt.pointsExhausted.Load()
 	return s
 }
 
@@ -424,6 +659,7 @@ func (rt *Runtime) ResetStats() {
 	for i := range rt.live {
 		rt.live[i].reset()
 	}
+	rt.pointsExhausted.Store(0)
 }
 
 // Close shuts the workers down. The runtime must be idle (no outstanding

@@ -1,0 +1,108 @@
+package harness
+
+import (
+	"context"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/internal/serve"
+	"repro/mutls"
+	"repro/mutls/pool"
+)
+
+// TestRunLoad drives a real in-process speculation service end to end:
+// every request verified, latency percentiles ordered, pool drained.
+func TestRunLoad(t *testing.T) {
+	s, err := serve.New(serve.Options{Pool: pool.Options{
+		Runtimes:   2,
+		HostBudget: 2,
+		QueueLimit: 64,
+		Runtime:    mutls.Options{CPUs: 2},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer func() {
+		ts.Close()
+		s.Close()
+	}()
+
+	rep, err := RunLoad(context.Background(), ts.Client(), ts.URL, LoadConfig{
+		Concurrency: 8,
+		Requests:    40,
+		Targets: []string{
+			"/run?kernel=x3p1&n=2000",
+			"/run?kernel=mandelbrot&n=16&m=100",
+			"/run?kernel=matmult&n=16",
+		},
+		Timeout: 30 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Errors != 0 || rep.Unverified != 0 {
+		t.Fatalf("load run failed: errors=%d unverified=%d samples=%v",
+			rep.Errors, rep.Unverified, rep.ErrorSamples)
+	}
+	if got := rep.OK + rep.Overloaded; got != int64(rep.Requests) {
+		t.Errorf("OK %d + Overloaded %d != Requests %d", rep.OK, rep.Overloaded, rep.Requests)
+	}
+	if rep.OK == 0 {
+		t.Error("no request succeeded")
+	}
+	if rep.ThroughputRPS <= 0 {
+		t.Errorf("ThroughputRPS = %v", rep.ThroughputRPS)
+	}
+	if !(rep.LatencyP50NS <= rep.LatencyP90NS && rep.LatencyP90NS <= rep.LatencyP99NS &&
+		rep.LatencyP99NS <= rep.LatencyMaxNS) {
+		t.Errorf("latency percentiles unordered: p50=%d p90=%d p99=%d max=%d",
+			rep.LatencyP50NS, rep.LatencyP90NS, rep.LatencyP99NS, rep.LatencyMaxNS)
+	}
+	if rep.LatencyMaxNS <= 0 {
+		t.Error("no latencies recorded")
+	}
+	st := s.Pool().Stats()
+	if st.Released != st.Acquired || st.ClaimedCPUs != 0 || st.Waiting != 0 {
+		t.Errorf("pool not drained after load: %+v", st)
+	}
+}
+
+// TestRunLoadShedding: a no-queue pool under more clients than runtimes
+// sheds with 503s, which the driver classifies as backpressure, not
+// errors.
+func TestRunLoadShedding(t *testing.T) {
+	s, err := serve.New(serve.Options{Pool: pool.Options{
+		Runtimes:   1,
+		HostBudget: 2,
+		QueueLimit: pool.NoQueue,
+		Runtime:    mutls.Options{CPUs: 2},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer func() {
+		ts.Close()
+		s.Close()
+	}()
+
+	rep, err := RunLoad(context.Background(), ts.Client(), ts.URL, LoadConfig{
+		Concurrency: 8,
+		Requests:    40,
+		Targets:     []string{"/run?kernel=x3p1&n=2000"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Errors != 0 || rep.Unverified != 0 {
+		t.Fatalf("errors=%d unverified=%d samples=%v", rep.Errors, rep.Unverified, rep.ErrorSamples)
+	}
+	if rep.Overloaded == 0 {
+		t.Error("no request was shed despite 8 clients on a 1-runtime no-queue pool")
+	}
+	if rep.OK == 0 {
+		t.Error("every request was shed")
+	}
+}

@@ -21,6 +21,7 @@ type Allocator struct {
 	reg    *Registry
 	free   []Range      // sorted, coalesced free blocks
 	sizes  map[Addr]int // live allocation sizes
+	start  Addr         // start of the managed region (word-aligned)
 	limit  Addr         // end of the managed region
 	inUse  int          // live bytes
 	allocs uint64       // total Alloc calls
@@ -47,8 +48,28 @@ func NewAllocator(reg *Registry, start Addr, size int) (*Allocator, error) {
 		reg:   reg,
 		free:  []Range{{aligned, aligned + Addr(size)}},
 		sizes: make(map[Addr]int),
+		start: aligned,
 		limit: aligned + Addr(size),
 	}, nil
+}
+
+// Reset releases every live allocation at once, deregistering their space
+// and restoring the whole region as one free block. It is the heap-recycle
+// hook for runtime pooling: a served run that leaked allocations (an
+// aborted kernel, a cancelled request unwinding past its frees) must not
+// shrink the heap available to the next tenant of the same runtime.
+// Addresses handed out before Reset are invalid afterwards.
+func (al *Allocator) Reset() error {
+	for p, size := range al.sizes {
+		if err := al.reg.Deregister(p, size); err != nil {
+			return err
+		}
+	}
+	clear(al.sizes)
+	al.inUse = 0
+	al.free = al.free[:0]
+	al.free = append(al.free, Range{al.start, al.limit})
+	return nil
 }
 
 func alignUp(p Addr) Addr { return (p + Word - 1) &^ (Word - 1) }

@@ -1,0 +1,308 @@
+// Package serve exposes a runtime pool as an HTTP speculation service:
+// the multi-tenant deployment shape of the MUTLS runtime. Each request
+// leases a pooled runtime, runs one benchmark kernel's TLS version under
+// the request's context (deadline and disconnect cancel the run at the
+// next speculation boundary), verifies the checksum against the cached
+// sequential reference, and reports the speculation activity alongside
+// the result. Backpressure is the pool's: an exhausted queue turns into
+// 503 Service Unavailable with Retry-After, an exhausted CPU budget into
+// a degraded (sequential) but still correct response.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	"repro/internal/bench"
+	"repro/mutls"
+	"repro/mutls/pool"
+)
+
+// Kernel is one servable workload: a Table II benchmark plus the size
+// clamps that keep one request's work bounded.
+type Kernel struct {
+	Workload *bench.Workload
+	// Default is the size used when the request names none; Max clamps
+	// request-supplied sizes field-wise (zero Max fields admit only the
+	// default for that field).
+	Default, Max bench.Size
+}
+
+// DefaultKernels is the served allowlist: two loop kernels (in-order
+// chained forks) and one tree kernel (mixed model), keyed by URL-safe
+// name.
+func DefaultKernels() map[string]Kernel {
+	return map[string]Kernel{
+		"x3p1": {
+			Workload: bench.X3P1,
+			Default:  bench.Size{N: 20_000},
+			Max:      bench.Size{N: 200_000},
+		},
+		"mandelbrot": {
+			Workload: bench.Mandelbrot,
+			Default:  bench.Size{N: 32, M: 300},
+			Max:      bench.Size{N: 128, M: 2000},
+		},
+		"matmult": {
+			Workload: bench.MatMult,
+			Default:  bench.Size{N: 32},
+			Max:      bench.Size{N: 64},
+		},
+	}
+}
+
+// Options configures a Server.
+type Options struct {
+	// Pool configures the runtime pool. The template runtime's heap is
+	// sized automatically to the largest admissible kernel request unless
+	// Pool.Runtime.HeapBytes is set explicitly.
+	Pool pool.Options
+	// Kernels is the served allowlist; nil selects DefaultKernels.
+	Kernels map[string]Kernel
+}
+
+// Server is the HTTP façade over a runtime pool. Create with New, mount
+// via Handler, and Close when done (drains the pool).
+type Server struct {
+	pool    *pool.Pool
+	kernels map[string]Kernel
+	mux     *http.ServeMux
+
+	// seqSums caches sequential reference checksums by kernel and size, so
+	// verification costs one extra run per distinct request shape, ever.
+	seqMu   sync.Mutex
+	seqSums map[string]uint64
+}
+
+// New builds the pool and the handler.
+func New(opts Options) (*Server, error) {
+	if opts.Kernels == nil {
+		opts.Kernels = DefaultKernels()
+	}
+	if len(opts.Kernels) == 0 {
+		return nil, errors.New("serve: empty kernel allowlist")
+	}
+	if opts.Pool.Runtime.HeapBytes == 0 {
+		heap := 0
+		for _, k := range opts.Kernels {
+			if b := k.Workload.HeapBytes(clampSize(k.Max, k)); b > heap {
+				heap = b
+			}
+		}
+		opts.Pool.Runtime.HeapBytes = heap
+	}
+	if !opts.Pool.Runtime.CollectStats {
+		// The response reports commit/rollback activity.
+		opts.Pool.Runtime.CollectStats = true
+	}
+	p, err := pool.New(opts.Pool)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{
+		pool:    p,
+		kernels: opts.Kernels,
+		mux:     http.NewServeMux(),
+		seqSums: make(map[string]uint64),
+	}
+	s.mux.HandleFunc("/run", s.handleRun)
+	s.mux.HandleFunc("/stats", s.handleStats)
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	return s, nil
+}
+
+// Handler returns the service's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Pool exposes the underlying pool (for tests and stats endpoints).
+func (s *Server) Pool() *pool.Pool { return s.pool }
+
+// Kernels returns the served kernel names, sorted.
+func (s *Server) Kernels() []string {
+	names := make([]string, 0, len(s.kernels))
+	for name := range s.kernels {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Close drains and closes the pool; in-flight requests finish first.
+func (s *Server) Close() { s.pool.Close() }
+
+// RunResponse is the /run response document.
+type RunResponse struct {
+	Kernel   string     `json:"kernel"`
+	Size     bench.Size `json:"size"`
+	Checksum string     `json:"checksum"`
+	// Verified is true when the speculative checksum matched the cached
+	// sequential reference; a mismatch is reported as HTTP 500 instead.
+	Verified bool `json:"verified"`
+	// CPUGrant is the lease's speculative virtual-CPU grant; Degraded
+	// marks a zero grant (the run executed sequentially).
+	CPUGrant int  `json:"cpu_grant"`
+	Degraded bool `json:"degraded"`
+	// Cost is the run's critical-path cost (virtual units, or nanoseconds
+	// under a Real-timing pool); WallNS is the handler's wall-clock time.
+	Cost      int64 `json:"cost"`
+	WallNS    int64 `json:"wall_ns"`
+	Commits   int64 `json:"commits"`
+	Rollbacks int64 `json:"rollbacks"`
+}
+
+type errResponse struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+// clampSize resolves a requested size against a kernel's default and max.
+func clampSize(req bench.Size, k Kernel) bench.Size {
+	s := k.Default
+	clamp := func(got, max, def int) int {
+		if got <= 0 {
+			return def
+		}
+		if max > 0 && got > max {
+			return max
+		}
+		if max == 0 {
+			return def
+		}
+		return got
+	}
+	s.N = clamp(req.N, k.Max.N, k.Default.N)
+	s.M = clamp(req.M, k.Max.M, k.Default.M)
+	s.Steps = clamp(req.Steps, k.Max.Steps, k.Default.Steps)
+	return s
+}
+
+// seqChecksum returns the sequential reference for (name, size), running
+// it once on the leased runtime on first sight of that request shape.
+func (s *Server) seqChecksum(rt *mutls.Runtime, name string, k Kernel, size bench.Size) (uint64, error) {
+	key := fmt.Sprintf("%s/%d/%d/%d", name, size.N, size.M, size.Steps)
+	s.seqMu.Lock()
+	sum, ok := s.seqSums[key]
+	s.seqMu.Unlock()
+	if ok {
+		return sum, nil
+	}
+	if _, err := rt.Run(func(t *mutls.Thread) {
+		sum = k.Workload.Seq(t, size)
+	}); err != nil {
+		return 0, err
+	}
+	rt.Recycle()
+	s.seqMu.Lock()
+	s.seqSums[key] = sum
+	s.seqMu.Unlock()
+	return sum, nil
+}
+
+func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	q := r.URL.Query()
+	name := q.Get("kernel")
+	if name == "" {
+		name = "x3p1"
+	}
+	k, ok := s.kernels[name]
+	if !ok {
+		writeJSON(w, http.StatusNotFound, errResponse{
+			Error: fmt.Sprintf("unknown kernel %q (served: %v)", name, s.Kernels()),
+		})
+		return
+	}
+	atoi := func(key string) int {
+		n, _ := strconv.Atoi(q.Get(key))
+		return n
+	}
+	size := clampSize(bench.Size{N: atoi("n"), M: atoi("m"), Steps: atoi("steps")}, k)
+
+	lease, err := s.pool.Acquire(r.Context())
+	if err != nil {
+		switch {
+		case errors.Is(err, pool.ErrOverloaded):
+			w.Header().Set("Retry-After", "1")
+			writeJSON(w, http.StatusServiceUnavailable, errResponse{Error: err.Error()})
+		case errors.Is(err, pool.ErrClosed):
+			writeJSON(w, http.StatusServiceUnavailable, errResponse{Error: err.Error()})
+		default: // request context expired while queued
+			writeJSON(w, http.StatusServiceUnavailable, errResponse{Error: err.Error()})
+		}
+		return
+	}
+	defer lease.Release()
+	rt := lease.Runtime()
+
+	want, err := s.seqChecksum(rt, name, k, size)
+	if err != nil {
+		writeJSON(w, http.StatusServiceUnavailable, errResponse{Error: err.Error()})
+		return
+	}
+
+	var sum uint64
+	cost, err := rt.RunCtx(r.Context(), func(t *mutls.Thread) {
+		sum = k.Workload.Spec(t, size, bench.SpecOptions{Model: k.Workload.DefaultModel})
+	})
+	if err != nil {
+		// Cancelled or timed out mid-run; the deferred Release recycles the
+		// runtime, so the next tenant is unaffected.
+		writeJSON(w, http.StatusServiceUnavailable, errResponse{Error: err.Error()})
+		return
+	}
+	if sum != want {
+		writeJSON(w, http.StatusInternalServerError, errResponse{
+			Error: fmt.Sprintf("checksum mismatch: speculative %#x, sequential %#x", sum, want),
+		})
+		return
+	}
+	st := rt.Stats()
+	writeJSON(w, http.StatusOK, RunResponse{
+		Kernel:    name,
+		Size:      size,
+		Checksum:  fmt.Sprintf("%#x", sum),
+		Verified:  true,
+		CPUGrant:  lease.CPUs(),
+		Degraded:  lease.Degraded(),
+		Cost:      int64(cost),
+		WallNS:    time.Since(start).Nanoseconds(),
+		Commits:   int64(st.Commits),
+		Rollbacks: int64(st.Rollbacks),
+	})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.pool.Stats())
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	// Healthy means the pool still admits tenants: probe with an
+	// already-expired context so a free runtime is never consumed and the
+	// probe never queues behind real traffic.
+	ctx, cancel := context.WithCancel(r.Context())
+	cancel()
+	lease, err := s.pool.Acquire(ctx)
+	if lease != nil {
+		lease.Release() // fast path can still grant; hand it straight back
+	}
+	switch {
+	case errors.Is(err, pool.ErrClosed):
+		writeJSON(w, http.StatusServiceUnavailable, errResponse{Error: err.Error()})
+	default:
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	}
+}

@@ -110,6 +110,13 @@ type Summary struct {
 	// virtual CPU (filled by the runtime, not the collector; cumulative
 	// across Runs on the same runtime).
 	GBuf gbuf.Counters
+
+	// PointsExhausted counts AllocPoint calls that found every fork/join
+	// point id live and had to alias one — the signal that more than
+	// MaxPoints driver runs overlapped on this runtime and their adaptive
+	// feedback is mixing (filled by the runtime; cumulative until
+	// ResetStats).
+	PointsExhausted int64
 }
 
 // PointStats profiles one fork/join point, feeding the adaptive fork

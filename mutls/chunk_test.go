@@ -283,7 +283,7 @@ func TestAdaptiveShrinksUnderBufferPressure(t *testing.T) {
 		}
 		defer rt.Close()
 		var sum int64
-		tn := rt.Run(func(t0 *mutls.Thread) {
+		tn, runErr := rt.Run(func(t0 *mutls.Thread) {
 			arr := t0.Alloc(8 * n)
 			opts := mutls.ForOptions{Model: mutls.InOrder, Chunker: ck}
 			mutls.ForRange(t0, n, opts, func(c *mutls.Thread, lo, hi int) {
@@ -297,6 +297,9 @@ func TestAdaptiveShrinksUnderBufferPressure(t *testing.T) {
 			}
 			t0.Free(arr)
 		})
+		if runErr != nil {
+			t.Fatal(runErr)
+		}
 		s := rt.Stats()
 		return tn, s.Commits, s.Rollbacks, sum
 	}

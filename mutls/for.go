@@ -186,8 +186,11 @@ func driveChunks(t *Thread, n int, model Model, ck Chunker, poll int, body func(
 	// Each run speculates on its own fork/join point, so the PointCounters
 	// deltas feeding the chunk controller never mix rollback signals with a
 	// nested run started from this loop's inline body (or any other driver
-	// overlapping this one).
+	// overlapping this one). The id is freed when the run ends, so only
+	// more than MaxPoints *simultaneously live* runs can exhaust the
+	// namespace (counted in Summary.PointsExhausted).
 	point := rt.AllocPoint()
+	defer rt.FreePoint(point)
 
 	window := cpus + 2
 	if window < 2 {
@@ -287,6 +290,10 @@ func driveChunks(t *Thread, n int, model Model, ck Chunker, poll int, body func(
 	decide()
 
 	for joined < decided {
+		// Cooperative cancellation: a cancelled run (RunCtx deadline) stops
+		// driving the chain here; outstanding speculation is squashed by
+		// the run's drain.
+		t.CancelPoint()
 		seq := joined
 		lo, hi := boundsOf(seq)
 		res := t.Join(ranks, point)

@@ -39,6 +39,8 @@
 package mutls
 
 import (
+	"context"
+
 	"repro/internal/core"
 	"repro/internal/gbuf"
 	"repro/internal/lbuf"
@@ -47,6 +49,14 @@ import (
 	"repro/internal/stats"
 	"repro/internal/vclock"
 )
+
+// ErrClosed is returned by Run/RunCtx on a runtime that has been closed.
+var ErrClosed = core.ErrClosed
+
+// ErrCancelled is returned by RunCtx when a run was unwound by CancelRun
+// without a context error to report instead; context-driven cancellations
+// return ctx.Err() (context.Canceled or context.DeadlineExceeded).
+var ErrCancelled = core.ErrCancelled
 
 // Thread is the execution context handed to non-speculative code and to
 // speculative regions; see core.Thread for the instrumented memory API.
@@ -245,17 +255,31 @@ func (o Options) coreOptions() core.Options {
 }
 
 // Runtime is the public façade over the core ThreadManager. It embeds
-// *core.Runtime, so Run, Stats, ResetStats, Space, NumCPUs and Close are
-// available directly.
+// *core.Runtime, so RunCtx, Stats, ResetStats, Recycle, SetCPULimit,
+// Space, NumCPUs and Close are available directly; Run is shadowed below
+// so the public API reports a closed runtime as a typed error instead of
+// panicking.
 type Runtime struct {
 	*core.Runtime
 }
 
-// New builds a runtime. Close it when done.
+// New builds a runtime. Close it when done (Close is idempotent).
 func New(opts Options) (*Runtime, error) {
 	rt, err := core.NewRuntime(opts.coreOptions())
 	if err != nil {
 		return nil, err
 	}
 	return &Runtime{Runtime: rt}, nil
+}
+
+// Run executes fn as the non-speculative thread and returns the paper's
+// TN: the critical-path runtime (virtual units or nanoseconds under Real
+// timing). Speculative threads still outstanding when fn returns are
+// squashed. On a closed runtime it returns ErrClosed without executing
+// fn. For deadlines and cancellation, use RunCtx (promoted from
+// core.Runtime): it stops forking once the context is done and unwinds
+// the run at the next Thread.CancelPoint poll, which For/ForRange/Reduce/
+// Pipeline insert at every chunk/group/token boundary.
+func (r *Runtime) Run(fn func(t *Thread)) (Cost, error) {
+	return r.Runtime.RunCtx(context.Background(), fn)
 }

@@ -78,8 +78,10 @@ func Pipeline(t *Thread, nTokens int, init uint64, opts PipelineOptions, stages 
 		model = OutOfOrder
 	}
 	rt := t.Runtime()
-	// One fork point per speculated stage (stages[0] never forks).
+	// One fork point per speculated stage (stages[0] never forks); the
+	// block is freed when the pipeline ends.
 	points := rt.AllocPoints(nStages - 1)
+	defer rt.FreePoints(points)
 	maxPoint := 0
 	for _, p := range points {
 		if p > maxPoint {
@@ -130,6 +132,8 @@ func Pipeline(t *Thread, nTokens int, init uint64, opts PipelineOptions, stages 
 	forked := make([]bool, nStages)
 	in := init
 	for token := 0; token < nTokens; token++ {
+		// Cooperative cancellation between tokens (see For).
+		t.CancelPoint()
 		// Fork the downstream stages in reverse order so the children
 		// stack pops them in stage (join) order — the same logically-
 		// later-subtrees-first discipline as tree-form recursion.

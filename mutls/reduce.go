@@ -169,6 +169,7 @@ func reduceWord(t *Thread, nChunks int, init uint64, model Model, ck Chunker, ho
 	}
 	rt := t.Runtime()
 	point := rt.AllocPoint()
+	defer rt.FreePoint(point)
 	ranks := make([]Rank, point+1)
 	ctrl := ck.NewRun(nChunks, rt.NumCPUs())
 	next := func(lo int) int {
@@ -199,6 +200,8 @@ func reduceWord(t *Thread, nChunks int, init uint64, model Model, ck Chunker, ho
 	// inline re-execution latency) is emitted when the group is re-folded.
 	var rolledBack *ChunkFeedback
 	for lo < nChunks {
+		// Cooperative cancellation between groups (see For).
+		t.CancelPoint()
 		var h *core.ForkHandle
 		specLo, specHi := hi, hi
 		if hi < nChunks { // the last group has no continuation to fork
