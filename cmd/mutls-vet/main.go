@@ -1,0 +1,198 @@
+// Command mutls-vet is the multichecker for the mutls speculation
+// contract: it runs the internal/analysis suite (specaccess, pollcheck,
+// pointleak, leaseleak, atomicmix) over this module's packages.
+//
+// Standalone use:
+//
+//	go run ./cmd/mutls-vet ./...          # whole module (default)
+//	go run ./cmd/mutls-vet -list          # analyzer and code reference
+//	go run ./cmd/mutls-vet -run pollcheck ./mutls/...
+//	go run ./cmd/mutls-vet -json ./...    # machine-readable findings
+//
+// It is also usable as a go vet tool:
+//
+//	go vet -vettool=$(pwd)/bin/mutls-vet ./...
+//
+// In that mode the go command invokes the binary once per package with a
+// .cfg file (the unitchecker protocol); diagnostics go to stderr and a
+// non-zero exit fails the vet run.
+//
+// Exit status: 0 when clean, 1 on findings, 2 on usage or load errors.
+// Suppress individual findings with a justified directive:
+//
+//	//lint:allow CODE reason
+//
+// on the flagged line or the line above (the reason is mandatory).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/driver"
+	"repro/internal/analysis/load"
+)
+
+const version = "mutls-vet version 1.0.0"
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	// go vet -vettool handshake: `mutls-vet -V=full` prints a version
+	// stamp; a trailing *.cfg argument selects unitchecker mode.
+	for _, a := range args {
+		if a == "-V=full" || a == "--V=full" || a == "-V" {
+			fmt.Println(version)
+			return 0
+		}
+		if a == "-flags" || a == "--flags" {
+			// go vet asks which tool flags it may forward; none of the
+			// standard vet analyzers' flags apply to this suite.
+			fmt.Println("[]")
+			return 0
+		}
+	}
+	if n := len(args); n > 0 && strings.HasSuffix(args[n-1], ".cfg") {
+		return unitcheck(args[n-1])
+	}
+
+	fs := flag.NewFlagSet("mutls-vet", flag.ContinueOnError)
+	var (
+		listFlag  = fs.Bool("list", false, "print the analyzers and their diagnostic codes, then exit")
+		jsonFlag  = fs.Bool("json", false, "emit findings as a JSON array instead of text")
+		testsFlag = fs.Bool("tests", false, "also analyze _test.go files")
+		runFlag   = fs.String("run", "", "comma-separated analyzer subset (default: all)")
+		dirFlag   = fs.String("C", "", "change to this directory (module root) before loading")
+	)
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: mutls-vet [flags] [packages]")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	if *listFlag {
+		for _, a := range driver.Analyzers() {
+			fmt.Printf("%-12s %s  %s\n", a.Name, strings.Join(a.Codes, ","), a.Doc)
+		}
+		return 0
+	}
+
+	var names []string
+	if *runFlag != "" {
+		names = strings.Split(*runFlag, ",")
+	}
+	analyzers, err := driver.ByName(names)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mutls-vet:", err)
+		return 2
+	}
+
+	root := *dirFlag
+	if root == "" {
+		root, err = findModuleRoot()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mutls-vet:", err)
+			return 2
+		}
+	}
+	l, err := load.New(root)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mutls-vet:", err)
+		return 2
+	}
+	l.IncludeTests = *testsFlag
+
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := l.Patterns(patterns)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mutls-vet:", err)
+		return 2
+	}
+	for _, pkg := range pkgs {
+		for _, terr := range pkg.TypeErrors {
+			fmt.Fprintf(os.Stderr, "mutls-vet: %s: %v\n", pkg.Path, terr)
+		}
+	}
+
+	diags, err := driver.Run(pkgs, analyzers, false)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mutls-vet:", err)
+		return 2
+	}
+
+	if *jsonFlag {
+		type finding struct {
+			File     string `json:"file"`
+			Line     int    `json:"line"`
+			Col      int    `json:"col"`
+			Code     string `json:"code"`
+			Message  string `json:"message"`
+			Analyzer string `json:"analyzer"`
+		}
+		out := make([]finding, 0, len(diags))
+		for _, d := range diags {
+			p := d.Position(l.Fset)
+			rel, err := filepath.Rel(root, p.Filename)
+			if err != nil {
+				rel = p.Filename
+			}
+			out = append(out, finding{rel, p.Line, p.Column, d.Code, d.Message, d.Analyzer})
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintln(os.Stderr, "mutls-vet:", err)
+			return 2
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Println(relFormat(root, l, d))
+		}
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "mutls-vet: %d finding(s)\n", len(diags))
+		return 1
+	}
+	return 0
+}
+
+// relFormat renders a diagnostic with a root-relative path.
+func relFormat(root string, l *load.Loader, d analysis.Diagnostic) string {
+	p := d.Position(l.Fset)
+	rel, err := filepath.Rel(root, p.Filename)
+	if err != nil {
+		rel = p.Filename
+	}
+	return fmt.Sprintf("%s:%d:%d: %s: %s (%s)", rel, p.Line, p.Column, d.Code, d.Message, d.Analyzer)
+}
+
+// findModuleRoot walks up from the working directory to the nearest
+// go.mod.
+func findModuleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod above %s", dir)
+		}
+		dir = parent
+	}
+}

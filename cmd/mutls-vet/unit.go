@@ -1,0 +1,150 @@
+// Unitchecker mode: `go vet -vettool=mutls-vet` invokes the binary once
+// per package with a JSON .cfg describing the unit — file list, import
+// map and export-data locations. This file implements that protocol
+// (the subset the suite needs: no facts, no fixes): type-check the
+// unit's files against the supplied export data, run the analyzers,
+// print findings to stderr, and write the (empty) .vetx output the go
+// command expects.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"strings"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/driver"
+)
+
+// vetConfig mirrors the fields of the go command's vet .cfg file that
+// this checker consumes.
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoFiles                   []string
+	NonGoFiles                []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+func unitcheck(cfgFile string) int {
+	data, err := os.ReadFile(cfgFile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mutls-vet:", err)
+		return 2
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "mutls-vet: parsing %s: %v\n", cfgFile, err)
+		return 2
+	}
+
+	// The go command requires the vetx output to exist even though this
+	// suite exports no facts.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
+			fmt.Fprintln(os.Stderr, "mutls-vet:", err)
+			return 2
+		}
+	}
+	if cfg.VetxOnly {
+		return 0 // facts-only invocation for a dependency: nothing to do
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mutls-vet:", err)
+			return 2
+		}
+		files = append(files, f)
+	}
+
+	// Imports resolve through the export data the go command already
+	// compiled: ImportMap canonicalizes the path, PackageFile locates it.
+	lookup := func(path string) (io.ReadCloser, error) {
+		if mapped, ok := cfg.ImportMap[path]; ok {
+			path = mapped
+		}
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	compiler := cfg.Compiler
+	if compiler == "" {
+		compiler = "gc"
+	}
+	conf := types.Config{
+		Importer: importer.ForCompiler(fset, compiler, lookup),
+		Error:    func(error) {}, // collect best-effort; gate below
+	}
+	pkg, err := conf.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintf(os.Stderr, "mutls-vet: %s: %v\n", cfg.ImportPath, err)
+		return 2
+	}
+
+	sup := analysis.CollectSuppressions(fset, files)
+	var diags []analysis.Diagnostic
+	inTestFile := func(d analysis.Diagnostic) bool {
+		return strings.HasSuffix(fset.Position(d.Pos).Filename, "_test.go")
+	}
+	for _, a := range driver.Analyzers() {
+		pass := &analysis.Pass{
+			Analyzer:  a,
+			Fset:      fset,
+			Files:     files,
+			Pkg:       pkg,
+			TypesInfo: info,
+		}
+		pass.Report = func(d analysis.Diagnostic) {
+			// Tests exercise the failure modes the suite guards against
+			// (deliberate leaks, poll-free stalls), so _test.go files
+			// type-check but are exempt from reporting — same policy as
+			// the standalone mode's default (opt in there with -tests).
+			if !sup.Suppressed(fset, d.Pos, d.Code) && !inTestFile(d) {
+				diags = append(diags, d)
+			}
+		}
+		if err := a.Run(pass); err != nil {
+			fmt.Fprintf(os.Stderr, "mutls-vet: %s: %s: %v\n", cfg.ImportPath, a.Name, err)
+			return 2
+		}
+	}
+	if len(diags) > 0 {
+		for _, d := range diags {
+			fmt.Fprintln(os.Stderr, d.Format(fset))
+		}
+		return 2
+	}
+	return 0
+}

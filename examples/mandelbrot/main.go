@@ -34,6 +34,7 @@ func main() {
 		img = t.Alloc(8 * width * height)
 		mutls.For(t, chunks, mutls.ForOptions{Model: mutls.InOrder}, func(c *mutls.Thread, idx int) {
 			for y := idx; y < height; y += chunks {
+				c.CheckPoint() // per-row poll: squash/cancel interrupts between rows
 				ci := -1.2 + 2.4*float64(y)/float64(height)
 				for x := 0; x < width; x++ {
 					cr := -2.1 + 3.0*float64(x)/float64(width)

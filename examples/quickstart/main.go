@@ -32,6 +32,9 @@ func main() {
 		mutls.For(t, chunks, mutls.ForOptions{Model: mutls.Mixed}, func(c *mutls.Thread, idx int) {
 			per := n / chunks
 			for i := idx * per; i < (idx+1)*per; i++ {
+				if i%1024 == 0 {
+					c.CheckPoint() // let squash/cancel interrupt the chunk
+				}
 				c.StoreInt64(arr+mutls.Addr(8*i), int64(i)*3)
 			}
 		})

@@ -45,6 +45,9 @@ func main() {
 			mutls.ReduceOptions{Predictor: mutls.Stride, Chunks: mutls.AdaptivePolicy{}},
 			func(c *mutls.Thread, idx int, acc int64) int64 {
 				for i := idx * per; i < (idx+1)*per; i++ {
+					if i%1024 == 0 {
+						c.CheckPoint() // let squash/cancel interrupt the chunk
+					}
 					acc += c.LoadInt64(arr + mutls.Addr(8*i))
 				}
 				return acc

@@ -1,0 +1,333 @@
+// Package atomicmix defines the ATOM001-ATOM003 analyzers guarding the
+// runtime's published-atomics discipline.
+//
+//	ATOM001  a variable/field is accessed both through sync/atomic and
+//	         plainly — the plain access races with the atomic ones
+//	ATOM002  Cond.Broadcast/Signal without the gate lock held around it
+//	ATOM003  a waitGate-style wake() with no atomic publish before it
+//
+// The join handshake (internal/core) communicates through published
+// atomics plus a waitGate: waiters spin on atomic predicates and park
+// under the gate lock; wakers must store the new state atomically
+// BEFORE taking the gate lock and broadcasting, or a waiter can check
+// stale state, park, and miss the wakeup forever. ATOM002/ATOM003
+// encode exactly that protocol; ATOM001 is the general mixed-access
+// race that also breaks it.
+//
+// Neutral contexts do not count as plain accesses for ATOM001: slicing
+// (re-slices the header), len/cap, composite-literal construction, and
+// keyless range (reads only the header).
+package atomicmix
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// Diagnostic codes.
+const (
+	CodeMixed    = "ATOM001"
+	CodeBareWake = "ATOM002"
+	CodeNoStore  = "ATOM003"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name:  "atomicmix",
+	Doc:   "flag mixed atomic/plain access to the same variable and waitGate wake-ordering violations",
+	Codes: []string{CodeMixed, CodeBareWake, CodeNoStore},
+	Run:   run,
+}
+
+func run(pass *analysis.Pass) error {
+	checkMixed(pass)
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				checkWakeOrder(pass, fd.Body)
+			}
+		}
+	}
+	return nil
+}
+
+// --- ATOM001: mixed atomic and plain access ---
+
+type access struct {
+	pos  token.Pos
+	line int
+}
+
+func checkMixed(pass *analysis.Pass) {
+	info := pass.TypesInfo
+
+	// Pass 1: variables reached through &x as an argument of a
+	// sync/atomic function, and the spans of those argument expressions.
+	atomicObjs := make(map[*types.Var]access)
+	var atomicSpans []span
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !isSyncAtomicCall(info, call) {
+				return true
+			}
+			for _, arg := range call.Args {
+				atomicSpans = append(atomicSpans, span{arg.Pos(), arg.End()})
+				un, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+				if !ok || un.Op != token.AND {
+					continue
+				}
+				if v := baseVar(info, un.X); v != nil {
+					if _, seen := atomicObjs[v]; !seen {
+						atomicObjs[v] = access{arg.Pos(), pass.Fset.Position(arg.Pos()).Line}
+					}
+				}
+			}
+			return true
+		})
+	}
+	if len(atomicObjs) == 0 {
+		return
+	}
+
+	// Pass 2: neutral spans — contexts where touching the variable does
+	// not read or write its (element) value.
+	var neutral []span
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.SliceExpr:
+				neutral = append(neutral, span{n.X.Pos(), n.X.End()})
+			case *ast.CompositeLit:
+				neutral = append(neutral, span{n.Pos(), n.End()})
+			case *ast.CallExpr:
+				if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok {
+					if b, ok := info.Uses[id].(*types.Builtin); ok && (b.Name() == "len" || b.Name() == "cap") {
+						neutral = append(neutral, span{n.Pos(), n.End()})
+					}
+				}
+			case *ast.RangeStmt:
+				if n.Value == nil { // for i := range x — header only
+					neutral = append(neutral, span{n.X.Pos(), n.X.End()})
+				}
+			}
+			return true
+		})
+	}
+	covered := func(pos token.Pos, spans []span) bool {
+		for _, s := range spans {
+			if pos >= s.lo && pos < s.hi {
+				return true
+			}
+		}
+		return false
+	}
+
+	// Pass 3: any remaining use of an atomic variable is a plain access.
+	reported := make(map[*types.Var]bool)
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			v, ok := info.Uses[id].(*types.Var)
+			if !ok {
+				return true
+			}
+			first, isAtomic := atomicObjs[v]
+			if !isAtomic || reported[v] {
+				return true
+			}
+			if covered(id.Pos(), atomicSpans) || covered(id.Pos(), neutral) {
+				return true
+			}
+			reported[v] = true
+			pass.Reportf(id.Pos(), CodeMixed,
+				"%q is accessed with sync/atomic (line %d) and plainly here; the plain access races with the atomic ones — use one discipline for every access", v.Name(), first.line)
+			return true
+		})
+	}
+}
+
+type span struct{ lo, hi token.Pos }
+
+// isSyncAtomicCall reports whether call invokes a sync/atomic function
+// (the address-taking style: atomic.AddInt64(&x, 1)).
+func isSyncAtomicCall(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	return ok && fn.Pkg() != nil && fn.Pkg().Path() == "sync/atomic" && fn.Type().(*types.Signature).Recv() == nil
+}
+
+// baseVar resolves the variable at the base of an lvalue path
+// (x, x.f, x[i], x.f[i] → the field or variable actually indexed).
+func baseVar(info *types.Info, e ast.Expr) *types.Var {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			v, _ := info.Uses[x].(*types.Var)
+			return v
+		case *ast.SelectorExpr:
+			v, _ := info.Uses[x.Sel].(*types.Var)
+			return v
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// --- ATOM002/ATOM003: waitGate wake ordering ---
+
+// checkWakeOrder enforces, per function body, that Cond.Broadcast/Signal
+// runs between Lock and Unlock (ATOM002) and that a wake() on a
+// gate-shaped type has an atomic publish lexically before it (ATOM003).
+func checkWakeOrder(pass *analysis.Pass, body *ast.BlockStmt) {
+	info := pass.TypesInfo
+	var (
+		locks, unlocks, publishes []token.Pos
+		deferredUnlock            bool
+	)
+	type wakeCall struct {
+		call *ast.CallExpr
+		bare bool // Broadcast/Signal (ATOM002) vs wake() (ATOM003)
+	}
+	var wakes []wakeCall
+
+	ast.Inspect(body, func(n ast.Node) bool {
+		if d, ok := n.(*ast.DeferStmt); ok {
+			if name := methodName(d.Call); name == "Unlock" {
+				deferredUnlock = true
+			}
+			return true
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		switch methodName(call) {
+		case "Lock":
+			locks = append(locks, call.Pos())
+		case "Unlock":
+			unlocks = append(unlocks, call.Pos())
+		case "Broadcast", "Signal":
+			if isCondMethod(info, call) {
+				wakes = append(wakes, wakeCall{call, true})
+			}
+		case "wake":
+			if isGateMethod(info, call) {
+				wakes = append(wakes, wakeCall{call, false})
+			}
+		}
+		if isSyncAtomicCall(info, call) || isAtomicValueMethod(info, call) {
+			publishes = append(publishes, call.Pos())
+		}
+		return true
+	})
+
+	before := func(ps []token.Pos, pos token.Pos) bool {
+		for _, p := range ps {
+			if p < pos {
+				return true
+			}
+		}
+		return false
+	}
+	after := func(ps []token.Pos, pos token.Pos) bool {
+		for _, p := range ps {
+			if p > pos {
+				return true
+			}
+		}
+		return false
+	}
+
+	for _, w := range wakes {
+		pos := w.call.Pos()
+		if w.bare {
+			if !before(locks, pos) || !(deferredUnlock || after(unlocks, pos)) {
+				pass.Reportf(pos, CodeBareWake,
+					"Cond.%s outside the gate lock; a waiter can check, miss the signal, then park forever — hold the lock around the broadcast (waitGate.wake does)", methodName(w.call))
+			}
+			continue
+		}
+		if !before(publishes, pos) {
+			pass.Reportf(pos, CodeNoStore,
+				"wake() with no atomic publish before it in this function; waiters' predicates read published atomics, so store the new state atomically before waking (or the wakeup is lost)")
+		}
+	}
+}
+
+func methodName(call *ast.CallExpr) string {
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		return sel.Sel.Name
+	}
+	return ""
+}
+
+// isCondMethod reports whether call is a method of sync.Cond.
+func isCondMethod(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	return ok && sig.Recv() != nil
+}
+
+// isGateMethod reports whether call is a method named wake on a struct
+// type that embeds a sync.Cond (the waitGate shape).
+func isGateMethod(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	t := info.TypeOf(sel.X)
+	if t == nil {
+		return false
+	}
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	st, ok := t.Underlying().(*types.Struct)
+	if !ok {
+		return false
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		ft := st.Field(i).Type()
+		if named, ok := ft.(*types.Named); ok &&
+			named.Obj().Name() == "Cond" && named.Obj().Pkg() != nil && named.Obj().Pkg().Path() == "sync" {
+			return true
+		}
+	}
+	return false
+}
+
+// isAtomicValueMethod reports whether call is a mutating method of an
+// atomic.Int64-style value (Store/Add/Swap/CompareAndSwap/Or/And).
+func isAtomicValueMethod(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	switch sel.Sel.Name {
+	case "Store", "Add", "Swap", "CompareAndSwap", "Or", "And":
+	default:
+		return false
+	}
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	return ok && fn.Pkg() != nil && fn.Pkg().Path() == "sync/atomic"
+}

@@ -1,0 +1,68 @@
+// Package a is atomicmix golden testdata: mixed atomic/plain field
+// access, gate-lock broadcast discipline and wake publish ordering.
+package a
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+type counters struct {
+	hits int64
+	miss int64
+	seq  int64
+}
+
+func mixed(c *counters) int64 {
+	atomic.AddInt64(&c.hits, 1)
+	return c.hits // want "ATOM001"
+}
+
+func disciplined(c *counters) int64 {
+	atomic.AddInt64(&c.miss, 1)
+	return atomic.LoadInt64(&c.miss)
+}
+
+func suppressedMix(c *counters) int64 {
+	atomic.AddInt64(&c.seq, 1)
+	return c.seq //lint:allow ATOM001 sequential phase: every worker joined above
+}
+
+type gate struct {
+	mu   sync.Mutex
+	cond sync.Cond
+}
+
+func (g *gate) bareBroadcast() {
+	g.cond.Broadcast() // want "ATOM002"
+}
+
+func (g *gate) wake() {
+	g.mu.Lock()
+	g.cond.Broadcast()
+	g.mu.Unlock()
+}
+
+func (g *gate) wakeDeferred() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.cond.Broadcast()
+}
+
+func wakeNoPublish(g *gate) {
+	g.wake() // want "ATOM003"
+}
+
+func wakePublished(g *gate, flag *atomic.Bool) {
+	flag.Store(true)
+	g.wake()
+}
+
+func wakePublishedLegacy(g *gate, word *uint64) {
+	atomic.StoreUint64(word, 1)
+	g.wake()
+}
+
+func suppressedWake(g *gate) {
+	g.wake() //lint:allow ATOM003 init-time wake, no waiter exists yet
+}

@@ -1,0 +1,93 @@
+// Package driver runs the mutls-vet analyzers over loaded packages and
+// applies //lint:allow suppressions. It is the shared engine behind the
+// cmd/mutls-vet binary and the analysistest harness.
+package driver
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/atomicmix"
+	"repro/internal/analysis/leaseleak"
+	"repro/internal/analysis/load"
+	"repro/internal/analysis/pointleak"
+	"repro/internal/analysis/pollcheck"
+	"repro/internal/analysis/specaccess"
+)
+
+// Analyzers returns the full mutls-vet suite in reporting order.
+func Analyzers() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		specaccess.Analyzer,
+		pollcheck.Analyzer,
+		pointleak.Analyzer,
+		leaseleak.Analyzer,
+		atomicmix.Analyzer,
+	}
+}
+
+// ByName resolves a comma-separated selection against the suite.
+func ByName(names []string) ([]*analysis.Analyzer, error) {
+	all := Analyzers()
+	if len(names) == 0 {
+		return all, nil
+	}
+	byName := make(map[string]*analysis.Analyzer, len(all))
+	for _, a := range all {
+		byName[a.Name] = a
+	}
+	var out []*analysis.Analyzer
+	for _, n := range names {
+		a, ok := byName[n]
+		if !ok {
+			return nil, fmt.Errorf("unknown analyzer %q", n)
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}
+
+// Run executes the analyzers over each package and returns the surviving
+// diagnostics (suppressed ones removed unless keepSuppressed), sorted by
+// position.
+func Run(pkgs []*load.Package, analyzers []*analysis.Analyzer, keepSuppressed bool) ([]analysis.Diagnostic, error) {
+	var diags []analysis.Diagnostic
+	for _, pkg := range pkgs {
+		sup := analysis.CollectSuppressions(pkg.Fset, pkg.Files)
+		for _, a := range analyzers {
+			pass := &analysis.Pass{
+				Analyzer:  a,
+				Fset:      pkg.Fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.Info,
+			}
+			pass.Report = func(d analysis.Diagnostic) {
+				if !keepSuppressed && sup.Suppressed(pkg.Fset, d.Pos, d.Code) {
+					return
+				}
+				diags = append(diags, d)
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s: %s: %w", pkg.Path, a.Name, err)
+			}
+		}
+	}
+	if len(pkgs) > 0 {
+		// All packages of one loader share a FileSet, so one sort orders
+		// the whole batch.
+		fset := pkgs[0].Fset
+		sort.Slice(diags, func(i, j int) bool {
+			pi, pj := fset.Position(diags[i].Pos), fset.Position(diags[j].Pos)
+			if pi.Filename != pj.Filename {
+				return pi.Filename < pj.Filename
+			}
+			if pi.Line != pj.Line {
+				return pi.Line < pj.Line
+			}
+			return diags[i].Code < diags[j].Code
+		})
+	}
+	return diags, nil
+}

@@ -1,0 +1,40 @@
+// Package leaseleak defines the LEASE001/LEASE002 analyzers: every
+// pool.Acquire must Release its lease on every return path. A leaked
+// lease pins one pooled runtime forever; with the pool's fixed capacity
+// each leak is a permanent admission-slot loss, and after MaxRuntimes of
+// them every Acquire returns ErrOverloaded.
+package leaseleak
+
+import (
+	"repro/internal/analysis"
+	"repro/internal/analysis/pairing"
+)
+
+// Diagnostic codes.
+const (
+	CodeLeak    = "LEASE001"
+	CodeDiscard = "LEASE002"
+)
+
+var spec = pairing.Spec{
+	Pairs: map[string]string{
+		"Acquire": "Release",
+	},
+	PkgPaths: map[string]bool{
+		"repro/mutls/pool": true,
+	},
+	LeakCode:    CodeLeak,
+	DiscardCode: CodeDiscard,
+	Noun:        "runtime lease",
+}
+
+var Analyzer = &analysis.Analyzer{
+	Name:  "leaseleak",
+	Doc:   "flag pool.Acquire calls whose leases are not released on every return path",
+	Codes: []string{CodeLeak, CodeDiscard},
+	Run:   run,
+}
+
+func run(pass *analysis.Pass) error {
+	return pairing.Run(pass, spec)
+}

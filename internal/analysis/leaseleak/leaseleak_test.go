@@ -1,0 +1,12 @@
+package leaseleak_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/leaseleak"
+)
+
+func TestLeaseleak(t *testing.T) {
+	analysistest.Run(t, leaseleak.Analyzer, analysistest.TestData(t, "a"))
+}

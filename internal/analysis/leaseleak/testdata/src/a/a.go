@@ -1,0 +1,46 @@
+// Package a is leaseleak golden testdata: leaked, discarded, deferred,
+// error-path-exempt and suppressed pool lease acquisitions.
+package a
+
+import (
+	"context"
+
+	"repro/mutls/pool"
+)
+
+func leakOnBranch(p *pool.Pool, cond bool) error {
+	lease, err := p.Acquire(context.Background()) // want "LEASE001"
+	if err != nil {
+		return err // error path never granted the lease: exempt
+	}
+	if cond {
+		return nil // leaks the lease
+	}
+	lease.Release()
+	return nil
+}
+
+func discarded(p *pool.Pool) {
+	p.Acquire(context.Background()) // want "LEASE002"
+}
+
+func deferred(p *pool.Pool) error {
+	lease, err := p.Acquire(context.Background())
+	if err != nil {
+		return err
+	}
+	defer lease.Release()
+	return nil
+}
+
+func probe(p *pool.Pool) {
+	lease, _ := p.Acquire(context.Background())
+	if lease != nil {
+		lease.Release() // handed straight back: clean
+	}
+}
+
+func suppressed(p *pool.Pool, hold func(*pool.Lease)) {
+	lease, _ := p.Acquire(context.Background()) //lint:allow LEASE001 held for the process lifetime, released on shutdown
+	hold(lease)
+}

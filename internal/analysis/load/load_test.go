@@ -1,0 +1,61 @@
+package load
+
+import (
+	"path/filepath"
+	"runtime"
+	"testing"
+)
+
+// moduleRoot locates the repository root from this file's position.
+func moduleRoot(t *testing.T) string {
+	t.Helper()
+	_, file, _, ok := runtime.Caller(0)
+	if !ok {
+		t.Fatal("no caller info")
+	}
+	return filepath.Dir(filepath.Dir(filepath.Dir(filepath.Dir(file))))
+}
+
+func TestLoadModulePackages(t *testing.T) {
+	l, err := New(moduleRoot(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.ModulePath != "repro" {
+		t.Fatalf("module path %q", l.ModulePath)
+	}
+	pkgs, err := l.Patterns([]string{"./mutls", "./internal/serve"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 2 {
+		t.Fatalf("got %d packages", len(pkgs))
+	}
+	for _, pkg := range pkgs {
+		if len(pkg.TypeErrors) > 0 {
+			t.Errorf("%s: type errors: %v", pkg.Path, pkg.TypeErrors[0])
+		}
+		if pkg.Types == nil || !pkg.Types.Complete() {
+			t.Errorf("%s: incomplete type information", pkg.Path)
+		}
+	}
+}
+
+func TestPatternsAll(t *testing.T) {
+	l, err := New(moduleRoot(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := l.Patterns([]string{"./..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) < 15 {
+		t.Fatalf("expected the full module, got %d packages", len(pkgs))
+	}
+	for _, pkg := range pkgs {
+		if len(pkg.TypeErrors) > 0 {
+			t.Errorf("%s: %v", pkg.Path, pkg.TypeErrors[0])
+		}
+	}
+}

@@ -1,0 +1,284 @@
+// Package pairing implements the shared acquire/release path check
+// behind the pointleak (AllocPoint/FreePoint) and leaseleak
+// (Acquire/Release) analyzers.
+//
+// For every acquire call bound to a local variable the enclosing
+// function must release the resource on every path: a defer of the
+// release (directly or inside a deferred closure) satisfies all paths at
+// once; otherwise each return reachable after the acquire needs a
+// release lexically between the acquire and the return. Two escapes are
+// deliberate: returns inside an error-check branch of the acquire's own
+// error value (the resource was never granted there), and ownership
+// transfer (the resource is returned, stored into a structure, aliased,
+// or sent away — some other scope releases it).
+package pairing
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// A Spec configures one acquire/release pairing.
+type Spec struct {
+	// Pairs maps acquire method names to their release method names
+	// (e.g. "AllocPoint" -> "FreePoint").
+	Pairs map[string]string
+	// PkgPaths restricts matches to methods defined in these packages, so
+	// an unrelated Acquire/Release vocabulary elsewhere is not caught.
+	PkgPaths map[string]bool
+	// LeakCode is reported when a path returns without releasing;
+	// DiscardCode when the acquire's result is thrown away outright.
+	LeakCode, DiscardCode string
+	// Noun names the resource in diagnostics ("fork/join point").
+	Noun string
+}
+
+// Run applies the spec to every function body in the pass.
+func Run(pass *analysis.Pass, spec Spec) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				if fn.Body != nil {
+					checkBody(pass, spec, fn.Body)
+				}
+			case *ast.FuncLit:
+				checkBody(pass, spec, fn.Body)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// acquireFunc resolves call to a matching acquire method and returns its
+// release name.
+func acquireFunc(info *types.Info, spec Spec, call *ast.CallExpr) (release string, ok bool) {
+	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel {
+		return "", false
+	}
+	fn, isFn := info.Uses[sel.Sel].(*types.Func)
+	if !isFn || fn.Pkg() == nil || !spec.PkgPaths[fn.Pkg().Path()] {
+		return "", false
+	}
+	release, ok = spec.Pairs[fn.Name()]
+	return release, ok
+}
+
+// checkBody analyzes the acquire calls appearing directly in body
+// (nested function literals get their own invocation).
+func checkBody(pass *analysis.Pass, spec Spec, body *ast.BlockStmt) {
+	info := pass.TypesInfo
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false // nested literals run their own checkBody
+		}
+		switch st := n.(type) {
+		case *ast.ExprStmt:
+			if call, ok := ast.Unparen(st.X).(*ast.CallExpr); ok {
+				if _, isAcq := acquireFunc(info, spec, call); isAcq {
+					pass.Reportf(call.Pos(), spec.DiscardCode,
+						"result of %s is discarded; the %s can never be released", callName(call), spec.Noun)
+				}
+			}
+		case *ast.AssignStmt:
+			if len(st.Rhs) != 1 {
+				return true
+			}
+			call, ok := ast.Unparen(st.Rhs[0]).(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			release, isAcq := acquireFunc(info, spec, call)
+			if !isAcq {
+				return true
+			}
+			resID, ok := st.Lhs[0].(*ast.Ident)
+			if !ok {
+				return true // stored straight into a structure: ownership transferred
+			}
+			if resID.Name == "_" {
+				pass.Reportf(call.Pos(), spec.DiscardCode,
+					"result of %s is discarded; the %s can never be released", callName(call), spec.Noun)
+				return true
+			}
+			res := objOf(info, resID)
+			if res == nil {
+				return true
+			}
+			var errObj types.Object
+			if len(st.Lhs) > 1 {
+				if errID, ok := st.Lhs[1].(*ast.Ident); ok && errID.Name != "_" {
+					errObj = objOf(info, errID)
+				}
+			}
+			checkAcquire(pass, spec, body, call, release, res, errObj)
+		}
+		return true
+	})
+}
+
+// checkAcquire verifies one tracked acquire: res was bound at call and
+// must be released (method named release) on every path out of body.
+func checkAcquire(pass *analysis.Pass, spec Spec, body *ast.BlockStmt, call *ast.CallExpr, release string, res, errObj types.Object) {
+	info := pass.TypesInfo
+	after := call.End()
+
+	isRes := func(e ast.Expr) bool {
+		id, ok := ast.Unparen(e).(*ast.Ident)
+		return ok && objOf(info, id) == res
+	}
+	isRelease := func(c *ast.CallExpr) bool {
+		sel, ok := ast.Unparen(c.Fun).(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != release {
+			return false
+		}
+		if isRes(sel.X) {
+			return true
+		}
+		for _, arg := range c.Args {
+			if isRes(arg) {
+				return true
+			}
+		}
+		return false
+	}
+
+	var (
+		deferred    bool
+		releases    []token.Pos // non-deferred release call positions
+		transferred bool
+		returns     []*ast.ReturnStmt
+		exemptRange []struct{ lo, hi token.Pos } // error-check branches
+	)
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.DeferStmt:
+			if isRelease(n.Call) {
+				deferred = true
+				return false
+			}
+			if lit, ok := n.Call.Fun.(*ast.FuncLit); ok {
+				ast.Inspect(lit.Body, func(m ast.Node) bool {
+					if c, ok := m.(*ast.CallExpr); ok && isRelease(c) {
+						deferred = true
+					}
+					return !deferred
+				})
+				return false
+			}
+		case *ast.CallExpr:
+			if isRelease(n) {
+				releases = append(releases, n.Pos())
+				return false
+			}
+		case *ast.ReturnStmt:
+			if n.Pos() > after {
+				returns = append(returns, n)
+			}
+			for _, r := range n.Results {
+				if usesObj(info, r, res) {
+					transferred = true
+				}
+			}
+		case *ast.AssignStmt:
+			// v aliased or stored away: x := v, s.field = v, m[k] = v,
+			// ch <- v is a SendStmt below.
+			for _, rhs := range n.Rhs {
+				if isRes(rhs) && n.Pos() > after {
+					transferred = true
+				}
+			}
+		case *ast.SendStmt:
+			if isRes(n.Value) {
+				transferred = true
+			}
+		case *ast.IfStmt:
+			if errObj != nil && usesObj(info, n.Cond, errObj) && n.Pos() > after {
+				exemptRange = append(exemptRange, struct{ lo, hi token.Pos }{n.Body.Pos(), n.Body.End()})
+			}
+		}
+		return true
+	})
+
+	if deferred || transferred {
+		return
+	}
+	exempt := func(pos token.Pos) bool {
+		for _, r := range exemptRange {
+			if pos >= r.lo && pos <= r.hi {
+				return true
+			}
+		}
+		return false
+	}
+	releasedBefore := func(pos token.Pos) bool {
+		for _, p := range releases {
+			if p > after && p < pos {
+				return true
+			}
+		}
+		return false
+	}
+
+	var leakAt *ast.ReturnStmt
+	checked := false
+	for _, ret := range returns {
+		if exempt(ret.Pos()) {
+			continue
+		}
+		checked = true
+		if !releasedBefore(ret.Pos()) {
+			leakAt = ret
+			break
+		}
+	}
+	if !checked {
+		// No (non-exempt) return after the acquire: the function falls off
+		// the end, which still needs a release somewhere after the call.
+		if !releasedBefore(body.End()) {
+			pass.Reportf(call.Pos(), spec.LeakCode,
+				"%s acquired by %s is never released (no %s on the fall-through path; add a defer)", spec.Noun, callName(call), release)
+		}
+		return
+	}
+	if leakAt != nil {
+		pass.Reportf(call.Pos(), spec.LeakCode,
+			"%s acquired by %s is not released on the return path at line %d (call %s before returning, or defer it)",
+			spec.Noun, callName(call), pass.Fset.Position(leakAt.Pos()).Line, release)
+	}
+}
+
+func objOf(info *types.Info, id *ast.Ident) types.Object {
+	if obj := info.Defs[id]; obj != nil {
+		return obj
+	}
+	return info.Uses[id]
+}
+
+// usesObj reports whether expr mentions obj.
+func usesObj(info *types.Info, expr ast.Expr, obj types.Object) bool {
+	found := false
+	ast.Inspect(expr, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && objOf(info, id) == obj {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// callName renders a call's selector for diagnostics ("rt.AllocPoint").
+func callName(call *ast.CallExpr) string {
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		if x, ok := ast.Unparen(sel.X).(*ast.Ident); ok {
+			return x.Name + "." + sel.Sel.Name
+		}
+		return sel.Sel.Name
+	}
+	return "acquire"
+}

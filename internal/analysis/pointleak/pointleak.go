@@ -1,0 +1,43 @@
+// Package pointleak defines the POINT001/POINT002 analyzers: every
+// Runtime.AllocPoint / AllocPoints must be paired with FreePoint /
+// FreePoints on every return path. Fork/join point ids are a small
+// fixed namespace (Options.MaxPoints); a leaked id permanently parks its
+// per-point counters and profile, and once every id is live AllocPoint
+// degrades to round-robin reuse, mixing profiles across runs (the PR 5
+// cross-loop feedback bug class).
+package pointleak
+
+import (
+	"repro/internal/analysis"
+	"repro/internal/analysis/pairing"
+)
+
+// Diagnostic codes.
+const (
+	CodeLeak    = "POINT001"
+	CodeDiscard = "POINT002"
+)
+
+var spec = pairing.Spec{
+	Pairs: map[string]string{
+		"AllocPoint":  "FreePoint",
+		"AllocPoints": "FreePoints",
+	},
+	PkgPaths: map[string]bool{
+		"repro/internal/core": true,
+	},
+	LeakCode:    CodeLeak,
+	DiscardCode: CodeDiscard,
+	Noun:        "fork/join point",
+}
+
+var Analyzer = &analysis.Analyzer{
+	Name:  "pointleak",
+	Doc:   "flag AllocPoint/AllocPoints calls whose point ids are not freed on every return path",
+	Codes: []string{CodeLeak, CodeDiscard},
+	Run:   run,
+}
+
+func run(pass *analysis.Pass) error {
+	return pairing.Run(pass, spec)
+}

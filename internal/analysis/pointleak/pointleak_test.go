@@ -1,0 +1,12 @@
+package pointleak_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/pointleak"
+)
+
+func TestPointleak(t *testing.T) {
+	analysistest.Run(t, pointleak.Analyzer, analysistest.TestData(t, "a"))
+}

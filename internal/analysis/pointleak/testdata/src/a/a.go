@@ -1,0 +1,55 @@
+// Package a is pointleak golden testdata: leaked, discarded, deferred,
+// transferred and suppressed fork/join point allocations.
+package a
+
+import "repro/internal/core"
+
+func leakOnBranch(rt *core.Runtime, cond bool) int {
+	p := rt.AllocPoint() // want "POINT001"
+	if cond {
+		return 0 // leaks p
+	}
+	rt.FreePoint(p)
+	return 1
+}
+
+func discarded(rt *core.Runtime) {
+	rt.AllocPoint() // want "POINT002"
+}
+
+func deferred(rt *core.Runtime) {
+	p := rt.AllocPoint()
+	defer rt.FreePoint(p)
+}
+
+func deferredBlock(rt *core.Runtime, n int) {
+	ps := rt.AllocPoints(n)
+	defer rt.FreePoints(ps)
+}
+
+func deferredClosure(rt *core.Runtime) {
+	p := rt.AllocPoint()
+	defer func() {
+		rt.FreePoint(p)
+	}()
+}
+
+func transferred(rt *core.Runtime) int {
+	p := rt.AllocPoint()
+	return p // caller owns the point: clean
+}
+
+func releasedOnAllPaths(rt *core.Runtime, cond bool) int {
+	p := rt.AllocPoint()
+	if cond {
+		rt.FreePoint(p)
+		return 0
+	}
+	rt.FreePoint(p)
+	return 1
+}
+
+func suppressed(rt *core.Runtime, sink func(int)) {
+	p := rt.AllocPoint() //lint:allow POINT001 run-long point, freed by the runtime Close path
+	sink(p)
+}

@@ -1,0 +1,12 @@
+package pollcheck_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/pollcheck"
+)
+
+func TestPollcheck(t *testing.T) {
+	analysistest.Run(t, pollcheck.Analyzer, analysistest.TestData(t, "a"))
+}

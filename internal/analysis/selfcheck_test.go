@@ -1,0 +1,64 @@
+package analysis_test
+
+import (
+	"path/filepath"
+	"runtime"
+	"testing"
+
+	"repro/internal/analysis/driver"
+	"repro/internal/analysis/load"
+)
+
+// TestNoFalsePositiveCorpus runs the whole suite over packages that obey
+// the speculation contract — the public API drivers and the serving
+// layer — and requires zero diagnostics. A heuristic change that starts
+// flagging canonical code fails here before it fails CI.
+func TestNoFalsePositiveCorpus(t *testing.T) {
+	_, file, _, ok := runtime.Caller(0)
+	if !ok {
+		t.Fatal("no caller info")
+	}
+	root := filepath.Dir(filepath.Dir(filepath.Dir(file)))
+	l, err := load.New(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := l.Patterns([]string{"./mutls", "./mutls/pool", "./internal/serve", "./internal/core", "./internal/mem"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := driver.Run(pkgs, driver.Analyzers(), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		t.Errorf("false positive on contract-clean corpus: %s", d.Format(l.Fset))
+	}
+}
+
+// TestWholeModuleClean is the regression gate for the violations PR 8
+// fixed (poll-free example kernels, mixed atomic/plain LoadReport
+// counters): the full module must stay free of findings, mirroring the
+// CI `make vet` step.
+func TestWholeModuleClean(t *testing.T) {
+	_, file, _, ok := runtime.Caller(0)
+	if !ok {
+		t.Fatal("no caller info")
+	}
+	root := filepath.Dir(filepath.Dir(filepath.Dir(file)))
+	l, err := load.New(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := l.Patterns([]string{"./..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := driver.Run(pkgs, driver.Analyzers(), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		t.Errorf("module regressed against the speculation contract: %s", d.Format(l.Fset))
+	}
+}

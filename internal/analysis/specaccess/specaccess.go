@@ -1,0 +1,220 @@
+// Package specaccess defines the SPEC001-SPEC003 analyzers of the
+// speculation memory contract: code inside a kernel closure must route
+// all shared memory traffic through the Thread accessors
+// (Load*/Store*/bulk views), because Go-level accesses bypass the
+// GlobalBuffer — they are invisible to conflict detection, survive
+// rollback, and race with re-executions of the same chunk.
+//
+//	SPEC001  write to a variable captured from outside the kernel closure
+//	SPEC002  raw element access (read or write) of a captured slice/map
+//	SPEC003  a slice filled by a bulk Load view escapes to captured state
+//
+// Reading captured scalars (addresses, sizes, options) is allowed: those
+// are the kernel's live-ins, fixed at fork time. Element access to
+// captured Go slices/maps is not — on rollback the speculative thread's
+// raw reads were never validated and raw writes are not undone.
+package specaccess
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/kernelutil"
+)
+
+// Diagnostic codes.
+const (
+	CodeCapturedWrite = "SPEC001"
+	CodeRawSlice      = "SPEC002"
+	CodeViewEscape    = "SPEC003"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name:  "specaccess",
+	Doc:   "flag kernel-closure accesses that bypass the speculative buffer: captured-variable writes, raw captured slice/map element access, and bulk-view slices escaping the closure",
+	Codes: []string{CodeCapturedWrite, CodeRawSlice, CodeViewEscape},
+	Run:   run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, k := range kernelutil.Find(pass) {
+		checkKernel(pass, k)
+	}
+	return nil
+}
+
+func checkKernel(pass *analysis.Pass, k kernelutil.Kernel) {
+	info := pass.TypesInfo
+	lit := k.Lit
+
+	// viewDst collects the local slice variables used as destinations of
+	// bulk Load views inside this kernel (LoadWords, LoadInt64s, ...).
+	viewDst := make(map[*types.Var]bool)
+
+	// captured resolves an lvalue expression to the captured variable at
+	// its base, if any: x, x.f, x[i], x.f[i]...
+	captured := func(e ast.Expr) *types.Var {
+		for {
+			switch v := ast.Unparen(e).(type) {
+			case *ast.Ident:
+				return kernelutil.CapturedVar(info, lit, v)
+			case *ast.SelectorExpr:
+				e = v.X
+			case *ast.IndexExpr:
+				e = v.X
+			case *ast.StarExpr:
+				e = v.X
+			default:
+				return nil
+			}
+		}
+	}
+
+	// handledIdx marks index expressions already reported as write
+	// targets so the read-position visit does not report them again.
+	handledIdx := make(map[*ast.IndexExpr]bool)
+
+	reportWrite := func(pos ast.Node, v *types.Var, via string) {
+		pass.Reportf(pos.Pos(), CodeCapturedWrite,
+			"speculative kernel writes captured variable %q%s; the write bypasses the speculation buffer (not undone on rollback, races with re-execution) — route it through the Thread accessors or move it after the join", v.Name(), via)
+	}
+
+	checkLHS := func(lhs ast.Expr) {
+		switch target := ast.Unparen(lhs).(type) {
+		case *ast.Ident:
+			if v := kernelutil.CapturedVar(info, lit, target); v != nil {
+				reportWrite(lhs, v, "")
+			}
+		case *ast.IndexExpr:
+			handledIdx[target] = true
+			if v := captured(target.X); v != nil {
+				if isSliceMapArray(info.TypeOf(target.X)) {
+					pass.Reportf(lhs.Pos(), CodeRawSlice,
+						"speculative kernel writes element of captured %s %q directly; shared-slice traffic must go through the Thread bulk accessors (StoreWords/StoreInt64s/...)", kindOf(info.TypeOf(target.X)), v.Name())
+				} else if v := captured(target); v != nil {
+					reportWrite(lhs, v, " through an index expression")
+				}
+			}
+		case *ast.SelectorExpr:
+			if v := captured(target); v != nil {
+				reportWrite(lhs, v, " through field "+target.Sel.Name)
+			}
+		case *ast.StarExpr:
+			if v := captured(target); v != nil {
+				reportWrite(lhs, v, " through a pointer dereference")
+			}
+		}
+	}
+
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			// Nested literals are analyzed separately if they are kernels
+			// themselves (indirect propagation); a plain nested closure
+			// still executes inside the region, so keep walking into it.
+			return true
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				checkLHS(lhs)
+			}
+			// SPEC003: a bulk-view destination slice assigned into
+			// captured state escapes the closure.
+			for i, rhs := range n.Rhs {
+				if i >= len(n.Lhs) {
+					break
+				}
+				if id, ok := ast.Unparen(rhs).(*ast.Ident); ok {
+					if v, ok := info.Uses[id].(*types.Var); ok && viewDst[v] {
+						if cv := captured(n.Lhs[i]); cv != nil {
+							pass.Reportf(rhs.Pos(), CodeViewEscape,
+								"bulk-view destination slice %q escapes the kernel closure into captured %q; view contents are only valid inside the speculation that loaded them", v.Name(), cv.Name())
+						}
+					}
+				}
+				// append(capturedSlice, ...) assigned anywhere is a write
+				// to captured backing storage.
+				if call, ok := ast.Unparen(rhs).(*ast.CallExpr); ok {
+					if fid, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && fid.Name == "append" && len(call.Args) > 0 {
+						if v := captured(call.Args[0]); v != nil && isSliceMapArray(info.TypeOf(call.Args[0])) {
+							pass.Reportf(call.Pos(), CodeRawSlice,
+								"speculative kernel appends to captured slice %q; the append mutates shared backing storage outside the speculation buffer", v.Name())
+						}
+					}
+				}
+			}
+		case *ast.IncDecStmt:
+			checkLHS(n.X)
+		case *ast.RangeStmt:
+			if v := captured(n.X); v != nil && isSliceMapArray(info.TypeOf(n.X)) {
+				pass.Reportf(n.X.Pos(), CodeRawSlice,
+					"speculative kernel ranges over captured %s %q; shared-collection reads bypass the speculation buffer (load through the Thread bulk accessors instead)", kindOf(info.TypeOf(n.X)), v.Name())
+			}
+		case *ast.IndexExpr:
+			// Raw element reads of captured slices/maps. Writes are
+			// reported at the AssignStmt; an IndexExpr in read position is
+			// any remaining use.
+			if handledIdx[n] {
+				return true
+			}
+			if v := captured(n.X); v != nil && isSliceMapArray(info.TypeOf(n.X)) {
+				pass.Reportf(n.Pos(), CodeRawSlice,
+					"speculative kernel reads element of captured %s %q directly; the read bypasses the speculation buffer (never validated at the join) — load through the Thread accessors", kindOf(info.TypeOf(n.X)), v.Name())
+				return false
+			}
+		case *ast.CallExpr:
+			if dst := bulkViewDst(info, n); dst != nil {
+				viewDst[dst] = true
+			}
+		}
+		return true
+	})
+}
+
+// bulkViewDst returns the local slice variable a bulk Load view call
+// fills (c.LoadWords(p, dst), c.LoadFloat64s(p, dst), ...).
+func bulkViewDst(info *types.Info, call *ast.CallExpr) *types.Var {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || len(call.Args) != 2 {
+		return nil
+	}
+	name := sel.Sel.Name
+	if !strings.HasPrefix(name, "Load") || !strings.HasSuffix(name, "s") {
+		return nil
+	}
+	if t := info.TypeOf(sel.X); t == nil || !kernelutil.IsThreadPtr(t) {
+		return nil
+	}
+	id, ok := ast.Unparen(call.Args[1]).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	v, _ := info.Uses[id].(*types.Var)
+	return v
+}
+
+func isSliceMapArray(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	switch t.Underlying().(type) {
+	case *types.Slice, *types.Map, *types.Array:
+		return true
+	}
+	return false
+}
+
+func kindOf(t types.Type) string {
+	if t == nil {
+		return "collection"
+	}
+	switch t.Underlying().(type) {
+	case *types.Map:
+		return "map"
+	case *types.Array:
+		return "array"
+	default:
+		return "slice"
+	}
+}

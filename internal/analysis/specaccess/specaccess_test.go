@@ -1,0 +1,12 @@
+package specaccess_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/specaccess"
+)
+
+func TestSpecaccess(t *testing.T) {
+	analysistest.Run(t, specaccess.Analyzer, analysistest.TestData(t, "a"))
+}

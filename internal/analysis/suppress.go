@@ -1,0 +1,74 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// allowDirective is the suppression comment prefix. The full form is
+//
+//	//lint:allow CODE1[,CODE2...] reason
+//
+// and it silences matching diagnostics reported on its own line or on the
+// line directly below it (so the directive can sit on the flagged line or
+// immediately above it).
+const allowDirective = "lint:allow"
+
+// Suppressions indexes the //lint:allow directives of a set of files:
+// (filename, line) pairs mapped to the codes allowed there.
+type Suppressions struct {
+	byLine map[suppressKey]map[string]bool
+}
+
+type suppressKey struct {
+	file string
+	line int
+}
+
+// CollectSuppressions scans the files' comments for //lint:allow
+// directives. Directives without a reason after the code list are ignored
+// — a suppression must say why the access is safe.
+func CollectSuppressions(fset *token.FileSet, files []*ast.File) *Suppressions {
+	s := &Suppressions{byLine: make(map[suppressKey]map[string]bool)}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				text = strings.TrimSpace(text)
+				if !strings.HasPrefix(text, allowDirective) {
+					continue
+				}
+				rest := strings.TrimSpace(strings.TrimPrefix(text, allowDirective))
+				codesPart, reason, _ := strings.Cut(rest, " ")
+				if codesPart == "" || strings.TrimSpace(reason) == "" {
+					continue // no reason given: not a valid suppression
+				}
+				pos := fset.Position(c.Pos())
+				key := suppressKey{file: pos.Filename, line: pos.Line}
+				if s.byLine[key] == nil {
+					s.byLine[key] = make(map[string]bool)
+				}
+				for _, code := range strings.Split(codesPart, ",") {
+					s.byLine[key][strings.TrimSpace(code)] = true
+				}
+			}
+		}
+	}
+	return s
+}
+
+// Suppressed reports whether a diagnostic with the given code at pos is
+// silenced by a directive on its line or the line above.
+func (s *Suppressions) Suppressed(fset *token.FileSet, pos token.Pos, code string) bool {
+	if s == nil {
+		return false
+	}
+	p := fset.Position(pos)
+	for _, line := range [2]int{p.Line, p.Line - 1} {
+		if codes := s.byLine[suppressKey{file: p.Filename, line: line}]; codes[code] {
+			return true
+		}
+	}
+	return false
+}

@@ -113,7 +113,10 @@ func RunLoad(ctx context.Context, client *http.Client, baseURL string, cfg LoadC
 		},
 	}
 
-	var next atomic.Int64
+	// Workers count into local atomics; the totals land in the report's
+	// plain fields only after wg.Wait, so every LoadReport access after
+	// that is single-writer (no mixed atomic/plain traffic on rep).
+	var next, okN, degradedN, overloadedN, unverifiedN, errorsN atomic.Int64
 	var errMu sync.Mutex
 	errSeen := make(map[string]bool)
 	sample := func(err string) {
@@ -141,24 +144,29 @@ func RunLoad(ctx context.Context, client *http.Client, baseURL string, cfg LoadC
 				lat, outcome, err := loadOne(ctx, client, baseURL+target, cfg.Timeout)
 				switch outcome {
 				case loadOK:
-					atomic.AddInt64(&rep.OK, 1)
+					okN.Add(1)
 					latencies[w] = append(latencies[w], lat)
 				case loadDegraded:
-					atomic.AddInt64(&rep.OK, 1)
-					atomic.AddInt64(&rep.Degraded, 1)
+					okN.Add(1)
+					degradedN.Add(1)
 					latencies[w] = append(latencies[w], lat)
 				case loadOverloaded:
-					atomic.AddInt64(&rep.Overloaded, 1)
+					overloadedN.Add(1)
 				case loadUnverified:
-					atomic.AddInt64(&rep.Unverified, 1)
+					unverifiedN.Add(1)
 				case loadError:
-					atomic.AddInt64(&rep.Errors, 1)
+					errorsN.Add(1)
 					sample(err.Error())
 				}
 			}
 		}(w)
 	}
 	wg.Wait()
+	rep.OK = okN.Load()
+	rep.Degraded = degradedN.Load()
+	rep.Overloaded = overloadedN.Load()
+	rep.Unverified = unverifiedN.Load()
+	rep.Errors = errorsN.Load()
 	rep.WallNS = time.Since(start).Nanoseconds()
 
 	var all []int64
