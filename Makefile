@@ -7,7 +7,11 @@ GO ?= go
 # checker vocabulary or the gate flaps across versions.
 STATICCHECK_VERSION ?= 2023.1.7
 
-.PHONY: all build test race vet fmt mutls-vet staticcheck bench-smoke
+.PHONY: all build test race vet fmt mutls-vet staticcheck bench-smoke chaos
+
+# Seed for the deterministic fault-injection sweep; override to replay a
+# failing CI run: `make chaos CHAOS_SEED=<seed from the log>`.
+CHAOS_SEED ?= 7
 
 all: build test
 
@@ -53,3 +57,9 @@ staticcheck:
 
 bench-smoke:
 	$(GO) test -bench=. -benchtime=1x -run='^$$' .
+
+# chaos is the fault-injection smoke: seeded storms over the quick kernel
+# subset under the race detector, asserting checksum equivalence, typed
+# containment and zero goroutine leaks. Fully reproducible from the seed.
+chaos:
+	$(GO) run -race ./cmd/mutls-bench -chaos -quick -seed $(CHAOS_SEED)

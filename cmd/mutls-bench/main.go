@@ -17,6 +17,8 @@
 //	mutls-bench -real            # wall-clock timing instead of the cost model
 //	mutls-bench -wallclock       # curated wall-clock suite, JSON output
 //	mutls-bench -wallclock -quick # CI smoke sizes for the same suite
+//	mutls-bench -chaos -seed 7   # deterministic fault-injection sweep
+//	mutls-bench -chaos -quick    # CI-sized chaos smoke (three kernels)
 package main
 
 import (
@@ -40,7 +42,8 @@ func main() {
 	gbufBackend := flag.String("gbuf", "", fmt.Sprintf("GlobalBuffer backend for all runs (one of %v)", mutls.Backends()))
 	chunks := flag.String("chunks", "", `chunk-sizing policy for all runs ("static" or "adaptive")`)
 	wallclock := flag.Bool("wallclock", false, "run the curated wall-clock suite (fixed sizes, warmup, host-parallelism sweep) and emit JSON")
-	quick := flag.Bool("quick", false, "with -wallclock: CI sizes and a short axis")
+	chaos := flag.Bool("chaos", false, "run the deterministic fault-injection sweep (kernels x models x backends under seeded fault storms)")
+	quick := flag.Bool("quick", false, "with -wallclock or -chaos: CI-sized subset")
 	baseline := flag.String("baseline", "", "with -wallclock: diff speedups against a committed report (e.g. BENCH_wallclock.json); refuses baselines from a different host shape")
 	flag.Parse()
 
@@ -78,6 +81,8 @@ func main() {
 
 	var err error
 	switch {
+	case *chaos:
+		err = harness.RunChaos(harness.ChaosConfig{Seed: *seed, Quick: *quick}, os.Stdout)
 	case *wallclock:
 		wcfg := harness.WallclockConfig{Quick: *quick}
 		if *cpus != "" {

@@ -15,7 +15,10 @@
 //
 // Exit status is non-zero when any request errored, any response failed
 // checksum verification, or (in-process only) the server leaked
-// goroutines across shutdown.
+// goroutines across shutdown. Admission-control sheds (503) are retried
+// with capped exponential backoff plus jitter (honoring Retry-After) and
+// reported as "overloaded"/"retries" counts in the JSON summary — they
+// never fail the run, since shedding is the pool working as designed.
 package main
 
 import (
@@ -45,6 +48,7 @@ func main() {
 	cpus := flag.Int("cpus", 4, "in-process server: speculative CPUs per runtime")
 	budget := flag.Int("budget", 0, "in-process server: host CPU budget (default GOMAXPROCS)")
 	queue := flag.Int("queue", 0, "in-process server: acquire queue limit (default 4x runtimes)")
+	retries := flag.Int("retries", 3, "retry budget per request for transient 503 sheds (backoff + jitter, honors Retry-After); negative disables")
 	out := flag.String("out", "", "also write the JSON report to this file")
 	flag.Parse()
 
@@ -52,6 +56,7 @@ func main() {
 		Concurrency: *c,
 		Requests:    *n,
 		Timeout:     *timeout,
+		MaxRetries:  *retries,
 	}
 	if *targets != "" {
 		cfg.Targets = strings.Split(*targets, ",")

@@ -44,3 +44,37 @@ func suppressed(p *pool.Pool, hold func(*pool.Lease)) {
 	lease, _ := p.Acquire(context.Background()) //lint:allow LEASE001 held for the process lifetime, released on shutdown
 	hold(lease)
 }
+
+func riskyFuncValue(p *pool.Pool, work func()) error {
+	lease, err := p.Acquire(context.Background()) // want "LEASE001"
+	if err != nil {
+		return err
+	}
+	work() // may panic: the non-deferred Release below never runs
+	lease.Release()
+	return nil
+}
+
+type runner interface{ Run() }
+
+func riskyInterface(p *pool.Pool, r runner) error {
+	lease, err := p.Acquire(context.Background()) // want "LEASE001"
+	if err != nil {
+		return err
+	}
+	r.Run() // dynamic dispatch: unknown body, may panic
+	lease.Release()
+	return nil
+}
+
+func staticBetween(p *pool.Pool) error {
+	lease, err := p.Acquire(context.Background())
+	if err != nil {
+		return err
+	}
+	helper() // static call: assumed panic-free, non-deferred Release is fine
+	lease.Release()
+	return nil
+}
+
+func helper() {}

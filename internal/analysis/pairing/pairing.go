@@ -243,14 +243,82 @@ func checkAcquire(pass *analysis.Pass, spec Spec, body *ast.BlockStmt, call *ast
 		if !releasedBefore(body.End()) {
 			pass.Reportf(call.Pos(), spec.LeakCode,
 				"%s acquired by %s is never released (no %s on the fall-through path; add a defer)", spec.Noun, callName(call), release)
+			return
 		}
-		return
-	}
-	if leakAt != nil {
+	} else if leakAt != nil {
 		pass.Reportf(call.Pos(), spec.LeakCode,
 			"%s acquired by %s is not released on the return path at line %d (call %s before returning, or defer it)",
 			spec.Noun, callName(call), pass.Fset.Position(leakAt.Pos()).Line, release)
+		return
 	}
+
+	// Every path is proven by non-deferred releases — but that proof
+	// assumes control reaches them. A call that can panic between the
+	// acquire and the first release unwinds past all of them (the runtime
+	// contains the panic as a misspeculation or a KernelPanic, so the
+	// process survives with the resource pinned). Deferral is the only
+	// panic-proof pairing.
+	first := token.Pos(-1)
+	for _, p := range releases {
+		if p > after && (first < 0 || p < first) {
+			first = p
+		}
+	}
+	if first < 0 {
+		return
+	}
+	var risky *ast.CallExpr
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n.(type) {
+		case *ast.DeferStmt, *ast.FuncLit:
+			return false // deferred/unexecuted bodies run at unwind or later
+		}
+		c, ok := n.(*ast.CallExpr)
+		if !ok {
+			return risky == nil
+		}
+		if c.Pos() <= after || c.Pos() >= first || exempt(c.Pos()) || isRelease(c) {
+			return true
+		}
+		if risky == nil && mayPanic(info, c) {
+			risky = c
+		}
+		return risky == nil
+	})
+	if risky != nil {
+		pass.Reportf(call.Pos(), spec.LeakCode,
+			"%s acquired by %s leaks if %s at line %d panics before the non-deferred %s; release it with defer",
+			spec.Noun, callName(call), callName(risky), pass.Fset.Position(risky.Pos()).Line, release)
+	}
+}
+
+// mayPanic is the heuristic behind the defer fix-it: a call whose callee
+// is dynamic — a func-typed value or an interface method — has an unknown
+// body and may panic, as may an explicit panic(). Static calls to named
+// functions are assumed to uphold their contracts (flagging every call
+// would demand defer everywhere and drown the real findings).
+func mayPanic(info *types.Info, call *ast.CallExpr) bool {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		switch obj := objOf(info, fun).(type) {
+		case *types.Builtin:
+			return obj.Name() == "panic"
+		case *types.Var:
+			return true // func-typed local or parameter: unknown body
+		}
+	case *ast.SelectorExpr:
+		switch obj := objOf(info, fun.Sel).(type) {
+		case *types.Var:
+			return true // func-typed field
+		case *types.Func:
+			if recv := obj.Type().(*types.Signature).Recv(); recv != nil {
+				if types.IsInterface(recv.Type().Underlying()) {
+					return true // dynamic dispatch
+				}
+			}
+		}
+	}
+	return false
 }
 
 func objOf(info *types.Info, id *ast.Ident) types.Object {

@@ -53,3 +53,25 @@ func suppressed(rt *core.Runtime, sink func(int)) {
 	p := rt.AllocPoint() //lint:allow POINT001 run-long point, freed by the runtime Close path
 	sink(p)
 }
+
+func riskyBetween(rt *core.Runtime, body func()) {
+	p := rt.AllocPoint() // want "POINT001"
+	body()               // may panic: the non-deferred FreePoint never runs
+	rt.FreePoint(p)
+}
+
+func panicBetween(rt *core.Runtime, cond bool) {
+	p := rt.AllocPoint() // want "POINT001"
+	if cond {
+		panic("boom")
+	}
+	rt.FreePoint(p)
+}
+
+func staticBetween(rt *core.Runtime) {
+	p := rt.AllocPoint()
+	work() // static call: assumed panic-free
+	rt.FreePoint(p)
+}
+
+func work() {}

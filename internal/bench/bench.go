@@ -11,7 +11,9 @@ package bench
 
 import (
 	"fmt"
+	"time"
 
+	"repro/internal/faultinject"
 	"repro/internal/stats"
 	"repro/mutls"
 )
@@ -123,6 +125,11 @@ type RunConfig struct {
 	// Chunks selects the loop benchmarks' chunk-sizing policy; nil keeps
 	// the static paper split.
 	Chunks mutls.Chunker
+	// Faults wires a deterministic fault-injection plan into the runtime
+	// (the chaos harness); nil injects nothing.
+	Faults *faultinject.Plan
+	// SpecDeadline arms the runaway-speculation watchdog; zero disables.
+	SpecDeadline time.Duration
 }
 
 // options builds the mutls runtime options for a workload.
@@ -153,6 +160,8 @@ func (cfg RunConfig) options(w *Workload) mutls.Options {
 		RollbackProb:          cfg.RollbackProb,
 		Seed:                  cfg.Seed,
 		AdaptiveForkHeuristic: cfg.Heuristic,
+		SpecDeadline:          cfg.SpecDeadline,
+		FaultPlan:             cfg.Faults,
 	}
 }
 

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"repro/internal/faultinject"
 	"repro/internal/mem"
 	"repro/internal/vclock"
 )
@@ -42,6 +43,7 @@ func (t *Thread) Fork(ranks []Rank, p int, model Model) *ForkHandle {
 	if ranks[p] != 0 {
 		return nil
 	}
+	t.injectAt(faultinject.SiteFork)
 	if !t.rt.heur.allow(p) {
 		return nil
 	}
@@ -105,7 +107,37 @@ func (t *Thread) Fork(ranks []Rank, p int, model Model) *ForkHandle {
 	case MixedLinear:
 		t.rt.linearInsert(t.rank, ref)
 	}
-	return &ForkHandle{t: t, child: child}
+	h := &ForkHandle{t: t, child: child}
+	t.openFork = h
+	return h
+}
+
+// abandonOpenFork undoes a Fork whose Start never happened because a panic
+// unwound the window in between: the childRef is popped, the model
+// bookkeeping reverted and the claimed CPU released. The fork point's
+// ranks[] entry may keep the abandoned rank — its Join signals under the
+// pre-release epoch, which the epoch-checked CAS rejects, and the join
+// takes the rolled-back path. Safe to call any time: it is a no-op unless
+// an un-started fork is open.
+func (t *Thread) abandonOpenFork() {
+	h := t.openFork
+	if h == nil || h.started {
+		return
+	}
+	t.openFork = nil
+	child := h.child
+	td := &child.td
+	cs := t.childrenRef()
+	if n := len(*cs); n > 0 && (*cs)[n-1].rank == td.rank {
+		*cs = (*cs)[:n-1]
+	}
+	switch td.model {
+	case InOrder:
+		t.rt.inOrderTail.Store(t.tailWord())
+	case MixedLinear:
+		t.rt.linearRemove(td.rank)
+	}
+	t.rt.releaseCPU(child, t.clock.Now())
 }
 
 // tailWord returns this thread's in-order tail identity.
@@ -200,6 +232,9 @@ func (h *ForkHandle) Start(region RegionFunc) {
 		panic("core: Start called twice")
 	}
 	h.started = true
+	if h.t.openFork == h {
+		h.t.openFork = nil
+	}
 	cost := h.t.clock.Model
 	h.t.clock.Charge(vclock.Fork, cost.ForkCost)
 	startAt := h.t.clock.Now()

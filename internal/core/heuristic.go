@@ -17,8 +17,15 @@ type heuristics struct {
 type pointProfile struct {
 	commits   atomic.Int64
 	rollbacks atomic.Int64
+	faults    atomic.Int64
 	disabled  atomic.Bool
 }
+
+// faultDisableThreshold is the number of contained faults (panics
+// converted to RollbackFault) after which a fork point is refused
+// regardless of AdaptiveForkHeuristic: a deterministically-faulting kernel
+// must degrade to sequential execution instead of squash-looping.
+const faultDisableThreshold = 3
 
 func newHeuristics(o Options) *heuristics {
 	return &heuristics{
@@ -29,11 +36,11 @@ func newHeuristics(o Options) *heuristics {
 	}
 }
 
-// allow reports whether forking at point p is currently permitted.
+// allow reports whether forking at point p is currently permitted. The
+// disabled flag is honored even without AdaptiveForkHeuristic because the
+// fault path (observeFault) sets it unconditionally — fault containment is
+// not an opt-in heuristic.
 func (h *heuristics) allow(p int) bool {
-	if !h.enabled {
-		return true
-	}
 	return !h.points[p].disabled.Load()
 }
 
@@ -58,6 +65,22 @@ func (h *heuristics) observe(p int, committed bool) {
 	}
 }
 
+// observeFault records one contained fault (a speculative panic converted
+// to RollbackFault) at point p and disables the point once
+// faultDisableThreshold faults accumulate — always, independent of the
+// enabled flag: repeated faults mean the region faults on correct re-
+// execution schedules too, and refusing the fork degrades the kernel to
+// (correct) sequential execution instead of a squash loop.
+func (h *heuristics) observeFault(p int) {
+	if p < 0 || p >= len(h.points) {
+		return
+	}
+	prof := &h.points[p]
+	if prof.faults.Add(1) >= faultDisableThreshold {
+		prof.disabled.Store(true)
+	}
+}
+
 // reset clears a point's profile and re-enables it. AllocPoint calls it
 // when an id is recycled to a new driver run: the heuristic's verdict is
 // about one loop's behavior, and a point disabled by a rollback-heavy loop
@@ -69,6 +92,7 @@ func (h *heuristics) reset(p int) {
 	prof := &h.points[p]
 	prof.commits.Store(0)
 	prof.rollbacks.Store(0)
+	prof.faults.Store(0)
 	prof.disabled.Store(false)
 }
 
@@ -85,4 +109,13 @@ func (rt *Runtime) PointProfile(p int) (commits, rollbacks int64, disabled bool)
 		return 0, 0, false
 	}
 	return rt.heur.profile(p)
+}
+
+// PointFaults reports how many contained faults point p accumulated since
+// its last reset.
+func (rt *Runtime) PointFaults(p int) int64 {
+	if p < 0 || p >= rt.opts.MaxPoints {
+		return 0
+	}
+	return rt.heur.points[p].faults.Load()
 }

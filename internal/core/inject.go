@@ -1,0 +1,38 @@
+package core
+
+import (
+	"time"
+
+	"repro/internal/faultinject"
+)
+
+// injectAt consults the runtime's fault plan at a protocol seam and acts
+// the drawn fault out through the runtime's real failure paths: a panic
+// unwinds like any kernel/region panic (containment under test), forced
+// rollbacks and overflows take rollbackNow, a cancel goes through
+// CancelRun, a delay just sleeps. On the non-speculative thread the
+// rollback-shaped kinds degrade to no-ops — there is nothing to roll back
+// — so a single plan can drive both sides. Nil-plan runtimes pay one
+// pointer check.
+func (t *Thread) injectAt(site faultinject.Site) {
+	plan := t.rt.opts.FaultPlan
+	if plan == nil {
+		return
+	}
+	switch plan.Decide(site) {
+	case faultinject.KindPanic:
+		panic(&faultinject.InjectedPanic{Site: site, Seq: plan.Seq(site)})
+	case faultinject.KindRollback:
+		if t.speculative {
+			t.rollbackNow(RollbackInjected)
+		}
+	case faultinject.KindOverflow:
+		if t.speculative {
+			t.rollbackNow(RollbackOverflow)
+		}
+	case faultinject.KindDelay:
+		time.Sleep(faultinject.Delay)
+	case faultinject.KindCancel:
+		t.rt.CancelRun()
+	}
+}

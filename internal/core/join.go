@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"repro/internal/faultinject"
 	"repro/internal/lbuf"
 	"repro/internal/mem"
 	"repro/internal/predict"
@@ -150,6 +151,7 @@ func (t *Thread) Join(ranks []Rank, p int) JoinResult {
 	if want == 0 {
 		return JoinResult{Status: JoinNotForked}
 	}
+	t.injectAt(faultinject.SiteJoin)
 	ranks[p] = 0 // allow speculation on the point again, in either case
 
 	cs := t.childrenRef()

@@ -3,7 +3,9 @@ package core
 import (
 	"fmt"
 	"runtime"
+	"time"
 
+	"repro/internal/faultinject"
 	"repro/internal/gbuf"
 	"repro/internal/lbuf"
 	"repro/internal/mem"
@@ -77,6 +79,25 @@ type Options struct {
 
 	// MaxPoints bounds fork/join point ids. Zero selects 64.
 	MaxPoints int
+
+	// SpecDeadline arms the runaway-speculation watchdog: a wall-clock
+	// floor on how long one speculative execution may run between polls. A
+	// mispredicted live-in can make a chunk loop essentially forever; the
+	// watchdog flags such executions and their next CheckPoint poll rolls
+	// them back (RollbackDeadline, counted in Summary.Faults). The
+	// effective per-fork-point deadline is the larger of SpecDeadline and
+	// 8x the point's observed mean chunk latency, so a configured floor
+	// never kills a point whose chunks are legitimately slow. Zero (the
+	// default) disables the watchdog entirely — no goroutine is started.
+	// Regions that loop without polling CheckPoint are beyond the
+	// watchdog's reach (the pollcheck analyzer flags those statically).
+	SpecDeadline time.Duration
+
+	// FaultPlan wires the deterministic fault-injection plane into the
+	// runtime's poll/fork/join/store/commit/alloc seams (chaos testing).
+	// Nil — the default — injects nothing and adds one pointer check per
+	// seam.
+	FaultPlan *faultinject.Plan
 }
 
 // RealCPUsUncapped disables the Real-timing virtual-CPU clamp.
@@ -122,6 +143,9 @@ func (o Options) withDefaults() (Options, error) {
 	}
 	if o.MaxPoints <= 0 {
 		o.MaxPoints = 64
+	}
+	if o.SpecDeadline < 0 {
+		return o, fmt.Errorf("core: SpecDeadline must be non-negative, got %v", o.SpecDeadline)
 	}
 	return o, nil
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"repro/internal/faultinject"
 	"repro/internal/mem"
 	"repro/internal/vclock"
 )
@@ -16,8 +17,16 @@ func (t *Thread) CheckPoint() bool {
 	if !t.speculative {
 		return false
 	}
+	t.injectAt(faultinject.SitePoll)
 	cost := t.clock.Model
 	t.clock.Charge(vclock.Work, cost.CheckPointCost)
+	if t.cpu.deadlineHit.Load() {
+		// The watchdog flagged this execution as runaway: roll back here,
+		// at the poll — the one place a flag-based squash can interrupt a
+		// speculative thread without preemption.
+		t.rt.collector.CountWatchdogKill()
+		t.rollbackNow(RollbackDeadline)
+	}
 	switch t.cpu.td.syncStatus() {
 	case syncSync:
 		return true
@@ -136,6 +145,7 @@ func (t *Thread) CancelPoint() {
 	if t.speculative {
 		return
 	}
+	t.injectAt(faultinject.SitePoll)
 	if t.rt.cancelled.Load() {
 		panic(cancelSignal{})
 	}

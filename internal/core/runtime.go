@@ -5,10 +5,12 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"repro/internal/faultinject"
 	"repro/internal/gbuf"
 	"repro/internal/lbuf"
 	"repro/internal/mem"
@@ -30,6 +32,26 @@ var ErrCancelled = errors.New("core: run cancelled")
 // and recovered only by RunCtx, which then squashes outstanding
 // speculation and reports the cancellation as an error.
 type cancelSignal struct{}
+
+// KernelPanic is the error RunCtx returns when the non-speculative thread
+// panicked: the kernel itself faulted, so there is no correct sequential
+// result to fall back to — but the run is unwound through the normal
+// drain, outstanding speculation is squashed, and the runtime stays
+// reusable (a pooled runtime recycles and serves its next tenant; the
+// fault is counted in Summary.Faults). A *speculative* panic never
+// surfaces here: it becomes a RollbackFault squash and the chunk re-
+// executes non-speculatively.
+type KernelPanic struct {
+	// Value is the recovered panic value.
+	Value any
+	// Stack is the panicking goroutine's stack at recovery.
+	Stack []byte
+}
+
+// Error renders the panic value.
+func (e *KernelPanic) Error() string {
+	return fmt.Sprintf("core: kernel panic: %v", e.Value)
+}
 
 // CPU states (paper §IV-D): every virtual CPU is RUNNING, IDLE or READY TO
 // RECLAIM, initialized IDLE at program start. cpuClaimed is the transient
@@ -183,6 +205,16 @@ type cpu struct {
 	preOK   bool
 	preDone bool
 	dirtyFn func(base mem.Addr, nBytes int) bool
+
+	// Watchdog scan surface (SpecDeadline > 0 only). wallStart is the
+	// wall-clock unixnano at which the current execution entered its
+	// region, 0 while the CPU runs no region; specPoint mirrors td.point
+	// atomically so the watchdog can read it without racing the next
+	// fork's plain write. deadlineHit is the squash flag the watchdog
+	// flips and CheckPoint polls; runSpec clears it at region entry.
+	wallStart   atomic.Int64
+	specPoint   atomic.Int32
+	deadlineHit atomic.Bool
 }
 
 // specTask is one speculation handed to a worker.
@@ -273,6 +305,15 @@ type Runtime struct {
 	// drainGate parks the non-speculative thread in drain until active
 	// reaches zero; releaseCPU wakes it after every decrement.
 	drainGate waitGate
+
+	// Runaway-speculation watchdog (SpecDeadline > 0 only): wallEWMA keeps
+	// a per-point EWMA of observed region wall latencies (nanoseconds) so
+	// the effective deadline adapts to legitimately slow points, and
+	// watchdogQuit/watchdogDone tear the scanner down in Close. All nil/
+	// empty when the watchdog is disabled.
+	wallEWMA     []atomic.Int64
+	watchdogQuit chan struct{}
+	watchdogDone chan struct{}
 }
 
 // NewRuntime builds a runtime with NumCPUs speculative virtual CPUs.
@@ -311,10 +352,25 @@ func NewRuntime(opts Options) (*Runtime, error) {
 		rt.markFn = ws.Mark
 		rt.overlapValidation = runtime.GOMAXPROCS(0) > 1
 	}
+	if o.FaultPlan != nil {
+		// Heap-allocation injection: a tripped Alloc fails like an
+		// exhausted region, which Thread.Alloc surfaces as a (contained)
+		// kernel panic on the non-speculative thread.
+		space.Heap.Trip = func(int) bool {
+			return o.FaultPlan.Decide(faultinject.SiteAlloc) == faultinject.KindPanic
+		}
+	}
 	for r := 1; r <= o.NumCPUs; r++ {
 		gb, err := gbuf.NewBackend(space.Arena, o.GBuf)
 		if err != nil {
 			return nil, err
+		}
+		if o.FaultPlan != nil {
+			// Store-seam injection: forced Full statuses exercise the real
+			// overflow rollback path through handleBufferStatus.
+			gb = &gbuf.FaultyBackend{Backend: gb, Trip: func() bool {
+				return o.FaultPlan.Decide(faultinject.SiteStore) == faultinject.KindOverflow
+			}}
 		}
 		lb, err := lbuf.New(o.LBuf)
 		if err != nil {
@@ -341,6 +397,12 @@ func NewRuntime(opts Options) (*Runtime, error) {
 		rt.cpus[r] = c
 		rt.wg.Add(1)
 		go rt.worker(c)
+	}
+	if o.SpecDeadline > 0 && o.NumCPUs > 0 {
+		rt.wallEWMA = make([]atomic.Int64, o.MaxPoints)
+		rt.watchdogQuit = make(chan struct{})
+		rt.watchdogDone = make(chan struct{})
+		go rt.watchdog()
 	}
 	return rt, nil
 }
@@ -480,11 +542,17 @@ func (rt *Runtime) CPULimit() int { return int(rt.cpuLimit.Load()) }
 // Run executes fn as the non-speculative thread and returns the paper's
 // TN: the critical-path runtime (virtual units or nanoseconds). Any
 // speculative threads still outstanding when fn returns are squashed, as the
-// paper's runtime does at program exit. Run panics on a closed runtime —
-// the error-reporting form is RunCtx (which the public mutls façade uses).
+// paper's runtime does at program exit. Run panics on a closed runtime, and
+// re-raises a kernel panic as the typed *KernelPanic (after the run has
+// drained — the runtime stays reusable) — the error-reporting form is
+// RunCtx (which the public mutls façade uses).
 func (rt *Runtime) Run(fn func(t *Thread)) vclock.Cost {
 	c, err := rt.RunCtx(context.Background(), fn)
 	if err != nil {
+		var kp *KernelPanic
+		if errors.As(err, &kp) {
+			panic(kp)
+		}
 		panic("core: Run on closed runtime")
 	}
 	return c
@@ -549,29 +617,58 @@ func (rt *Runtime) RunCtx(ctx context.Context, fn func(t *Thread)) (vclock.Cost,
 	runtime := t.clock.Now()
 	rt.collector.SetNonSpec(runtime, t.clock.Ledger())
 	if err != nil {
-		if cerr := ctx.Err(); cerr != nil {
-			return runtime, cerr
+		// A context-driven unwind reports the context's error; a kernel
+		// panic is the more specific failure and wins even when the
+		// context also expired.
+		if errors.Is(err, ErrCancelled) {
+			if cerr := ctx.Err(); cerr != nil {
+				return runtime, cerr
+			}
 		}
 		return runtime, err
 	}
 	return runtime, nil
 }
 
-// runNonSpec runs fn, translating a CancelPoint unwind into ErrCancelled.
-// Any other panic propagates unchanged (and, as before, skips the drain:
-// the runtime is not reusable after a kernel panic).
+// runNonSpec runs fn, translating a CancelPoint unwind into ErrCancelled
+// and any other panic into a *KernelPanic error. Nothing propagates: the
+// caller (RunCtx) always proceeds to the drain, so the runtime stays
+// reusable after a kernel panic — the containment contract the serving
+// layer depends on.
 func (rt *Runtime) runNonSpec(t *Thread, fn func(t *Thread)) (err error) {
 	defer func() {
-		if r := recover(); r != nil {
-			if _, ok := r.(cancelSignal); ok {
-				err = ErrCancelled
-				return
-			}
-			panic(r)
+		r := recover()
+		if r == nil {
+			return
 		}
+		// A panic may have unwound through an open fork window (between
+		// MUTLS_get_CPU and MUTLS_speculate): release the claimed CPU or
+		// the drain would wait forever for a task that never starts.
+		t.abandonOpenFork()
+		if _, ok := r.(cancelSignal); ok {
+			err = ErrCancelled
+			return
+		}
+		stack := debug.Stack()
+		rt.collector.CountKernelPanic(stats.FaultRecord{
+			Rank:  0,
+			Point: -1,
+			Value: fmt.Sprint(r),
+			Stack: truncateStack(stack),
+		})
+		err = &KernelPanic{Value: r, Stack: stack}
 	}()
 	fn(t)
 	return nil
+}
+
+// truncateStack bounds a captured stack for the fault record ring.
+func truncateStack(s []byte) string {
+	const max = 4096
+	if len(s) > max {
+		return string(s[:max]) + "…"
+	}
+	return string(s)
 }
 
 // watchCancel relays ctx expiry to CancelRun. The returned stop function
@@ -605,8 +702,12 @@ func (rt *Runtime) CancelRun() { rt.cancelled.Store(true) }
 // namespace cleared, and the simulated heap released wholesale (arena and
 // buffers are reused as-is). Addresses obtained from Alloc before Recycle
 // are invalid afterwards. The runtime must be quiescent (no Run in
-// flight).
+// flight) — verified, because recycling under live speculation would hand
+// the next tenant a corrupted heap.
 func (rt *Runtime) Recycle() {
+	if !rt.Quiescent() {
+		panic("core: Recycle on a non-quiescent runtime")
+	}
 	rt.ResetStats()
 	rt.ResetPoints()
 	if err := rt.space.Heap.Reset(); err != nil {
@@ -668,10 +769,62 @@ func (rt *Runtime) Close() {
 	if rt.closed.Swap(true) {
 		return
 	}
+	if rt.watchdogQuit != nil {
+		close(rt.watchdogQuit)
+		<-rt.watchdogDone
+	}
 	for r := 1; r <= rt.opts.NumCPUs; r++ {
 		close(rt.cpus[r].tasks)
 	}
 	rt.wg.Wait()
+}
+
+// Quiescent reports whether no virtual CPU is claimed or running — the
+// precondition for Recycle and the pool's reuse-after-fault verification.
+func (rt *Runtime) Quiescent() bool { return rt.active.Load() == 0 }
+
+// watchdog is the runaway-speculation scanner (SpecDeadline > 0): it
+// periodically sweeps the virtual CPUs and flags any execution that has
+// exceeded its fork point's effective deadline — max(SpecDeadline, 8x the
+// point's wall-latency EWMA). The flagged thread rolls itself back at its
+// next CheckPoint poll (RollbackDeadline); a flag raised in the window
+// after the region already ended is harmless, since runSpec clears
+// deadlineHit before the next execution starts.
+func (rt *Runtime) watchdog() {
+	defer close(rt.watchdogDone)
+	tick := rt.opts.SpecDeadline / 4
+	if tick < 50*time.Microsecond {
+		tick = 50 * time.Microsecond
+	}
+	if tick > 10*time.Millisecond {
+		tick = 10 * time.Millisecond
+	}
+	ticker := time.NewTicker(tick)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-rt.watchdogQuit:
+			return
+		case <-ticker.C:
+		}
+		now := time.Now().UnixNano()
+		for r := 1; r <= rt.opts.NumCPUs; r++ {
+			c := rt.cpus[r]
+			s := c.wallStart.Load()
+			if s == 0 || c.deadlineHit.Load() {
+				continue
+			}
+			limit := int64(rt.opts.SpecDeadline)
+			if p := int(c.specPoint.Load()); p >= 0 && p < len(rt.wallEWMA) {
+				if adaptive := 8 * rt.wallEWMA[p].Load(); adaptive > limit {
+					limit = adaptive
+				}
+			}
+			if now-s > limit {
+				c.deadlineHit.Store(true)
+			}
+		}
+	}
 }
 
 // worker is a virtual CPU's goroutine: it waits for speculations and runs
@@ -688,20 +841,37 @@ type regionOutcome struct {
 	counter    uint32
 	rolledBack bool
 	reason     RollbackReason
+	// panicVal/panicStack capture a contained fault (reason
+	// RollbackFault): the unknown panic value and the stack at recovery.
+	panicVal   any
+	panicStack []byte
 }
 
 // runRegion executes the region, translating the internal stop/rollback
-// panics into an outcome. Unknown panics propagate.
+// panics into an outcome. An unknown panic is a speculative fault — the
+// expected failure mode of a thread running on mispredicted live-ins
+// (out-of-bounds indexing, division by zero, nil dereference) — and
+// becomes a RollbackFault outcome instead of crashing the worker: the
+// execution is squashed and the joining thread re-executes the chunk
+// non-speculatively, which yields the correct sequential result.
 func runRegion(t *Thread, region RegionFunc) (out regionOutcome) {
 	defer func() {
 		if r := recover(); r != nil {
+			// Any unwind may have crossed an open fork window; release the
+			// claimed CPU before publishing the outcome.
+			t.abandonOpenFork()
 			switch sig := r.(type) {
 			case stopSignal:
 				out = regionOutcome{counter: sig.counter}
 			case rollbackSignal:
 				out = regionOutcome{rolledBack: true, reason: sig.reason}
 			default:
-				panic(r)
+				out = regionOutcome{
+					rolledBack: true,
+					reason:     RollbackFault,
+					panicVal:   r,
+					panicStack: debug.Stack(),
+				}
 			}
 		}
 	}()
@@ -726,11 +896,40 @@ func (rt *Runtime) runSpec(c *cpu, task specTask) {
 	c.td.buffersFinal = false
 	execStart := t.clock.Now()
 	c.td.startTime = execStart
+	if rt.wallEWMA != nil {
+		// Publish this execution on the watchdog's scan surface. The
+		// wallStart store comes last: a non-zero wallStart tells the
+		// watchdog that specPoint is current and deadlineHit is clear.
+		c.deadlineHit.Store(false)
+		c.specPoint.Store(int32(c.td.point))
+		c.wallStart.Store(time.Now().UnixNano())
+	}
 
 	out := runRegion(t, task.region)
 
 	td := &c.td
+	if rt.wallEWMA != nil {
+		if s := c.wallStart.Swap(0); s != 0 {
+			// Fold the observed wall latency into the point's EWMA (alpha
+			// 1/8). Load/Store may lose a concurrent worker's update; the
+			// EWMA is an advisory deadline scale, not an exact count.
+			elapsed := time.Now().UnixNano() - s
+			if p := td.point; p >= 0 && p < len(rt.wallEWMA) {
+				old := rt.wallEWMA[p].Load()
+				rt.wallEWMA[p].Store(old + (elapsed-old)/8)
+			}
+		}
+	}
 	if out.rolledBack {
+		if out.reason == RollbackFault {
+			rt.collector.CountSpecPanic(stats.FaultRecord{
+				Rank:  int(td.rank),
+				Point: td.point,
+				Value: fmt.Sprint(out.panicVal),
+				Stack: truncateStack(out.panicStack),
+			})
+			rt.heur.observeFault(td.point)
+		}
 		// Self-detected rollback (invalid address, overflow exhaustion,
 		// unsafe op): discard buffers now, publish ROLLBACK, then wait for
 		// the verdict so children are handed to exactly one side. The
@@ -875,6 +1074,21 @@ func (rt *Runtime) validateAndCommit(t *Thread, c *cpu) bool {
 	if rt.opts.RollbackProb > 0 && c.rng.float64() < rt.opts.RollbackProb {
 		td.reason = RollbackInjected
 		return false
+	}
+	if plan := rt.opts.FaultPlan; plan != nil {
+		// This seam runs on the worker outside runRegion's recover, so a
+		// raised panic would crash the process: every destructive kind
+		// degrades to a forced rollback here, which is what a commit-time
+		// fault means for the protocol anyway.
+		switch plan.Decide(faultinject.SiteCommit) {
+		case faultinject.KindPanic, faultinject.KindRollback, faultinject.KindOverflow:
+			td.reason = RollbackInjected
+			return false
+		case faultinject.KindDelay:
+			time.Sleep(faultinject.Delay)
+		case faultinject.KindCancel:
+			rt.CancelRun()
+		}
 	}
 	valStop := t.clock.Span(vclock.Validation)
 	var ok bool

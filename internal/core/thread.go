@@ -37,6 +37,13 @@ type Thread struct {
 	stack    mem.Range
 	stackTop mem.Addr
 
+	// openFork tracks the window between Fork (CPU claimed, bookkeeping
+	// published) and Start (task handed to the worker). A panic unwinding
+	// through that window would otherwise strand a claimed CPU — active
+	// incremented, no worker ever running — and hang the drain; the
+	// recover paths call abandonOpenFork to undo the claim.
+	openFork *ForkHandle
+
 	// bulk is the non-speculative thread's typed-accessor scratch buffer;
 	// speculative threads use their CPU's persistent one (Thread.scratch).
 	bulk []byte

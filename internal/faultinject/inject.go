@@ -1,0 +1,266 @@
+// Package faultinject is the deterministic fault-injection plane of the
+// chaos harness: a seeded Plan is wired into the runtime's poll, fork,
+// join, store, commit and lease-acquire seams and decides — reproducibly
+// for a given seed and decision order — when to inject a kernel panic, a
+// forced rollback, a GlobalBuffer overflow, a scheduling delay, a run
+// cancellation or a lease-acquire failure. The plan exists to prove the
+// containment contract: every injected storm must leave checksums equal
+// to the sequential execution and the process free of leaked goroutines.
+//
+// The decision stream of each site is a pure function of (seed, site,
+// decision index), so a storm replays exactly under the same seed as long
+// as each site's decisions happen in the same order. Concurrent sites
+// interleave nondeterministically, but each site's own sequence — and
+// therefore the total injection mix — is stable, which is what reproducing
+// a chaos failure needs.
+package faultinject
+
+import (
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"time"
+)
+
+// Kind is one injectable fault.
+type Kind uint8
+
+const (
+	// KindNone is the no-injection decision.
+	KindNone Kind = iota
+	// KindPanic raises an InjectedPanic at the seam: contained as a
+	// RollbackFault on a speculative thread, surfaced as a KernelPanic on
+	// the non-speculative thread.
+	KindPanic
+	// KindRollback forces a speculative rollback (RollbackInjected).
+	KindRollback
+	// KindOverflow simulates GlobalBuffer exhaustion (a Full store status
+	// or an immediate RollbackOverflow, depending on the seam).
+	KindOverflow
+	// KindDelay sleeps for Delay, perturbing the schedule.
+	KindDelay
+	// KindCancel cancels the in-flight run (CancelRun).
+	KindCancel
+	// KindLeaseFail makes a pool Acquire fail with ErrOverloaded.
+	KindLeaseFail
+
+	numKinds
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindNone:
+		return "none"
+	case KindPanic:
+		return "panic"
+	case KindRollback:
+		return "rollback"
+	case KindOverflow:
+		return "overflow"
+	case KindDelay:
+		return "delay"
+	case KindCancel:
+		return "cancel"
+	case KindLeaseFail:
+		return "leasefail"
+	}
+	return fmt.Sprintf("Kind(%d)", uint8(k))
+}
+
+// Site is one injection seam in the runtime.
+type Site uint8
+
+const (
+	// SitePoll is the CheckPoint/CancelPoint polling seam.
+	SitePoll Site = iota
+	// SiteFork is the Fork entry seam.
+	SiteFork
+	// SiteJoin is the Join entry seam (non-speculative thread).
+	SiteJoin
+	// SiteStore is the speculative GlobalBuffer store seam (gbuf wrapper).
+	SiteStore
+	// SiteCommit is the validate/commit seam inside the join protocol.
+	SiteCommit
+	// SiteAlloc is the heap-allocation seam (non-speculative thread).
+	SiteAlloc
+	// SiteAcquire is the pool lease-acquire seam.
+	SiteAcquire
+
+	numSites
+)
+
+// String names the site.
+func (s Site) String() string {
+	switch s {
+	case SitePoll:
+		return "poll"
+	case SiteFork:
+		return "fork"
+	case SiteJoin:
+		return "join"
+	case SiteStore:
+		return "store"
+	case SiteCommit:
+		return "commit"
+	case SiteAlloc:
+		return "alloc"
+	case SiteAcquire:
+		return "acquire"
+	}
+	return fmt.Sprintf("Site(%d)", uint8(s))
+}
+
+// Delay is the sleep of a KindDelay injection: long enough to shuffle
+// goroutine schedules, short enough that delay-heavy storms stay fast.
+const Delay = 50 * time.Microsecond
+
+// Rule arms one (site, kind) pair with a per-decision probability. The
+// probabilities of one site's rules stack: with rules {panic 0.01,
+// rollback 0.05} a decision draws one uniform variate and injects a panic
+// below 0.01, a rollback below 0.06, nothing otherwise.
+type Rule struct {
+	Site Site
+	Kind Kind
+	Prob float64
+}
+
+// InjectedPanic is the value a KindPanic injection panics with. The
+// containment machinery treats it like any other unknown panic; tests and
+// the chaos harness recognize it to tell injected faults from real bugs.
+type InjectedPanic struct {
+	Site Site
+	Seq  uint64 // the site's decision index that raised it
+}
+
+// Error implements error so the value reads well inside KernelPanic.
+func (e *InjectedPanic) Error() string {
+	return fmt.Sprintf("faultinject: injected panic at %v seam (decision %d)", e.Site, e.Seq)
+}
+
+// Plan is one armed injection mix. The zero value is unusable; build with
+// NewPlan. A nil *Plan is a valid "no injection" plan for every method.
+type Plan struct {
+	seed  uint64
+	armed atomic.Bool
+	rules [numSites][]Rule
+	seq   [numSites]atomic.Uint64
+	hits  [numSites][numKinds]atomic.Int64
+}
+
+// NewPlan builds an armed plan from the seed and rules. Rules with
+// non-positive probability are dropped; probabilities above 1 saturate.
+func NewPlan(seed uint64, rules []Rule) *Plan {
+	p := &Plan{seed: seed}
+	for _, r := range rules {
+		if r.Prob <= 0 || r.Site >= numSites || r.Kind == KindNone || r.Kind >= numKinds {
+			continue
+		}
+		if r.Prob > 1 {
+			r.Prob = 1
+		}
+		p.rules[r.Site] = append(p.rules[r.Site], r)
+	}
+	p.armed.Store(true)
+	return p
+}
+
+// Seed returns the plan's seed (echoed by harness output for replays).
+func (p *Plan) Seed() uint64 { return p.seed }
+
+// Disarm turns every subsequent decision into KindNone. Used by the chaos
+// harness to prove a stormed runtime still executes cleanly.
+func (p *Plan) Disarm() { p.armed.Store(false) }
+
+// Arm re-enables decisions after a Disarm.
+func (p *Plan) Arm() { p.armed.Store(true) }
+
+// Armed reports whether decisions may inject.
+func (p *Plan) Armed() bool { return p != nil && p.armed.Load() }
+
+// Decide draws the next decision for a site. It is safe for concurrent
+// use and O(rules) with no allocation; a nil or disarmed plan always
+// returns KindNone without consuming a decision index.
+func (p *Plan) Decide(site Site) Kind {
+	if p == nil || !p.armed.Load() || site >= numSites {
+		return KindNone
+	}
+	rules := p.rules[site]
+	if len(rules) == 0 {
+		return KindNone
+	}
+	n := p.seq[site].Add(1)
+	x := mix64(p.seed ^ (uint64(site)+1)*0x9E3779B97F4A7C15 ^ n*0xBF58476D1CE4E5B9)
+	f := float64(x>>11) / (1 << 53)
+	for _, r := range rules {
+		if f < r.Prob {
+			p.hits[site][r.Kind].Add(1)
+			return r.Kind
+		}
+		f -= r.Prob
+	}
+	return KindNone
+}
+
+// Seq returns the site's decision index (how many decisions were drawn).
+func (p *Plan) Seq(site Site) uint64 {
+	if p == nil || site >= numSites {
+		return 0
+	}
+	return p.seq[site].Load()
+}
+
+// Injected returns how many times the (site, kind) pair fired.
+func (p *Plan) Injected(site Site, kind Kind) int64 {
+	if p == nil || site >= numSites || kind >= numKinds {
+		return 0
+	}
+	return p.hits[site][kind].Load()
+}
+
+// Total returns the total number of injections across all sites and kinds.
+func (p *Plan) Total() int64 {
+	if p == nil {
+		return 0
+	}
+	var n int64
+	for s := range p.hits {
+		for k := range p.hits[s] {
+			n += p.hits[s][k].Load()
+		}
+	}
+	return n
+}
+
+// String renders the non-zero injection counts, e.g.
+// "poll/panic:3 commit/rollback:1" ("clean" when nothing fired).
+func (p *Plan) String() string {
+	if p == nil {
+		return "clean"
+	}
+	var b strings.Builder
+	for s := Site(0); s < numSites; s++ {
+		for k := Kind(0); k < numKinds; k++ {
+			if n := p.hits[s][k].Load(); n > 0 {
+				if b.Len() > 0 {
+					b.WriteByte(' ')
+				}
+				fmt.Fprintf(&b, "%v/%v:%d", s, k, n)
+			}
+		}
+	}
+	if b.Len() == 0 {
+		return "clean"
+	}
+	return b.String()
+}
+
+// mix64 is the splitmix64 finalizer (the repo's standard bit mixer).
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	return x
+}

@@ -1,0 +1,196 @@
+package harness
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"runtime"
+	"text/tabwriter"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/faultinject"
+	"repro/mutls"
+)
+
+// ChaosConfig drives RunChaos, the deterministic fault-injection sweep.
+type ChaosConfig struct {
+	// Seed derives every storm's injection plan; the same seed replays the
+	// same faults at the same protocol seams.
+	Seed uint64
+	// Quick restricts the sweep to a CI-sized subset (three kernels, one
+	// storm per combination).
+	Quick bool
+	// CPUs is the speculative virtual-CPU count of every run; zero selects
+	// 7 (8 total CPUs, the paper's mid-axis point).
+	CPUs int
+	// Storms is the number of injected runs per kernel/model/backend
+	// combination; zero selects 2 (1 under Quick).
+	Storms int
+}
+
+// chaosMixes are the injection mixes the sweep rotates through. Each mix
+// stresses a different containment surface: spec-side panics (the
+// panic-as-misspeculation path), protocol-seam panics on either side
+// (kernel containment, open-fork abandonment), forced rollbacks and
+// overflows (squash/re-execute machinery), and latency (delays that shift
+// the schedule without faulting anything).
+var chaosMixes = []struct {
+	name  string
+	rules []faultinject.Rule
+}{
+	{"spec-panic", []faultinject.Rule{
+		{Site: faultinject.SitePoll, Kind: faultinject.KindPanic, Prob: 0.003},
+	}},
+	{"seam-panic", []faultinject.Rule{
+		{Site: faultinject.SiteFork, Kind: faultinject.KindPanic, Prob: 0.01},
+		{Site: faultinject.SiteJoin, Kind: faultinject.KindPanic, Prob: 0.005},
+	}},
+	{"squash", []faultinject.Rule{
+		{Site: faultinject.SitePoll, Kind: faultinject.KindRollback, Prob: 0.005},
+		{Site: faultinject.SiteStore, Kind: faultinject.KindOverflow, Prob: 0.002},
+		{Site: faultinject.SiteCommit, Kind: faultinject.KindRollback, Prob: 0.1},
+	}},
+	{"latency", []faultinject.Rule{
+		{Site: faultinject.SitePoll, Kind: faultinject.KindDelay, Prob: 0.002},
+		{Site: faultinject.SiteJoin, Kind: faultinject.KindDelay, Prob: 0.02},
+		{Site: faultinject.SiteCommit, Kind: faultinject.KindDelay, Prob: 0.02},
+	}},
+	{"storm", []faultinject.Rule{
+		{Site: faultinject.SitePoll, Kind: faultinject.KindPanic, Prob: 0.002},
+		{Site: faultinject.SitePoll, Kind: faultinject.KindRollback, Prob: 0.003},
+		{Site: faultinject.SiteFork, Kind: faultinject.KindPanic, Prob: 0.005},
+		{Site: faultinject.SiteStore, Kind: faultinject.KindOverflow, Prob: 0.001},
+		{Site: faultinject.SiteCommit, Kind: faultinject.KindRollback, Prob: 0.05},
+		{Site: faultinject.SiteCommit, Kind: faultinject.KindDelay, Prob: 0.01},
+		{Site: faultinject.SiteFork, Kind: faultinject.KindCancel, Prob: 0.001},
+	}},
+}
+
+// chaosModels is the full forking-model axis.
+var chaosModels = []mutls.Model{mutls.InOrder, mutls.OutOfOrder, mutls.Mixed, mutls.MixedLinear}
+
+// RunChaos sweeps deterministic fault storms over the benchmark suite:
+// every kernel × forking model × GlobalBuffer backend runs Storms injected
+// executions followed by one disarmed execution, asserting after each run
+// that (a) a run that completes without error produced the sequential
+// checksum — injected faults may change the schedule, never the result;
+// (b) a run may only fail with the typed containment errors (KernelPanic
+// from a seam panic on the non-speculative thread, ErrCancelled from an
+// injected cancel); and (c) no goroutines leak once the runtime closes.
+// The sweep is fully reproducible from cfg.Seed.
+func RunChaos(cfg ChaosConfig, out io.Writer) error {
+	if cfg.CPUs <= 0 {
+		cfg.CPUs = 7
+	}
+	if cfg.Storms <= 0 {
+		cfg.Storms = 2
+		if cfg.Quick {
+			cfg.Storms = 1
+		}
+	}
+	workloads := bench.Everything()
+	if cfg.Quick {
+		workloads = []*bench.Workload{bench.X3P1, bench.FFT, bench.BH}
+	}
+	backends := mutls.Backends()
+
+	baseline := settledGoroutines()
+	tw := tabwriter.NewWriter(out, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(out, "CHAOS SWEEP. seed=%d storms=%d cpus=%d quick=%v\n",
+		cfg.Seed, cfg.Storms, cfg.CPUs, cfg.Quick)
+	fmt.Fprintln(tw, "Benchmark\tModel\tBackend\tMix\tRuns\tContained\tInjected")
+
+	combo := 0
+	for _, w := range workloads {
+		seqCfg := bench.RunConfig{CPUs: 1, Size: w.CISize, Timing: mutls.Virtual}
+		seq, err := bench.MeasureSeq(w, seqCfg)
+		if err != nil {
+			return fmt.Errorf("chaos %s sequential: %w", w.Name, err)
+		}
+		for _, model := range chaosModels {
+			for _, backend := range backends {
+				mix := chaosMixes[combo%len(chaosMixes)]
+				combo++
+				contained, injected := 0, int64(0)
+				for storm := 0; storm < cfg.Storms+1; storm++ {
+					// The last iteration runs the same combination with the
+					// plan disarmed: a post-storm runtime configuration must
+					// produce clean sequential-equivalent runs.
+					plan := faultinject.NewPlan(
+						cfg.Seed^uint64(combo)*0x9E3779B97F4A7C15^uint64(storm), mix.rules)
+					if storm == cfg.Storms {
+						plan.Disarm()
+					}
+					runCfg := bench.RunConfig{
+						CPUs:         cfg.CPUs,
+						Size:         w.CISize,
+						Model:        model,
+						Timing:       mutls.Virtual,
+						Buffering:    mutls.Buffering{Backend: backend},
+						Faults:       plan,
+						SpecDeadline: 250 * time.Millisecond,
+					}
+					m, err := bench.MeasureSpec(w, runCfg)
+					switch {
+					case err == nil:
+						if m.Checksum != seq.Checksum {
+							return fmt.Errorf("chaos %s/%v/%s/%s storm %d: checksum %#x != sequential %#x",
+								w.Name, model, backend, mix.name, storm, m.Checksum, seq.Checksum)
+						}
+					case isContained(err):
+						if storm == cfg.Storms {
+							return fmt.Errorf("chaos %s/%v/%s/%s: disarmed run still failed: %w",
+								w.Name, model, backend, mix.name, err)
+						}
+						contained++
+					default:
+						return fmt.Errorf("chaos %s/%v/%s/%s storm %d: uncontained failure: %w",
+							w.Name, model, backend, mix.name, storm, err)
+					}
+					injected += plan.Total()
+				}
+				if leaked, n := goroutineLeak(baseline); leaked {
+					return fmt.Errorf("chaos %s/%v/%s/%s: goroutine leak (%d > baseline %d)",
+						w.Name, model, backend, mix.name, n, baseline)
+				}
+				fmt.Fprintf(tw, "%s\t%v\t%s\t%s\t%d\t%d\t%d\n",
+					w.Name, model, backend, mix.name, cfg.Storms+1, contained, injected)
+			}
+		}
+	}
+	return tw.Flush()
+}
+
+// isContained reports whether a run error is one of the typed containment
+// outcomes an injected fault may legitimately surface as.
+func isContained(err error) bool {
+	var kp *mutls.KernelPanic
+	return errors.As(err, &kp) || errors.Is(err, mutls.ErrCancelled)
+}
+
+// settledGoroutines samples the goroutine count after a short settle, so
+// runtimes torn down just before the baseline don't inflate it.
+func settledGoroutines() int {
+	n := runtime.NumGoroutine()
+	for i := 0; i < 20; i++ {
+		time.Sleep(time.Millisecond)
+		if m := runtime.NumGoroutine(); m < n {
+			n = m
+		}
+	}
+	return n
+}
+
+// goroutineLeak waits (bounded) for the goroutine count to return to the
+// baseline; workers unwind asynchronously after Close, so one sample would
+// race the teardown.
+func goroutineLeak(baseline int) (bool, int) {
+	deadline := time.Now().Add(2 * time.Second)
+	n := runtime.NumGoroutine()
+	for n > baseline && time.Now().Before(deadline) {
+		time.Sleep(2 * time.Millisecond)
+		n = runtime.NumGoroutine()
+	}
+	return n > baseline, n
+}

@@ -1,0 +1,43 @@
+package harness
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/faultinject"
+)
+
+// TestRunChaosQuick is the CI smoke for the fault-injection sweep: the
+// quick kernel subset must survive every mix with checksum equivalence,
+// typed containment and no goroutine leaks.
+func TestRunChaosQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos sweep skipped in -short mode")
+	}
+	var out bytes.Buffer
+	if err := RunChaos(ChaosConfig{Seed: 7, Quick: true}, &out); err != nil {
+		t.Fatalf("chaos sweep failed: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "CHAOS SWEEP. seed=7") {
+		t.Errorf("sweep header missing from output:\n%s", out.String())
+	}
+}
+
+// TestChaosMixesAreWellFormed: every mix rule names a real site/kind pair
+// with a sane probability, so a typo cannot silently neuter a mix.
+func TestChaosMixesAreWellFormed(t *testing.T) {
+	for _, mix := range chaosMixes {
+		if mix.name == "" || len(mix.rules) == 0 {
+			t.Fatalf("malformed mix %+v", mix)
+		}
+		for _, r := range mix.rules {
+			if r.Kind == faultinject.KindNone {
+				t.Errorf("mix %s: rule with KindNone", mix.name)
+			}
+			if r.Prob <= 0 || r.Prob > 0.5 {
+				t.Errorf("mix %s: probability %v out of the sane band (0, 0.5]", mix.name, r.Prob)
+			}
+		}
+	}
+}

@@ -10,9 +10,11 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"runtime"
 	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -31,6 +33,15 @@ type LoadConfig struct {
 	Targets []string `json:"targets"`
 	// Timeout bounds each request. Default 30s.
 	Timeout time.Duration `json:"-"`
+	// MaxRetries is the per-request retry budget for transient 503 sheds:
+	// each shed response is retried after a capped exponential backoff
+	// with jitter, honoring the server's Retry-After when present. A shed
+	// that survives the budget still counts as Overloaded (backpressure,
+	// not failure). Default 3; negative disables retrying.
+	MaxRetries int `json:"max_retries"`
+	// RetryBase is the first backoff interval; it doubles per attempt up
+	// to 32x. Default 25ms.
+	RetryBase time.Duration `json:"-"`
 }
 
 func (c LoadConfig) defaults() LoadConfig {
@@ -45,6 +56,15 @@ func (c LoadConfig) defaults() LoadConfig {
 	}
 	if c.Timeout <= 0 {
 		c.Timeout = 30 * time.Second
+	}
+	if c.MaxRetries == 0 {
+		c.MaxRetries = 3
+	}
+	if c.MaxRetries < 0 {
+		c.MaxRetries = 0
+	}
+	if c.RetryBase <= 0 {
+		c.RetryBase = 25 * time.Millisecond
 	}
 	return c
 }
@@ -67,6 +87,9 @@ type LoadReport struct {
 	Overloaded int64 `json:"overloaded"`
 	Errors     int64 `json:"errors"`
 	Unverified int64 `json:"unverified"`
+	// Retries counts 503 sheds that were retried (and so don't appear in
+	// Overloaded unless every attempt shed).
+	Retries int64 `json:"retries"`
 
 	// WallNS is the whole run's wall time; ThroughputRPS counts completed
 	// (OK + Overloaded) responses per second over it.
@@ -116,7 +139,7 @@ func RunLoad(ctx context.Context, client *http.Client, baseURL string, cfg LoadC
 	// Workers count into local atomics; the totals land in the report's
 	// plain fields only after wg.Wait, so every LoadReport access after
 	// that is single-writer (no mixed atomic/plain traffic on rep).
-	var next, okN, degradedN, overloadedN, unverifiedN, errorsN atomic.Int64
+	var next, okN, degradedN, overloadedN, unverifiedN, errorsN, retriesN atomic.Int64
 	var errMu sync.Mutex
 	errSeen := make(map[string]bool)
 	sample := func(err string) {
@@ -141,7 +164,7 @@ func RunLoad(ctx context.Context, client *http.Client, baseURL string, cfg LoadC
 					return
 				}
 				target := cfg.Targets[i%len(cfg.Targets)]
-				lat, outcome, err := loadOne(ctx, client, baseURL+target, cfg.Timeout)
+				lat, outcome, err := loadRetried(ctx, client, baseURL+target, cfg, &retriesN)
 				switch outcome {
 				case loadOK:
 					okN.Add(1)
@@ -167,6 +190,7 @@ func RunLoad(ctx context.Context, client *http.Client, baseURL string, cfg LoadC
 	rep.Overloaded = overloadedN.Load()
 	rep.Unverified = unverifiedN.Load()
 	rep.Errors = errorsN.Load()
+	rep.Retries = retriesN.Load()
 	rep.WallNS = time.Since(start).Nanoseconds()
 
 	var all []int64
@@ -200,42 +224,79 @@ const (
 	loadError
 )
 
-// loadOne issues one request and classifies the response.
-func loadOne(ctx context.Context, client *http.Client, url string, timeout time.Duration) (latNS int64, outcome loadOutcome, err error) {
+// loadRetried issues one request, retrying transient 503 sheds up to
+// cfg.MaxRetries times with capped exponential backoff plus jitter. The
+// server's Retry-After (when longer) replaces the computed backoff; each
+// retry is counted into retries. A shed that exhausts the budget is
+// returned as loadOverloaded — admission control is backpressure, not an
+// error, so the caller never fails the run over it.
+func loadRetried(ctx context.Context, client *http.Client, url string, cfg LoadConfig, retries *atomic.Int64) (int64, loadOutcome, error) {
+	backoff := cfg.RetryBase
+	for attempt := 0; ; attempt++ {
+		lat, outcome, retryAfter, err := loadOne(ctx, client, url, cfg.Timeout)
+		if outcome != loadOverloaded || attempt >= cfg.MaxRetries || ctx.Err() != nil {
+			return lat, outcome, err
+		}
+		retries.Add(1)
+		sleep := backoff
+		if retryAfter > sleep {
+			sleep = retryAfter
+		}
+		// Decorrelate the herd: sleep a uniform draw from [sleep/2, sleep].
+		sleep = sleep/2 + time.Duration(rand.Int63n(int64(sleep/2)+1))
+		select {
+		case <-ctx.Done():
+			return lat, outcome, err
+		case <-time.After(sleep):
+		}
+		if backoff < 32*cfg.RetryBase {
+			backoff *= 2
+		}
+	}
+}
+
+// loadOne issues one request and classifies the response. On a 503 shed it
+// also returns the server's Retry-After hint (zero when absent).
+func loadOne(ctx context.Context, client *http.Client, url string, timeout time.Duration) (latNS int64, outcome loadOutcome, retryAfter time.Duration, err error) {
 	rctx, cancel := context.WithTimeout(ctx, timeout)
 	defer cancel()
 	req, err := http.NewRequestWithContext(rctx, http.MethodGet, url, nil)
 	if err != nil {
-		return 0, loadError, err
+		return 0, loadError, 0, err
 	}
 	t0 := time.Now()
 	resp, err := client.Do(req)
 	if err != nil {
-		return 0, loadError, err
+		return 0, loadError, 0, err
 	}
 	defer resp.Body.Close()
 	body, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
 	lat := time.Since(t0).Nanoseconds()
 	if err != nil {
-		return 0, loadError, err
+		return 0, loadError, 0, err
 	}
 	switch resp.StatusCode {
 	case http.StatusOK:
 		var b loadBody
 		if err := json.Unmarshal(body, &b); err != nil {
-			return 0, loadError, fmt.Errorf("malformed body: %w", err)
+			return 0, loadError, 0, fmt.Errorf("malformed body: %w", err)
 		}
 		if !b.Verified {
-			return 0, loadUnverified, nil
+			return 0, loadUnverified, 0, nil
 		}
 		if b.Degraded {
-			return lat, loadDegraded, nil
+			return lat, loadDegraded, 0, nil
 		}
-		return lat, loadOK, nil
+		return lat, loadOK, 0, nil
 	case http.StatusServiceUnavailable:
-		return 0, loadOverloaded, nil
+		if s := resp.Header.Get("Retry-After"); s != "" {
+			if n, perr := strconv.Atoi(s); perr == nil && n > 0 {
+				retryAfter = time.Duration(n) * time.Second
+			}
+		}
+		return 0, loadOverloaded, retryAfter, nil
 	default:
-		return 0, loadError, fmt.Errorf("%s: HTTP %d: %s", url, resp.StatusCode, truncate(body, 200))
+		return 0, loadError, 0, fmt.Errorf("%s: HTTP %d: %s", url, resp.StatusCode, truncate(body, 200))
 	}
 }
 

@@ -92,6 +92,7 @@ func TestRunLoadShedding(t *testing.T) {
 		Concurrency: 8,
 		Requests:    40,
 		Targets:     []string{"/run?kernel=x3p1&n=2000"},
+		MaxRetries:  -1, // observe raw sheds, not the retried view
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -101,6 +102,49 @@ func TestRunLoadShedding(t *testing.T) {
 	}
 	if rep.Overloaded == 0 {
 		t.Error("no request was shed despite 8 clients on a 1-runtime no-queue pool")
+	}
+	if rep.Retries != 0 {
+		t.Errorf("retries=%d with retrying disabled", rep.Retries)
+	}
+	if rep.OK == 0 {
+		t.Error("every request was shed")
+	}
+}
+
+// TestRunLoadRetry: with a retry budget, the driver re-issues shed
+// requests after backoff; most sheds convert into eventual OKs and land
+// in the retry counter instead of Overloaded.
+func TestRunLoadRetry(t *testing.T) {
+	s, err := serve.New(serve.Options{Pool: pool.Options{
+		Runtimes:   1,
+		HostBudget: 2,
+		QueueLimit: pool.NoQueue,
+		Runtime:    mutls.Options{CPUs: 2},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer func() {
+		ts.Close()
+		s.Close()
+	}()
+
+	rep, err := RunLoad(context.Background(), ts.Client(), ts.URL, LoadConfig{
+		Concurrency: 8,
+		Requests:    40,
+		Targets:     []string{"/run?kernel=x3p1&n=2000"},
+		MaxRetries:  8,
+		RetryBase:   5 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Errors != 0 || rep.Unverified != 0 {
+		t.Fatalf("errors=%d unverified=%d samples=%v", rep.Errors, rep.Unverified, rep.ErrorSamples)
+	}
+	if rep.Retries == 0 {
+		t.Error("no retries despite 8 clients contending for a 1-runtime no-queue pool")
 	}
 	if rep.OK == 0 {
 		t.Error("every request was shed")

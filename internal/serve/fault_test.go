@@ -1,0 +1,99 @@
+package serve
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/mutls"
+	"repro/mutls/pool"
+)
+
+// boomKernels is DefaultKernels plus a kernel whose TLS version panics on
+// the non-speculative thread — the containment regression surface.
+func boomKernels() map[string]Kernel {
+	ks := DefaultKernels()
+	ks["boom"] = Kernel{
+		Workload: &bench.Workload{
+			Name:         "boom",
+			DefaultModel: mutls.InOrder,
+			HeapBytes:    func(bench.Size) int { return 1 << 12 },
+			Seq:          func(t *mutls.Thread, s bench.Size) uint64 { return 1 },
+			Spec: func(t *mutls.Thread, s bench.Size, o bench.SpecOptions) uint64 {
+				panic("kernel boom")
+			},
+		},
+		Default: bench.Size{N: 1},
+	}
+	return ks
+}
+
+// TestFaultingKernelContained: a kernel panic costs its own request a 500
+// with the fault counted in /stats; the pool recycles the runtime, the
+// health probe stays green and the next request is served normally.
+func TestFaultingKernelContained(t *testing.T) {
+	s, err := New(Options{
+		Pool:    pool.Options{Runtimes: 1, HostBudget: 2, Runtime: mutls.Options{CPUs: 2}},
+		Kernels: boomKernels(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer func() {
+		ts.Close()
+		s.Close()
+	}()
+
+	var e errResponse
+	getJSON(t, ts.URL+"/run?kernel=boom", http.StatusInternalServerError, &e)
+	if !strings.Contains(e.Error, "kernel fault") || !strings.Contains(e.Error, "kernel boom") {
+		t.Errorf("fault response %q missing the kernel fault", e.Error)
+	}
+	if got := s.Faults(); got != 1 {
+		t.Errorf("Faults() = %d after one faulting request, want 1", got)
+	}
+
+	var st struct {
+		Faults int64 `json:"faults"`
+	}
+	getJSON(t, ts.URL+"/stats", http.StatusOK, &st)
+	if st.Faults != 1 {
+		t.Errorf("/stats faults = %d, want 1", st.Faults)
+	}
+
+	// The process survived: health stays green and the pooled runtime that
+	// hosted the fault serves the next request verified.
+	getJSON(t, ts.URL+"/healthz", http.StatusOK, nil)
+	var rr RunResponse
+	getJSON(t, ts.URL+"/run?kernel=x3p1&n=2000", http.StatusOK, &rr)
+	if !rr.Verified {
+		t.Error("post-fault request not verified")
+	}
+}
+
+// TestRecoveredMiddleware: an arbitrary handler panic is contained to its
+// request as a 500 JSON fault and counted, instead of killing the server.
+func TestRecoveredMiddleware(t *testing.T) {
+	s, err := New(Options{Pool: pool.Options{Runtimes: 1, HostBudget: 2, Runtime: mutls.Options{CPUs: 2}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	h := s.recovered(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		panic("handler bug")
+	}))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/run", nil))
+	if rec.Code != http.StatusInternalServerError {
+		t.Fatalf("status %d, want 500", rec.Code)
+	}
+	if !strings.Contains(rec.Body.String(), "internal fault") {
+		t.Errorf("body %q missing the fault marker", rec.Body.String())
+	}
+	if got := s.Faults(); got != 1 {
+		t.Errorf("Faults() = %d, want 1", got)
+	}
+}

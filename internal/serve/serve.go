@@ -18,6 +18,7 @@ import (
 	"sort"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/bench"
@@ -75,6 +76,12 @@ type Server struct {
 	kernels map[string]Kernel
 	mux     *http.ServeMux
 
+	// faults counts contained request faults: kernel panics surfaced by a
+	// run and handler panics caught by the recovery middleware. The server
+	// stays up — each fault costs its own request a 500, nothing more —
+	// and the count is exposed in /stats.
+	faults atomic.Int64
+
 	// seqSums caches sequential reference checksums by kernel and size, so
 	// verification costs one extra run per distinct request shape, ever.
 	seqMu   sync.Mutex
@@ -118,8 +125,33 @@ func New(opts Options) (*Server, error) {
 	return s, nil
 }
 
-// Handler returns the service's HTTP handler.
-func (s *Server) Handler() http.Handler { return s.mux }
+// Handler returns the service's HTTP handler: the mux wrapped in the
+// panic-recovery middleware, so a fault in any single request — a handler
+// bug, a kernel panic that escaped the typed path — answers that request
+// with a 500 instead of tearing the process (and every other in-flight
+// request) down.
+func (s *Server) Handler() http.Handler { return s.recovered(s.mux) }
+
+// recovered is the containment middleware. The recover runs in the
+// handler's own goroutine, so in-flight requests on other connections are
+// untouched; the faults counter makes the event visible in /stats.
+func (s *Server) recovered(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			if rec := recover(); rec != nil {
+				s.faults.Add(1)
+				writeJSON(w, http.StatusInternalServerError, errResponse{
+					Error: fmt.Sprintf("internal fault: %v", rec),
+				})
+			}
+		}()
+		next.ServeHTTP(w, r)
+	})
+}
+
+// Faults returns the contained-fault count (kernel panics and recovered
+// handler panics).
+func (s *Server) Faults() int64 { return s.faults.Load() }
 
 // Pool exposes the underlying pool (for tests and stats endpoints).
 func (s *Server) Pool() *pool.Pool { return s.pool }
@@ -259,6 +291,19 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		sum = k.Workload.Spec(t, size, bench.SpecOptions{Model: k.Workload.DefaultModel})
 	})
 	if err != nil {
+		var kp *mutls.KernelPanic
+		if errors.As(err, &kp) {
+			// The kernel itself panicked on the non-speculative thread. The
+			// run drained and the deferred Release recycles the runtime, so
+			// only this request is lost — answer it a 500 and count the
+			// fault. (Speculative panics never surface here: they are
+			// squashed and re-executed as misspeculation.)
+			s.faults.Add(1)
+			writeJSON(w, http.StatusInternalServerError, errResponse{
+				Error: fmt.Sprintf("kernel fault: %v", kp.Value),
+			})
+			return
+		}
 		// Cancelled or timed out mid-run; the deferred Release recycles the
 		// runtime, so the next tenant is unaffected.
 		writeJSON(w, http.StatusServiceUnavailable, errResponse{Error: err.Error()})
@@ -285,8 +330,15 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// statsResponse is the /stats document: the pool's admission counters
+// plus the server's contained-fault count.
+type statsResponse struct {
+	pool.Stats
+	Faults int64 `json:"faults"`
+}
+
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, s.pool.Stats())
+	writeJSON(w, http.StatusOK, statsResponse{Stats: s.pool.Stats(), Faults: s.faults.Load()})
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {

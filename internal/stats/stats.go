@@ -7,6 +7,7 @@ package stats
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"repro/internal/gbuf"
 	"repro/internal/vclock"
@@ -30,15 +31,91 @@ type ExecRecord struct {
 // Runtime returns the record's occupied interval length.
 func (r *ExecRecord) Runtime() vclock.Cost { return r.End - r.Start }
 
+// FaultRecord captures one contained fault: the panic value and a
+// truncated stack, for post-mortem inspection without a process crash.
+type FaultRecord struct {
+	Rank  int    // 0 = non-speculative thread
+	Point int    // fork/join point, -1 outside any point
+	Value string // rendered panic value
+	Stack string // truncated goroutine stack at recovery
+}
+
+// FaultStats counts the containment events of a run: speculative panics
+// converted to rollbacks, non-speculative panics surfaced as KernelPanic
+// errors, and watchdog deadline kills. Unlike the execution records these
+// are counted even without CollectStats — a serving layer needs fault
+// visibility regardless of profiling.
+type FaultStats struct {
+	SpecPanics    int64 `json:"spec_panics"`
+	KernelPanics  int64 `json:"kernel_panics"`
+	WatchdogKills int64 `json:"watchdog_kills"`
+
+	// Records holds the most recent fault captures, newest last, capped at
+	// MaxFaultRecords.
+	Records []FaultRecord `json:"-"`
+}
+
+// MaxFaultRecords caps the retained fault captures per collector.
+const MaxFaultRecords = 32
+
+// Total returns the number of contained faults (panics, not deadline
+// kills: a deadline kill is a schedule decision, not a fault capture).
+func (f *FaultStats) Total() int64 { return f.SpecPanics + f.KernelPanics }
+
 // Collector gathers records. Each virtual CPU appends only to its own slice
 // (no locking on the hot path); the non-speculative thread's ledger is set
-// once at the end of the run.
+// once at the end of the run. Fault counts are mutex-guarded — faults are
+// rare by definition, so the lock never sits on a hot path.
 type Collector struct {
 	Enabled bool
 	perCPU  [][]ExecRecord
 
 	nonSpecRuntime vclock.Cost
 	nonSpecLedger  vclock.Ledger
+
+	faultMu sync.Mutex
+	faults  FaultStats
+}
+
+// CountSpecPanic records a speculative panic contained as RollbackFault.
+func (c *Collector) CountSpecPanic(rec FaultRecord) {
+	c.faultMu.Lock()
+	c.faults.SpecPanics++
+	c.addFaultRecordLocked(rec)
+	c.faultMu.Unlock()
+}
+
+// CountKernelPanic records a non-speculative panic surfaced as a
+// KernelPanic error.
+func (c *Collector) CountKernelPanic(rec FaultRecord) {
+	c.faultMu.Lock()
+	c.faults.KernelPanics++
+	c.addFaultRecordLocked(rec)
+	c.faultMu.Unlock()
+}
+
+// CountWatchdogKill records one runaway-speculation deadline kill.
+func (c *Collector) CountWatchdogKill() {
+	c.faultMu.Lock()
+	c.faults.WatchdogKills++
+	c.faultMu.Unlock()
+}
+
+func (c *Collector) addFaultRecordLocked(rec FaultRecord) {
+	if len(c.faults.Records) >= MaxFaultRecords {
+		copy(c.faults.Records, c.faults.Records[1:])
+		c.faults.Records = c.faults.Records[:MaxFaultRecords-1]
+	}
+	c.faults.Records = append(c.faults.Records, rec)
+}
+
+// Faults returns a snapshot of the fault counters.
+func (c *Collector) Faults() FaultStats {
+	c.faultMu.Lock()
+	defer c.faultMu.Unlock()
+	snap := c.faults
+	snap.Records = append([]FaultRecord(nil), c.faults.Records...)
+	return snap
 }
 
 // NewCollector creates a collector for ranks 1..numCPUs.
@@ -86,6 +163,9 @@ func (c *Collector) Reset() {
 	}
 	c.nonSpecRuntime = 0
 	c.nonSpecLedger = vclock.Ledger{}
+	c.faultMu.Lock()
+	c.faults = FaultStats{}
+	c.faultMu.Unlock()
 }
 
 // Summary condenses a run. All the paper's §V metrics hang off it.
@@ -117,6 +197,11 @@ type Summary struct {
 	// feedback is mixing (filled by the runtime; cumulative until
 	// ResetStats).
 	PointsExhausted int64
+
+	// Faults are the containment counters: speculative panics converted to
+	// rollbacks, non-speculative KernelPanics, watchdog deadline kills.
+	// Counted even without CollectStats; cumulative until ResetStats.
+	Faults FaultStats
 }
 
 // PointStats profiles one fork/join point, feeding the adaptive fork
@@ -134,6 +219,7 @@ func (c *Collector) Summarize(numCPUs int) *Summary {
 		NonSpecRuntime: c.nonSpecRuntime,
 		NonSpecLedger:  c.nonSpecLedger,
 		PerPoint:       map[int]PointStats{},
+		Faults:         c.Faults(),
 	}
 	for _, recs := range c.perCPU {
 		for i := range recs {

@@ -1,0 +1,92 @@
+package mutls_test
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/mutls"
+)
+
+// faultModels is the full forking-model axis of the containment property
+// tests.
+var faultModels = []mutls.Model{mutls.InOrder, mutls.OutOfOrder, mutls.Mixed, mutls.MixedLinear}
+
+// panicFill is forFill with sabotage: every speculative execution of a
+// chunk with idx%4 == 1 panics. Containment turns each panic into a
+// misspeculation — squash, then in-order re-execution (where Speculative()
+// is false and the body completes) — so the checksum must still match the
+// sequential result no matter the model or backend.
+func panicFill(rt *mutls.Runtime, n, chunks int, model mutls.Model) int64 {
+	var sum int64
+	rt.Run(func(t *mutls.Thread) {
+		arr := t.Alloc(8 * n)
+		mutls.For(t, chunks, mutls.ForOptions{Model: model}, func(c *mutls.Thread, idx int) {
+			if c.Speculative() && idx%4 == 1 {
+				panic("speculative sabotage")
+			}
+			for i := idx; i < n; i += chunks {
+				v := int64(i)*7 + 3
+				c.Tick(4)
+				c.StoreInt64(arr+mutls.Addr(8*i), v)
+			}
+		})
+		for i := 0; i < n; i++ {
+			sum += t.LoadInt64(arr + mutls.Addr(8*i))
+		}
+		t.Free(arr)
+	})
+	return sum
+}
+
+// TestForcedPanicMatchesSequential: the panic-as-misspeculation property
+// over every forking model × GlobalBuffer backend.
+func TestForcedPanicMatchesSequential(t *testing.T) {
+	const n, chunks = 2048, 16
+	want := int64(0)
+	for i := 0; i < n; i++ {
+		want += int64(i)*7 + 3
+	}
+	for _, model := range faultModels {
+		model := model
+		t.Run(model.String(), func(t *testing.T) {
+			t.Parallel()
+			for _, backend := range mutls.Backends() {
+				rt := newRuntime(t, 4, func(o *mutls.Options) {
+					o.Buffering = mutls.Buffering{Backend: backend}
+				})
+				if got := panicFill(rt, n, chunks, model); got != want {
+					t.Fatalf("backend %s: sum = %d, want %d", backend, got, want)
+				}
+				if f := rt.Stats().Faults; f.SpecPanics == 0 {
+					t.Errorf("backend %s: no speculative panic recorded", backend)
+				}
+			}
+		})
+	}
+}
+
+// TestKernelPanicSurfacesTyped: a panic on the non-speculative thread
+// surfaces from RunCtx as *mutls.KernelPanic and leaves the runtime
+// reusable.
+func TestKernelPanicSurfacesTyped(t *testing.T) {
+	rt := newRuntime(t, 2, nil)
+	_, err := rt.RunCtx(context.Background(), func(th *mutls.Thread) { panic("kernel boom") })
+	var kp *mutls.KernelPanic
+	if !errors.As(err, &kp) {
+		t.Fatalf("RunCtx error %v (%T), want *mutls.KernelPanic", err, err)
+	}
+	if !strings.Contains(kp.Error(), "kernel boom") {
+		t.Errorf("KernelPanic message %q", kp.Error())
+	}
+	// The runtime drained and is reusable: a clean run still verifies.
+	const n, chunks = 1024, 8
+	want := int64(0)
+	for i := 0; i < n; i++ {
+		want += int64(i)*7 + 3
+	}
+	if got := forFill(rt, n, chunks, mutls.InOrder); got != want {
+		t.Fatalf("post-panic run sum = %d, want %d", got, want)
+	}
+}

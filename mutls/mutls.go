@@ -40,8 +40,10 @@ package mutls
 
 import (
 	"context"
+	"time"
 
 	"repro/internal/core"
+	"repro/internal/faultinject"
 	"repro/internal/gbuf"
 	"repro/internal/lbuf"
 	"repro/internal/mem"
@@ -57,6 +59,14 @@ var ErrClosed = core.ErrClosed
 // without a context error to report instead; context-driven cancellations
 // return ctx.Err() (context.Canceled or context.DeadlineExceeded).
 var ErrCancelled = core.ErrCancelled
+
+// KernelPanic is the error Run/RunCtx return when the non-speculative
+// thread panicked: the kernel itself faulted, so there is no sequential
+// result to fall back to, but the run drains and the runtime stays
+// reusable. Panics on *speculative* threads never surface as errors — they
+// are contained as misspeculation (the chunk is squashed and re-executed
+// non-speculatively) and counted in Summary.Faults.
+type KernelPanic = core.KernelPanic
 
 // Thread is the execution context handed to non-speculative code and to
 // speculative regions; see core.Thread for the instrumented memory API.
@@ -201,6 +211,19 @@ type Options struct {
 	// AdaptiveForkHeuristic disables fork points whose observed rollback
 	// rate exceeds the threshold (§VI).
 	AdaptiveForkHeuristic bool
+
+	// SpecDeadline arms the runaway-speculation watchdog: a wall-clock
+	// floor on how long one speculative chunk may run between CheckPoint
+	// polls before it is squashed (RollbackDeadline, counted in
+	// Summary.Faults). The effective per-fork-point deadline is the larger
+	// of SpecDeadline and 8x the point's observed mean chunk latency. Zero
+	// (the default) disables the watchdog.
+	SpecDeadline time.Duration
+
+	// FaultPlan wires the deterministic fault-injection plane
+	// (internal/faultinject) into the runtime's protocol seams for chaos
+	// testing. Nil injects nothing.
+	FaultPlan *faultinject.Plan
 }
 
 // coreOptions lowers the façade options onto core.Options.
@@ -214,6 +237,8 @@ func (o Options) coreOptions() core.Options {
 		Seed:                  o.Seed,
 		CollectStats:          o.CollectStats,
 		AdaptiveForkHeuristic: o.AdaptiveForkHeuristic,
+		SpecDeadline:          o.SpecDeadline,
+		FaultPlan:             o.FaultPlan,
 	}
 	if o.StaticBytes != 0 || o.HeapBytes != 0 || o.StackBytes != 0 {
 		// Unset sizes keep the core defaults.

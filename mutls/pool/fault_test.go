@@ -1,0 +1,60 @@
+package pool
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/mutls"
+)
+
+// TestLeaseReusableAfterKernelPanic: a tenant whose kernel panics on the
+// non-speculative thread gets the typed error, and the recycled runtime
+// serves the next tenant a verified run — one fault costs one request,
+// never the pooled slot.
+func TestLeaseReusableAfterKernelPanic(t *testing.T) {
+	opts := testOptions()
+	opts.Runtimes = 1
+	opts.HostBudget = 4
+	p, err := New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	lease, err := p.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, rerr := lease.Runtime().RunCtx(context.Background(), func(th *mutls.Thread) {
+		panic("tenant boom")
+	})
+	var kp *mutls.KernelPanic
+	if !errors.As(rerr, &kp) {
+		t.Fatalf("run error %v (%T), want *mutls.KernelPanic", rerr, rerr)
+	}
+	lease.Release()
+
+	// The same pooled runtime (Runtimes: 1) must serve the next tenant.
+	lease, err = p.Acquire(context.Background())
+	if err != nil {
+		t.Fatalf("acquire after contained panic: %v", err)
+	}
+	defer lease.Release()
+	k := stressKernels[0]
+	var seq, spec uint64
+	if _, err := lease.Runtime().RunCtx(context.Background(), func(th *mutls.Thread) {
+		seq = k.w.Seq(th, k.size)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := lease.Runtime().RunCtx(context.Background(), func(th *mutls.Thread) {
+		spec = k.w.Spec(th, k.size, bench.SpecOptions{Model: k.w.DefaultModel})
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if seq != spec {
+		t.Fatalf("post-panic tenant: speculative %#x != sequential %#x", spec, seq)
+	}
+}

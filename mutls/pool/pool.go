@@ -24,6 +24,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/faultinject"
 	"repro/mutls"
 )
 
@@ -194,6 +195,13 @@ func (l *Lease) Release() {
 // and by Close (ErrClosed). On success the lease's runtime has its CPU
 // limit set to the granted budget share.
 func (p *Pool) Acquire(ctx context.Context) (*Lease, error) {
+	if plan := p.opts.Runtime.FaultPlan; plan != nil &&
+		plan.Decide(faultinject.SiteAcquire) == faultinject.KindLeaseFail {
+		// Injected admission failure: shaped exactly like a full queue so
+		// callers exercise their shed/retry handling.
+		p.rejected.Add(1)
+		return nil, ErrOverloaded
+	}
 	// Fast path: a runtime is free right now.
 	select {
 	case rt := <-p.free:
