@@ -7,7 +7,7 @@ GO ?= go
 # checker vocabulary or the gate flaps across versions.
 STATICCHECK_VERSION ?= 2023.1.7
 
-.PHONY: all build test race vet fmt mutls-vet staticcheck bench-smoke chaos
+.PHONY: all build test race vet vet-fast fmt mutls-vet staticcheck bench-smoke chaos
 
 # Seed for the deterministic fault-injection sweep; override to replay a
 # failing CI run: `make chaos CHAOS_SEED=<seed from the log>`.
@@ -32,7 +32,7 @@ race:
 #      container has no network; the gate must not depend on go install)
 vet: fmt
 	$(GO) vet ./...
-	$(GO) run ./cmd/mutls-vet ./...
+	$(GO) run ./cmd/mutls-vet -timing ./...
 	@if command -v staticcheck >/dev/null 2>&1; then \
 		echo "staticcheck ($$(staticcheck -version 2>/dev/null | head -n1), pinned: $(STATICCHECK_VERSION))"; \
 		staticcheck ./...; \
@@ -47,6 +47,12 @@ fmt:
 		echo "$$out" >&2; \
 		exit 1; \
 	fi
+
+# vet-fast skips the interprocedural analyzers (no whole-module effect
+# index): the per-package subset for tight edit loops. CI runs full vet.
+vet-fast: fmt
+	$(GO) vet ./...
+	$(GO) run ./cmd/mutls-vet -fast ./...
 
 # mutls-vet alone (text findings; see also -json and -run <analyzer>).
 mutls-vet:

@@ -1,6 +1,7 @@
 // Command mutls-vet is the multichecker for the mutls speculation
-// contract: it runs the internal/analysis suite (specaccess, pollcheck,
-// pointleak, leaseleak, atomicmix) over this module's packages.
+// contract: it runs the internal/analysis suite (specaccess, specpure,
+// pollcheck, pointleak, leaseleak, atomicmix) over this module's
+// packages.
 //
 // Standalone use:
 //
@@ -8,6 +9,8 @@
 //	go run ./cmd/mutls-vet -list          # analyzer and code reference
 //	go run ./cmd/mutls-vet -run pollcheck ./mutls/...
 //	go run ./cmd/mutls-vet -json ./...    # machine-readable findings
+//	go run ./cmd/mutls-vet -fast ./...    # per-package analyzers only
+//	go run ./cmd/mutls-vet -timing ./...  # wall time per analyzer
 //
 // It is also usable as a go vet tool:
 //
@@ -65,11 +68,13 @@ func run(args []string) int {
 
 	fs := flag.NewFlagSet("mutls-vet", flag.ContinueOnError)
 	var (
-		listFlag  = fs.Bool("list", false, "print the analyzers and their diagnostic codes, then exit")
-		jsonFlag  = fs.Bool("json", false, "emit findings as a JSON array instead of text")
-		testsFlag = fs.Bool("tests", false, "also analyze _test.go files")
-		runFlag   = fs.String("run", "", "comma-separated analyzer subset (default: all)")
-		dirFlag   = fs.String("C", "", "change to this directory (module root) before loading")
+		listFlag   = fs.Bool("list", false, "print the analyzers and their diagnostic codes, then exit")
+		jsonFlag   = fs.Bool("json", false, "emit findings as a JSON array instead of text")
+		testsFlag  = fs.Bool("tests", false, "also analyze _test.go files")
+		runFlag    = fs.String("run", "", "comma-separated analyzer subset (default: all)")
+		dirFlag    = fs.String("C", "", "change to this directory (module root) before loading")
+		fastFlag   = fs.Bool("fast", false, "skip the interprocedural analyzers (no whole-module effect index)")
+		timingFlag = fs.Bool("timing", false, "print per-analyzer wall time to stderr")
 	)
 	fs.Usage = func() {
 		fmt.Fprintln(os.Stderr, "usage: mutls-vet [flags] [packages]")
@@ -94,6 +99,9 @@ func run(args []string) int {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "mutls-vet:", err)
 		return 2
+	}
+	if *fastFlag {
+		analyzers = driver.Fast(analyzers)
 	}
 
 	root := *dirFlag
@@ -126,10 +134,17 @@ func run(args []string) int {
 		}
 	}
 
-	diags, err := driver.Run(pkgs, analyzers, false)
+	diags, timings, err := driver.RunTimed(pkgs, analyzers, false)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "mutls-vet:", err)
 		return 2
+	}
+	if *timingFlag {
+		// Stderr so the breakdown composes with -json on stdout; CI tees
+		// it into the job summary.
+		for _, tm := range timings {
+			fmt.Fprintf(os.Stderr, "mutls-vet: timing %-13s %8.1fms\n", tm.Name, float64(tm.Elapsed.Microseconds())/1000)
+		}
 	}
 
 	if *jsonFlag {

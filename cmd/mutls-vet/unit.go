@@ -119,6 +119,10 @@ func unitcheck(cfgFile string) int {
 		return strings.HasSuffix(fset.Position(d.Pos).Filename, "_test.go")
 	}
 	for _, a := range driver.Analyzers() {
+		// Pass.Inter stays nil: the unitchecker protocol sees one package
+		// at a time, so NeedsInter analyzers degrade to per-package scope
+		// (specpure rebuilds a local effect index; cross-package helpers
+		// fall to the trust boundary). The standalone mode is the real gate.
 		pass := &analysis.Pass{
 			Analyzer:  a,
 			Fset:      fset,

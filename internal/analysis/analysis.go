@@ -38,6 +38,11 @@ type Analyzer struct {
 	// Codes lists the diagnostic codes the analyzer can emit, for -list
 	// and the README table.
 	Codes []string
+	// NeedsInter marks analyzers that consume the interprocedural effect
+	// index (Pass.Inter). The driver builds the index once per batch when
+	// any selected analyzer needs it; fast mode (mutls-vet -fast) drops
+	// these analyzers instead.
+	NeedsInter bool
 	// Run executes the check over one package and reports through
 	// pass.Report.
 	Run func(*Pass) error
@@ -54,6 +59,14 @@ type Pass struct {
 	// Report receives each diagnostic. The driver installs suppression
 	// filtering and output formatting here.
 	Report func(Diagnostic)
+
+	// Inter carries the cross-package analysis state for analyzers with
+	// NeedsInter — concretely an *effects.Index built over every package
+	// in the batch (typed as any to keep this package dependency-free).
+	// It is nil when the driver could not see the whole module (the go
+	// vet unitchecker protocol runs one package at a time) or in fast
+	// mode; consumers must degrade to per-package scope then.
+	Inter any
 }
 
 // Reportf reports a diagnostic at pos with the given code.

@@ -1,0 +1,454 @@
+// Package cfg builds an intraprocedural control-flow graph over a
+// go/ast function body, in the shape of golang.org/x/tools/go/cfg but
+// stdlib-only, for the flow-sensitive analyzers in internal/analysis.
+//
+// Each Block holds the nodes that execute unconditionally once the block
+// is entered: simple statements appear whole, while control statements
+// contribute only the expressions evaluated before the branch (an if or
+// for condition, a switch tag, a range operand, a select comm). Nested
+// function literals are opaque values inside their enclosing node — the
+// graph never descends into them; a client that cares analyzes them as
+// their own bodies.
+//
+// Edges cover if/else, for (with and without condition and post), range,
+// switch and type switch (including fallthrough and missing default),
+// select, labeled break/continue, goto, return, and explicit panic
+// calls (which edge to Exit: the function unwinds). A for with no
+// condition gets no head→after edge — only break leaves it. Blocks made
+// unreachable by terminators are kept in Blocks with no predecessors, so
+// dataflow over the graph leaves them at bottom.
+package cfg
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// A Block is one straight-line run of nodes.
+type Block struct {
+	// Index is the block's position in Graph.Blocks.
+	Index int
+	// Nodes are the statements and expressions executed in order:
+	// simple statements whole, conditions/tags/operands of the control
+	// statement that ends the block.
+	Nodes []ast.Node
+	// Succs are the successor blocks. When Branch is non-nil there are
+	// exactly two: Succs[0] is the branch-taken (true) edge and Succs[1]
+	// the fall-through (false) edge.
+	Succs []*Block
+	// Branch is the controlling boolean condition when the block ends in
+	// a two-way test (if condition, for condition); nil otherwise.
+	Branch ast.Expr
+	// comment names the block's role for String dumps ("for.head").
+	comment string
+}
+
+// A Graph is the control-flow graph of one function body.
+type Graph struct {
+	// Blocks lists every block; Blocks[0] is the entry block.
+	Blocks []*Block
+	// Exit is the synthetic exit block: every return, explicit panic and
+	// the body's fall-through edge here. It holds no nodes.
+	Exit *Block
+}
+
+// New builds the graph of body.
+func New(body *ast.BlockStmt) *Graph {
+	b := &builder{g: &Graph{}, labels: make(map[string]*labelInfo)}
+	entry := b.newBlock("entry")
+	b.g.Exit = b.newBlock("exit")
+	b.cur = entry
+	b.stmtList(body.List)
+	b.edge(b.cur, b.g.Exit) // fall off the end
+	return b.g
+}
+
+// Preds computes the predecessor lists of every block (indexed like
+// Blocks). The graph itself stores only successors.
+func (g *Graph) Preds() [][]*Block {
+	preds := make([][]*Block, len(g.Blocks))
+	for _, blk := range g.Blocks {
+		for _, s := range blk.Succs {
+			preds[s.Index] = append(preds[s.Index], blk)
+		}
+	}
+	return preds
+}
+
+// String renders the graph topology for tests and debugging:
+// one line per block with its comment, node count and successor indices.
+func (g *Graph) String() string {
+	var sb strings.Builder
+	for _, blk := range g.Blocks {
+		fmt.Fprintf(&sb, "%d[%s n=%d] ->", blk.Index, blk.comment, len(blk.Nodes))
+		for _, s := range blk.Succs {
+			fmt.Fprintf(&sb, " %d", s.Index)
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// Comment returns the block's role label ("for.head", "if.then", ...).
+func (b *Block) Comment() string { return b.comment }
+
+type labelInfo struct {
+	target *Block // goto / labeled-statement entry
+	// brk/cont are the break/continue targets while the labeled loop or
+	// switch is being built.
+	brk, cont *Block
+}
+
+// branchTarget is one open break/continue scope.
+type branchTarget struct {
+	label     string
+	brk, cont *Block // cont is nil for switch/select scopes
+}
+
+type builder struct {
+	g      *Graph
+	cur    *Block
+	stack  []branchTarget
+	fts    []*Block // fallthrough targets, innermost last
+	labels map[string]*labelInfo
+	// pendingLabel is the label of the labeled statement being built; the
+	// next loop/switch/select consumes it for its break/continue scope.
+	pendingLabel string
+}
+
+func (b *builder) newBlock(comment string) *Block {
+	blk := &Block{Index: len(b.g.Blocks), comment: comment}
+	b.g.Blocks = append(b.g.Blocks, blk)
+	return blk
+}
+
+func (b *builder) edge(from, to *Block) {
+	from.Succs = append(from.Succs, to)
+}
+
+func (b *builder) add(n ast.Node) {
+	b.cur.Nodes = append(b.cur.Nodes, n)
+}
+
+// takeLabel consumes the pending label of the enclosing LabeledStmt.
+func (b *builder) takeLabel() string {
+	l := b.pendingLabel
+	b.pendingLabel = ""
+	return l
+}
+
+// labelBlock returns (creating on demand, for forward gotos) the entry
+// block of the named label.
+func (b *builder) labelBlock(name string) *Block {
+	li := b.labels[name]
+	if li == nil {
+		li = &labelInfo{}
+		b.labels[name] = li
+	}
+	if li.target == nil {
+		li.target = b.newBlock("label." + name)
+	}
+	return li.target
+}
+
+func (b *builder) stmtList(list []ast.Stmt) {
+	for _, s := range list {
+		b.stmt(s)
+	}
+}
+
+func (b *builder) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case nil, *ast.BadStmt, *ast.EmptyStmt:
+	case *ast.DeclStmt, *ast.AssignStmt, *ast.IncDecStmt, *ast.SendStmt,
+		*ast.GoStmt, *ast.DeferStmt:
+		b.add(s)
+	case *ast.ExprStmt:
+		b.add(s)
+		if isPanicCall(s.X) {
+			// The function unwinds here: an edge to Exit and an
+			// unreachable continuation. (A shadowed `panic` identifier
+			// would over-approximate — acceptable for a may-analysis.)
+			b.edge(b.cur, b.g.Exit)
+			b.cur = b.newBlock("panic.dead")
+		}
+	case *ast.ReturnStmt:
+		b.add(s)
+		b.edge(b.cur, b.g.Exit)
+		b.cur = b.newBlock("return.dead")
+	case *ast.BlockStmt:
+		b.stmtList(s.List)
+	case *ast.LabeledStmt:
+		lb := b.labelBlock(s.Label.Name)
+		b.edge(b.cur, lb)
+		b.cur = lb
+		b.pendingLabel = s.Label.Name
+		b.stmt(s.Stmt)
+		b.pendingLabel = ""
+	case *ast.BranchStmt:
+		b.branch(s)
+	case *ast.IfStmt:
+		b.ifStmt(s)
+	case *ast.ForStmt:
+		b.forStmt(s)
+	case *ast.RangeStmt:
+		b.rangeStmt(s)
+	case *ast.SwitchStmt:
+		b.switchStmt(s)
+	case *ast.TypeSwitchStmt:
+		b.typeSwitchStmt(s)
+	case *ast.SelectStmt:
+		b.selectStmt(s)
+	default:
+		// Unknown statement kinds are treated as straight-line.
+		b.add(s)
+	}
+}
+
+func (b *builder) branch(s *ast.BranchStmt) {
+	label := ""
+	if s.Label != nil {
+		label = s.Label.Name
+	}
+	switch s.Tok {
+	case token.BREAK:
+		if t := b.findTarget(label, false); t != nil {
+			b.edge(b.cur, t)
+		}
+	case token.CONTINUE:
+		if t := b.findTarget(label, true); t != nil {
+			b.edge(b.cur, t)
+		}
+	case token.GOTO:
+		if label != "" {
+			b.edge(b.cur, b.labelBlock(label))
+		}
+	case token.FALLTHROUGH:
+		if n := len(b.fts); n > 0 && b.fts[n-1] != nil {
+			b.edge(b.cur, b.fts[n-1])
+		}
+	}
+	b.cur = b.newBlock("branch.dead")
+}
+
+// findTarget resolves a break (wantCont=false) or continue (true) to its
+// target block; label "" selects the innermost applicable scope.
+func (b *builder) findTarget(label string, wantCont bool) *Block {
+	for i := len(b.stack) - 1; i >= 0; i-- {
+		t := b.stack[i]
+		if label != "" && t.label != label {
+			continue
+		}
+		if wantCont {
+			if t.cont != nil {
+				return t.cont
+			}
+			if label != "" {
+				return nil // continue to a non-loop label: ill-formed
+			}
+			continue // unlabeled continue skips switch/select scopes
+		}
+		return t.brk
+	}
+	return nil
+}
+
+func (b *builder) ifStmt(s *ast.IfStmt) {
+	if s.Init != nil {
+		b.stmt(s.Init)
+	}
+	b.add(s.Cond)
+	cond := b.cur
+	cond.Branch = s.Cond
+	after := b.newBlock("if.after")
+	then := b.newBlock("if.then")
+	b.edge(cond, then) // Succs[0]: condition true
+	b.cur = then
+	b.stmtList(s.Body.List)
+	b.edge(b.cur, after)
+	if s.Else != nil {
+		els := b.newBlock("if.else")
+		b.edge(cond, els) // Succs[1]: condition false
+		b.cur = els
+		b.stmt(s.Else)
+		b.edge(b.cur, after)
+	} else {
+		b.edge(cond, after) // Succs[1]: condition false
+	}
+	b.cur = after
+}
+
+func (b *builder) forStmt(s *ast.ForStmt) {
+	label := b.takeLabel()
+	if s.Init != nil {
+		b.stmt(s.Init)
+	}
+	head := b.newBlock("for.head")
+	b.edge(b.cur, head)
+	after := b.newBlock("for.after")
+	body := b.newBlock("for.body")
+	cont := head
+	if s.Post != nil {
+		cont = b.newBlock("for.post")
+	}
+	if s.Cond != nil {
+		head.Nodes = append(head.Nodes, s.Cond)
+		head.Branch = s.Cond
+		b.edge(head, body)  // Succs[0]: condition true
+		b.edge(head, after) // Succs[1]: condition false
+	} else {
+		b.edge(head, body) // for {}: leaves only via break
+	}
+	b.pushScope(label, after, cont)
+	b.cur = body
+	b.stmtList(s.Body.List)
+	b.edge(b.cur, cont)
+	b.popScope(label)
+	if s.Post != nil {
+		b.cur = cont
+		b.add(s.Post)
+		b.edge(cont, head)
+	}
+	b.cur = after
+}
+
+func (b *builder) rangeStmt(s *ast.RangeStmt) {
+	label := b.takeLabel()
+	b.add(s.X)
+	head := b.newBlock("range.head")
+	b.edge(b.cur, head)
+	after := b.newBlock("range.after")
+	body := b.newBlock("range.body")
+	b.edge(head, body)
+	b.edge(head, after)
+	b.pushScope(label, after, head)
+	b.cur = body
+	b.stmtList(s.Body.List)
+	b.edge(b.cur, head)
+	b.popScope(label)
+	b.cur = after
+}
+
+func (b *builder) switchStmt(s *ast.SwitchStmt) {
+	if s.Init != nil {
+		b.stmt(s.Init)
+	}
+	if s.Tag != nil {
+		b.add(s.Tag)
+	}
+	b.caseClauses(s.Body, func(cc *ast.CaseClause, head *Block) {
+		// Case expressions are evaluated while selecting, i.e. in the
+		// head block.
+		for _, e := range cc.List {
+			head.Nodes = append(head.Nodes, e)
+		}
+	})
+}
+
+func (b *builder) typeSwitchStmt(s *ast.TypeSwitchStmt) {
+	if s.Init != nil {
+		b.stmt(s.Init)
+	}
+	b.add(s.Assign)
+	b.caseClauses(s.Body, func(*ast.CaseClause, *Block) {})
+}
+
+// caseClauses builds the shared switch/type-switch clause topology:
+// head → every clause body, fallthrough chains to the next clause, every
+// clause → after, head → after when there is no default.
+func (b *builder) caseClauses(body *ast.BlockStmt, onCase func(*ast.CaseClause, *Block)) {
+	label := b.takeLabel()
+	head := b.cur
+	after := b.newBlock("switch.after")
+	var clauses []*ast.CaseClause
+	for _, st := range body.List {
+		if cc, ok := st.(*ast.CaseClause); ok {
+			clauses = append(clauses, cc)
+		}
+	}
+	bodies := make([]*Block, len(clauses))
+	hasDefault := false
+	for i, cc := range clauses {
+		onCase(cc, head)
+		bodies[i] = b.newBlock("case.body")
+		b.edge(head, bodies[i])
+		if cc.List == nil {
+			hasDefault = true
+		}
+	}
+	if !hasDefault {
+		b.edge(head, after)
+	}
+	b.pushScope(label, after, nil)
+	for i, cc := range clauses {
+		var ft *Block
+		if i+1 < len(bodies) {
+			ft = bodies[i+1]
+		}
+		b.fts = append(b.fts, ft)
+		b.cur = bodies[i]
+		b.stmtList(cc.Body)
+		b.edge(b.cur, after)
+		b.fts = b.fts[:len(b.fts)-1]
+	}
+	b.popScope(label)
+	b.cur = after
+}
+
+func (b *builder) selectStmt(s *ast.SelectStmt) {
+	label := b.takeLabel()
+	head := b.cur
+	after := b.newBlock("select.after")
+	b.pushScope(label, after, nil)
+	for _, st := range s.Body.List {
+		cc, ok := st.(*ast.CommClause)
+		if !ok {
+			continue
+		}
+		blk := b.newBlock("comm.body")
+		b.edge(head, blk)
+		b.cur = blk
+		if cc.Comm != nil {
+			b.stmt(cc.Comm)
+		}
+		b.stmtList(cc.Body)
+		b.edge(b.cur, after)
+	}
+	b.popScope(label)
+	// A select with no clauses blocks forever; keep after reachable only
+	// through clauses (none here), matching the semantics.
+	b.cur = after
+}
+
+func (b *builder) pushScope(label string, brk, cont *Block) {
+	b.stack = append(b.stack, branchTarget{label: label, brk: brk, cont: cont})
+	if label != "" {
+		li := b.labels[label]
+		if li == nil {
+			li = &labelInfo{}
+			b.labels[label] = li
+		}
+		li.brk, li.cont = brk, cont
+	}
+}
+
+func (b *builder) popScope(label string) {
+	b.stack = b.stack[:len(b.stack)-1]
+	if label != "" {
+		if li := b.labels[label]; li != nil {
+			li.brk, li.cont = nil, nil
+		}
+	}
+}
+
+// isPanicCall reports whether e is a call of the predeclared panic.
+func isPanicCall(e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	return ok && id.Name == "panic"
+}

@@ -1,0 +1,524 @@
+package cfg
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+// build parses src (the body of `func f() { ... }`) and returns its graph.
+func build(t *testing.T, body string) *Graph {
+	t.Helper()
+	src := "package p\nfunc f() {\n" + body + "\n}\n"
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "t.go", src, 0)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	fd := file.Decls[0].(*ast.FuncDecl)
+	return New(fd.Body)
+}
+
+// byComment returns all blocks whose comment equals c.
+func byComment(g *Graph, c string) []*Block {
+	var out []*Block
+	for _, b := range g.Blocks {
+		if b.comment == c {
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+// one returns the single block with comment c, failing otherwise.
+func one(t *testing.T, g *Graph, c string) *Block {
+	t.Helper()
+	bs := byComment(g, c)
+	if len(bs) != 1 {
+		t.Fatalf("want one %q block, got %d\n%s", c, len(bs), g)
+	}
+	return bs[0]
+}
+
+// hasEdge reports a direct from→to edge.
+func hasEdge(from, to *Block) bool {
+	for _, s := range from.Succs {
+		if s == to {
+			return true
+		}
+	}
+	return false
+}
+
+// reachable returns the set of block indices reachable from entry.
+func reachable(g *Graph) map[int]bool {
+	seen := map[int]bool{}
+	var visit func(b *Block)
+	visit = func(b *Block) {
+		if seen[b.Index] {
+			return
+		}
+		seen[b.Index] = true
+		for _, s := range b.Succs {
+			visit(s)
+		}
+	}
+	visit(g.Blocks[0])
+	return seen
+}
+
+func TestIfElseShape(t *testing.T) {
+	g := build(t, `
+		x := 1
+		if x > 0 {
+			x = 2
+		} else {
+			x = 3
+		}
+		_ = x
+	`)
+	entry := g.Blocks[0]
+	if entry.Branch == nil {
+		t.Fatalf("entry should end in the if condition\n%s", g)
+	}
+	then, els := one(t, g, "if.then"), one(t, g, "if.else")
+	if entry.Succs[0] != then || entry.Succs[1] != els {
+		t.Fatalf("Succs[0] must be the true edge, Succs[1] the false edge\n%s", g)
+	}
+	after := one(t, g, "if.after")
+	if !hasEdge(then, after) || !hasEdge(els, after) {
+		t.Fatalf("both arms must rejoin at if.after\n%s", g)
+	}
+	if !hasEdge(after, g.Exit) {
+		t.Fatalf("after must fall through to exit\n%s", g)
+	}
+}
+
+func TestIfWithoutElse(t *testing.T) {
+	g := build(t, `
+		x := 1
+		if x > 0 {
+			x = 2
+		}
+		_ = x
+	`)
+	entry, after := g.Blocks[0], one(t, g, "if.after")
+	if len(entry.Succs) != 2 || entry.Succs[1] != after {
+		t.Fatalf("false edge of an else-less if must go to after\n%s", g)
+	}
+}
+
+func TestForLoopShape(t *testing.T) {
+	g := build(t, `
+		s := 0
+		for i := 0; i < 10; i++ {
+			s += i
+		}
+		_ = s
+	`)
+	head := one(t, g, "for.head")
+	body := one(t, g, "for.body")
+	post := one(t, g, "for.post")
+	after := one(t, g, "for.after")
+	if head.Branch == nil || head.Succs[0] != body || head.Succs[1] != after {
+		t.Fatalf("head must branch body/after\n%s", g)
+	}
+	if !hasEdge(body, post) || !hasEdge(post, head) {
+		t.Fatalf("body→post→head back edge missing\n%s", g)
+	}
+}
+
+func TestInfiniteForNeedsBreak(t *testing.T) {
+	g := build(t, `
+		for {
+			x := 1
+			_ = x
+		}
+	`)
+	head := one(t, g, "for.head")
+	after := one(t, g, "for.after")
+	if hasEdge(head, after) {
+		t.Fatalf("for{} must not edge head→after\n%s", g)
+	}
+	if reachable(g)[after.Index] {
+		t.Fatalf("after of for{} without break must be unreachable\n%s", g)
+	}
+	// Exit is reachable only through... nothing: the function never returns.
+	if reachable(g)[g.Exit.Index] {
+		t.Fatalf("exit must be unreachable for a non-terminating loop\n%s", g)
+	}
+
+	g2 := build(t, `
+		for {
+			if bad() {
+				break
+			}
+		}
+	`)
+	if !reachable(g2)[g2.Exit.Index] {
+		t.Fatalf("break must make exit reachable\n%s", g2)
+	}
+}
+
+func TestRangeShape(t *testing.T) {
+	g := build(t, `
+		s := 0
+		for _, v := range xs {
+			s += v
+		}
+		_ = s
+	`)
+	head := one(t, g, "range.head")
+	body := one(t, g, "range.body")
+	after := one(t, g, "range.after")
+	if !hasEdge(head, body) || !hasEdge(head, after) || !hasEdge(body, head) {
+		t.Fatalf("range must have head→{body,after} and body→head\n%s", g)
+	}
+	// The range operand is evaluated once, before the head.
+	if len(g.Blocks[0].Nodes) == 0 {
+		t.Fatalf("range operand must land in the predecessor block\n%s", g)
+	}
+}
+
+func TestLabeledBreakAndContinue(t *testing.T) {
+	g := build(t, `
+	outer:
+		for i := 0; i < 3; i++ {
+			for j := 0; j < 3; j++ {
+				if stop() {
+					break outer
+				}
+				if skip() {
+					continue outer
+				}
+				work()
+			}
+		}
+		done()
+	`)
+	heads := byComment(g, "for.head")
+	afters := byComment(g, "for.after")
+	posts := byComment(g, "for.post")
+	if len(heads) != 2 || len(afters) != 2 || len(posts) != 2 {
+		t.Fatalf("expected two nested loops\n%s", g)
+	}
+	// Outer loop is built first: heads[0]/afters[0]/posts[0] are outer.
+	outerAfter, outerPost := afters[0], posts[0]
+	var breakSrc, contSrc *Block
+	for _, b := range g.Blocks {
+		if b.comment != "if.then" {
+			continue
+		}
+		if hasEdge(b, outerAfter) {
+			breakSrc = b
+		}
+		if hasEdge(b, outerPost) {
+			contSrc = b
+		}
+	}
+	if breakSrc == nil {
+		t.Fatalf("break outer must edge to the OUTER after\n%s", g)
+	}
+	if contSrc == nil {
+		t.Fatalf("continue outer must edge to the OUTER post\n%s", g)
+	}
+	if breakSrc == contSrc {
+		t.Fatalf("break and continue arms must be distinct blocks\n%s", g)
+	}
+	// And neither may edge to the inner loop's after/post.
+	innerAfter, innerPost := afters[1], posts[1]
+	if hasEdge(breakSrc, innerAfter) || hasEdge(contSrc, innerPost) {
+		t.Fatalf("labeled branch must skip the inner loop\n%s", g)
+	}
+}
+
+func TestGoto(t *testing.T) {
+	g := build(t, `
+		i := 0
+	loop:
+		i++
+		if i < 10 {
+			goto loop
+		}
+		_ = i
+	`)
+	lb := one(t, g, "label.loop")
+	var gotoSrc *Block
+	for _, b := range g.Blocks {
+		if b != lb && hasEdge(b, lb) && b.comment == "if.then" {
+			gotoSrc = b
+		}
+	}
+	if gotoSrc == nil {
+		t.Fatalf("goto must edge back to the label block\n%s", g)
+	}
+	if !reachable(g)[g.Exit.Index] {
+		t.Fatalf("fallthrough past the if must reach exit\n%s", g)
+	}
+}
+
+func TestGotoForward(t *testing.T) {
+	g := build(t, `
+		if early() {
+			goto done
+		}
+		work()
+	done:
+		cleanup()
+	`)
+	lb := one(t, g, "label.done")
+	then := one(t, g, "if.then")
+	if !hasEdge(then, lb) {
+		t.Fatalf("forward goto must edge to the (later-built) label block\n%s", g)
+	}
+	if !reachable(g)[lb.Index] {
+		t.Fatalf("label block must be reachable\n%s", g)
+	}
+}
+
+func TestSwitchShape(t *testing.T) {
+	g := build(t, `
+		switch v := val(); v {
+		case 1:
+			a()
+		case 2:
+			b()
+			fallthrough
+		case 3:
+			c()
+		}
+		done()
+	`)
+	after := one(t, g, "switch.after")
+	bodies := byComment(g, "case.body")
+	if len(bodies) != 3 {
+		t.Fatalf("want 3 case bodies\n%s", g)
+	}
+	head := g.Blocks[0]
+	for _, cb := range bodies {
+		if !hasEdge(head, cb) {
+			t.Fatalf("head must edge to every case body\n%s", g)
+		}
+	}
+	if !hasEdge(head, after) {
+		t.Fatalf("switch without default must edge head→after\n%s", g)
+	}
+	if !hasEdge(bodies[1], bodies[2]) {
+		t.Fatalf("fallthrough must chain case 2 → case 3\n%s", g)
+	}
+}
+
+func TestSwitchWithDefault(t *testing.T) {
+	g := build(t, `
+		switch v {
+		case 1:
+			a()
+		default:
+			b()
+		}
+	`)
+	head, after := g.Blocks[0], one(t, g, "switch.after")
+	if hasEdge(head, after) {
+		t.Fatalf("switch WITH default must not edge head→after\n%s", g)
+	}
+}
+
+func TestSelectShape(t *testing.T) {
+	g := build(t, `
+		select {
+		case v := <-ch1:
+			use(v)
+		case ch2 <- x:
+			sent()
+		default:
+			idle()
+		}
+		done()
+	`)
+	head := g.Blocks[0]
+	comms := byComment(g, "comm.body")
+	after := one(t, g, "select.after")
+	if len(comms) != 3 {
+		t.Fatalf("want 3 comm bodies\n%s", g)
+	}
+	for _, cb := range comms {
+		if !hasEdge(head, cb) {
+			t.Fatalf("head must edge to every comm body\n%s", g)
+		}
+		if !hasEdge(cb, after) {
+			t.Fatalf("every comm body must rejoin after\n%s", g)
+		}
+	}
+	if hasEdge(head, after) {
+		t.Fatalf("select never falls through head→after directly\n%s", g)
+	}
+	// The comm operation itself must be inside its clause body.
+	if len(comms[0].Nodes) == 0 {
+		t.Fatalf("comm statement must be a node of its clause block\n%s", g)
+	}
+}
+
+func TestSelectBreak(t *testing.T) {
+	g := build(t, `
+		for {
+			select {
+			case <-ch:
+				if quit() {
+					break
+				}
+				work()
+			}
+		}
+	`)
+	// Unlabeled break inside select exits the SELECT, not the for loop.
+	after := one(t, g, "select.after")
+	forAfter := one(t, g, "for.after")
+	var brk *Block
+	for _, b := range g.Blocks {
+		if b.comment == "if.then" {
+			brk = b
+		}
+	}
+	if brk == nil || !hasEdge(brk, after) {
+		t.Fatalf("break in select must target select.after\n%s", g)
+	}
+	if hasEdge(brk, forAfter) {
+		t.Fatalf("break in select must not exit the loop\n%s", g)
+	}
+}
+
+func TestReturnAndPanicEdges(t *testing.T) {
+	g := build(t, `
+		if bad() {
+			panic("boom")
+		}
+		if done() {
+			return
+		}
+		work()
+	`)
+	exits := 0
+	for _, b := range g.Blocks {
+		if b != g.Exit && hasEdge(b, g.Exit) {
+			exits++
+		}
+	}
+	// panic arm, return arm, and the fall-through each reach exit.
+	if exits != 3 {
+		t.Fatalf("want 3 edges into exit, got %d\n%s", exits, g)
+	}
+}
+
+func TestDeadCodeAfterReturn(t *testing.T) {
+	g := build(t, `
+		return
+	`)
+	if len(g.Blocks[0].Succs) != 1 || g.Blocks[0].Succs[0] != g.Exit {
+		t.Fatalf("return must edge straight to exit\n%s", g)
+	}
+	for _, b := range byComment(g, "return.dead") {
+		if reachable(g)[b.Index] {
+			t.Fatalf("code after return must be unreachable\n%s", g)
+		}
+	}
+}
+
+func TestTypeSwitchShape(t *testing.T) {
+	g := build(t, `
+		switch v := x.(type) {
+		case int:
+			useInt(v)
+		case string:
+			useStr(v)
+		}
+		done()
+	`)
+	bodies := byComment(g, "case.body")
+	after := one(t, g, "switch.after")
+	if len(bodies) != 2 {
+		t.Fatalf("want 2 case bodies\n%s", g)
+	}
+	if !hasEdge(g.Blocks[0], after) {
+		t.Fatalf("type switch without default must edge head→after\n%s", g)
+	}
+}
+
+func TestDeferAndGoAreStraightLine(t *testing.T) {
+	g := build(t, `
+		defer cleanup()
+		go worker()
+		work()
+	`)
+	if len(g.Blocks[0].Nodes) != 3 {
+		t.Fatalf("defer/go/call must all land in the entry block\n%s", g)
+	}
+	if !hasEdge(g.Blocks[0], g.Exit) {
+		t.Fatalf("entry must fall through to exit\n%s", g)
+	}
+}
+
+func TestNestedFuncLitIsOpaque(t *testing.T) {
+	g := build(t, `
+		f := func() {
+			for {
+			}
+		}
+		f()
+	`)
+	// The literal's infinite loop must not leak blocks into this graph.
+	if len(byComment(g, "for.head")) != 0 {
+		t.Fatalf("nested FuncLit bodies must not be traversed\n%s", g)
+	}
+	if !reachable(g)[g.Exit.Index] {
+		t.Fatalf("outer function must still reach exit\n%s", g)
+	}
+}
+
+func TestContinueUnlabeled(t *testing.T) {
+	g := build(t, `
+		for i := 0; i < 10; i++ {
+			if skip(i) {
+				continue
+			}
+			work(i)
+		}
+	`)
+	post := one(t, g, "for.post")
+	then := one(t, g, "if.then")
+	if !hasEdge(then, post) {
+		t.Fatalf("continue must edge to for.post\n%s", g)
+	}
+}
+
+func TestPredsInvertsSuccs(t *testing.T) {
+	g := build(t, `
+		if c() {
+			a()
+		}
+		b()
+	`)
+	preds := g.Preds()
+	for _, b := range g.Blocks {
+		for _, s := range b.Succs {
+			found := false
+			for _, p := range preds[s.Index] {
+				if p == b {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("edge %d→%d missing from Preds\n%s", b.Index, s.Index, g)
+			}
+		}
+	}
+}
+
+func TestStringDump(t *testing.T) {
+	g := build(t, `x := 1; _ = x`)
+	s := g.String()
+	if !strings.Contains(s, "entry") || !strings.Contains(s, "exit") {
+		t.Fatalf("String must name entry and exit blocks: %q", s)
+	}
+}

@@ -1,0 +1,468 @@
+// Package effects computes interprocedural effect summaries over the
+// module call graph: for every function with source, a bottom-up
+// bitset of the irreversible or ordering-sensitive things its execution
+// may do (I/O, channel/lock traffic, shared-state writes, non-idempotent
+// reads), plus which pointer-shaped parameters and receivers it writes
+// through. The specpure analyzer joins these summaries at kernel call
+// sites to find speculation-contract violations that hide behind helper
+// calls — the interprocedural hole a per-closure lexical check cannot
+// see.
+//
+// The lattice is a finite bitset, so the index iterates the whole
+// summary map to a fixed point (cycles in the call graph converge
+// because union only grows). Functions without source — the standard
+// library seen through export data, or module packages outside the
+// index's sources — fall back to a curated table of the stdlib's
+// effect-relevant API; anything unknown is assumed pure. That default is
+// the analyzer's trust boundary: dynamic calls (func values, interface
+// methods) and unlisted externals are not charged, trading missed
+// findings for a usable false-positive rate inside speculative kernels.
+package effects
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Effect is a bitset of observable behaviors a call may perform.
+type Effect uint16
+
+const (
+	// ReadsShared: reads package-level mutable state.
+	ReadsShared Effect = 1 << iota
+	// WritesShared: writes package-level state — not undone on rollback.
+	WritesShared
+	// DoesIO: irreversible I/O or syscall (files, sockets, stdio, exec).
+	DoesIO
+	// Blocks: channel, mutex, WaitGroup or sleep traffic — a speculative
+	// thread that blocks can deadlock against its own squash, and a lock
+	// acquired speculatively is not released on rollback.
+	Blocks
+	// Panics: may call panic directly (contained as misspeculation, but
+	// summarized for completeness).
+	Panics
+	// NonIdempotent: distinct results on re-execution (time, rand) — a
+	// squashed-and-replayed chunk computes a different answer.
+	NonIdempotent
+)
+
+// Pure is the empty effect set.
+const Pure Effect = 0
+
+func (e Effect) String() string {
+	var parts []string
+	for _, p := range []struct {
+		bit  Effect
+		name string
+	}{
+		{ReadsShared, "reads-shared"},
+		{WritesShared, "writes-shared"},
+		{DoesIO, "does-io"},
+		{Blocks, "blocks"},
+		{Panics, "panics"},
+		{NonIdempotent, "non-idempotent"},
+	} {
+		if e&p.bit != 0 {
+			parts = append(parts, p.name)
+		}
+	}
+	if len(parts) == 0 {
+		return "pure"
+	}
+	return strings.Join(parts, "|")
+}
+
+// A Summary is one function's effect set.
+type Summary struct {
+	Effects Effect
+	// ParamWrites has bit i set when the function may write through its
+	// i-th parameter (pointer, slice, map — memory the caller shares).
+	ParamWrites uint64
+	// RecvWrite reports writes through the method receiver.
+	RecvWrite bool
+	// Via explains, per effect bit, the call chain that introduced it
+	// ("helper → os.WriteFile"), for diagnostics.
+	Via map[Effect]string
+}
+
+// via returns the chain for the lowest set bit of e, if recorded.
+func (s Summary) ViaFor(e Effect) string {
+	if s.Via == nil {
+		return ""
+	}
+	return s.Via[e]
+}
+
+// A Source is one type-checked package whose function bodies join the
+// index.
+type Source struct {
+	Pkg   *types.Package
+	Info  *types.Info
+	Files []*ast.File
+}
+
+// An Index memoizes effect summaries for a set of source packages.
+type Index struct {
+	funcs  map[*types.Func]*funcSrc
+	sums   map[*types.Func]*Summary
+	exempt func(*types.Func) bool
+}
+
+// An Option configures index construction.
+type Option func(*Index)
+
+// WithExempt marks callees whose effects do NOT propagate into caller
+// summaries. The speculation analyzers exempt the mutls runtime's own
+// API this way: Thread.CheckPoint may sleep inside the fault injector,
+// but it is rollback-aware, so a helper that polls must not inherit
+// Blocks from it.
+func WithExempt(f func(*types.Func) bool) Option {
+	return func(idx *Index) { idx.exempt = f }
+}
+
+type funcSrc struct {
+	decl *ast.FuncDecl
+	info *types.Info
+	pkg  *types.Package
+}
+
+// NewIndex builds the summary index over srcs, iterating the whole map
+// to a global fixed point (the effect lattice is finite, so growth
+// terminates; cross-package cycles are impossible in Go but mutual
+// recursion inside a package is common).
+func NewIndex(srcs []Source, opts ...Option) *Index {
+	idx := &Index{
+		funcs: make(map[*types.Func]*funcSrc),
+		sums:  make(map[*types.Func]*Summary),
+	}
+	for _, opt := range opts {
+		opt(idx)
+	}
+	for _, src := range srcs {
+		for _, file := range src.Files {
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				fn, ok := src.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				idx.funcs[fn] = &funcSrc{decl: fd, info: src.Info, pkg: src.Pkg}
+				idx.sums[fn] = &Summary{}
+			}
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for fn, fs := range idx.funcs {
+			next := idx.compute(fn, fs)
+			if !equalSummary(next, *idx.sums[fn]) {
+				*idx.sums[fn] = next
+				changed = true
+			}
+		}
+	}
+	return idx
+}
+
+// Of returns fn's summary: a computed one for indexed source functions,
+// the stdlib table entry for known externals, and Pure for everything
+// else (the documented trust boundary).
+func (idx *Index) Of(fn *types.Func) Summary {
+	if fn == nil {
+		return Summary{}
+	}
+	if s, ok := idx.sums[fn]; ok {
+		return *s
+	}
+	return stdlibSummary(fn)
+}
+
+// Len reports the number of source functions indexed (for tests).
+func (idx *Index) Len() int { return len(idx.funcs) }
+
+func equalSummary(a, b Summary) bool {
+	return a.Effects == b.Effects && a.ParamWrites == b.ParamWrites && a.RecvWrite == b.RecvWrite
+}
+
+// compute derives fn's summary from its body and the current summaries
+// of its callees.
+func (idx *Index) compute(fn *types.Func, fs *funcSrc) Summary {
+	sum := Summary{Via: map[Effect]string{}}
+	info := fs.info
+	sig := fn.Type().(*types.Signature)
+
+	// Parameter and receiver objects, for ParamWrites/RecvWrite.
+	paramAt := make(map[*types.Var]int)
+	for i := 0; i < sig.Params().Len(); i++ {
+		paramAt[sig.Params().At(i)] = i
+	}
+	var recvObj *types.Var
+	if fs.decl.Recv != nil && len(fs.decl.Recv.List) == 1 && len(fs.decl.Recv.List[0].Names) == 1 {
+		recvObj, _ = info.Defs[fs.decl.Recv.List[0].Names[0]].(*types.Var)
+	}
+
+	addEffect := func(e Effect, via string) {
+		for bit := Effect(1); bit != 0 && bit <= NonIdempotent; bit <<= 1 {
+			if e&bit != 0 && sum.Effects&bit == 0 {
+				sum.Effects |= bit
+				if via != "" {
+					sum.Via[bit] = via
+				}
+			}
+		}
+	}
+
+	// chargeWrite records a write whose target base is v.
+	chargeWrite := func(v *types.Var, via string) {
+		switch {
+		case v == nil:
+		case v == recvObj:
+			sum.RecvWrite = true
+		case isPkgLevel(v):
+			addEffect(WritesShared, via)
+		default:
+			if i, ok := paramAt[v]; ok && i < 64 {
+				sum.ParamWrites |= 1 << i
+			}
+		}
+	}
+
+	// baseVar peels an lvalue to the variable at its base: x, x.f, x[i],
+	// *x, and parenthesized forms.
+	var baseVar func(e ast.Expr) *types.Var
+	baseVar = func(e ast.Expr) *types.Var {
+		for {
+			switch v := ast.Unparen(e).(type) {
+			case *ast.Ident:
+				obj, _ := info.Uses[v].(*types.Var)
+				if obj == nil {
+					obj, _ = info.Defs[v].(*types.Var)
+				}
+				return obj
+			case *ast.SelectorExpr:
+				e = v.X
+			case *ast.IndexExpr:
+				e = v.X
+			case *ast.StarExpr:
+				e = v.X
+			case *ast.UnaryExpr:
+				if v.Op != token.AND {
+					return nil
+				}
+				e = v.X
+			default:
+				return nil
+			}
+		}
+	}
+
+	// chargeLHS classifies a write target. Peeling the lvalue toward its
+	// base, every dereference step — *p, s[i] on a slice/map, p.f through
+	// a pointer — makes the write reach caller-visible memory; a pure
+	// value path (local struct field, array element of a local) stays
+	// private. The base then decides who is charged: a package-level var
+	// is WritesShared, the receiver RecvWrite, a parameter ParamWrites,
+	// and a local nothing.
+	chargeLHS := func(lhs ast.Expr, via string) {
+		ref := false
+		e := lhs
+		for {
+			switch v := ast.Unparen(e).(type) {
+			case *ast.Ident:
+				obj, _ := info.Uses[v].(*types.Var)
+				if obj == nil {
+					obj, _ = info.Defs[v].(*types.Var)
+				}
+				switch {
+				case obj == nil:
+				case isPkgLevel(obj):
+					addEffect(WritesShared, via)
+				case obj == recvObj && (ref || isRefType(obj.Type())):
+					sum.RecvWrite = true
+				default:
+					if i, ok := paramAt[obj]; ok && ref && i < 64 {
+						sum.ParamWrites |= 1 << i
+					}
+				}
+				return
+			case *ast.SelectorExpr:
+				// pkg.Var = x: qualified package-level write.
+				if sobj, ok := info.Uses[v.Sel].(*types.Var); ok && isPkgLevel(sobj) {
+					addEffect(WritesShared, via)
+					return
+				}
+				if isRefType(info.TypeOf(v.X)) {
+					ref = true
+				}
+				e = v.X
+			case *ast.IndexExpr:
+				if isRefType(info.TypeOf(v.X)) {
+					ref = true
+				}
+				e = v.X
+			case *ast.StarExpr:
+				ref = true
+				e = v.X
+			default:
+				return
+			}
+		}
+	}
+
+	var walk func(n ast.Node) bool
+	walk = func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.SendStmt:
+			addEffect(Blocks, "chan send")
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				addEffect(Blocks, "chan receive")
+			}
+		case *ast.SelectStmt:
+			addEffect(Blocks, "select")
+		case *ast.GoStmt:
+			// Spawning is not blocking by itself, but the goroutine's
+			// work escapes rollback entirely.
+			addEffect(Blocks, "go statement")
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				chargeLHS(lhs, "")
+			}
+		case *ast.IncDecStmt:
+			chargeLHS(n.X, "")
+		case *ast.Ident:
+			if v, ok := info.Uses[n].(*types.Var); ok && isPkgLevel(v) && !v.IsField() {
+				addEffect(ReadsShared, "")
+			}
+		case *ast.CallExpr:
+			idx.chargeCall(fn, fs, n, addEffect, chargeWrite, baseVar)
+		}
+		return true
+	}
+	ast.Inspect(fs.decl.Body, walk)
+	if len(sum.Via) == 0 {
+		sum.Via = nil
+	}
+	return sum
+}
+
+// chargeCall folds one call site into the summary under construction.
+func (idx *Index) chargeCall(self *types.Func, fs *funcSrc, call *ast.CallExpr,
+	addEffect func(Effect, string), chargeWrite func(*types.Var, string), baseVar func(ast.Expr) *types.Var) {
+
+	info := fs.info
+	// Builtins: panic is an effect; close blocks conflation is fine
+	// (channel lifecycle inside speculation is equally irreversible);
+	// append/copy write through their destination argument.
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if b, ok := info.Uses[id].(*types.Builtin); ok {
+			switch b.Name() {
+			case "panic":
+				addEffect(Panics, "panic")
+			case "close":
+				addEffect(Blocks, "close(chan)")
+			case "copy":
+				if len(call.Args) > 0 {
+					chargeWrite(baseVar(call.Args[0]), "copy into shared argument")
+				}
+			}
+			return
+		}
+	}
+
+	callee := calleeFunc(info, call)
+	if callee == nil || callee == self {
+		return // dynamic call (trust boundary) or direct recursion
+	}
+	if idx.exempt != nil && idx.exempt(callee) {
+		return // rollback-aware runtime API: effects stop here
+	}
+	csum := idx.Of(callee)
+	name := qualifiedName(callee)
+	for bit := Effect(1); bit != 0 && bit <= NonIdempotent; bit <<= 1 {
+		if csum.Effects&bit == 0 {
+			continue
+		}
+		via := name
+		if chain := csum.ViaFor(bit); chain != "" && chain != name {
+			via = name + " → " + chain
+		}
+		addEffect(bit, via)
+	}
+	// Map the callee's parameter writes through our arguments.
+	if csum.ParamWrites != 0 {
+		for i, arg := range call.Args {
+			if i < 64 && csum.ParamWrites&(1<<i) != 0 {
+				chargeWrite(baseVar(arg), name+" writes through its argument")
+			}
+		}
+	}
+	// And a receiver write through the method operand.
+	if csum.RecvWrite {
+		if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+			chargeWrite(baseVar(sel.X), name+" writes through its receiver")
+		}
+	}
+}
+
+// calleeFunc resolves a call to the static *types.Func it invokes; nil
+// for func values, builtins and conversions. Interface methods resolve
+// to the interface's method object (bodyless → stdlib table or pure).
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fn := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fn
+	case *ast.SelectorExpr:
+		id = fn.Sel
+	default:
+		return nil
+	}
+	f, _ := info.Uses[id].(*types.Func)
+	return f
+}
+
+// isPkgLevel reports whether v is declared at package scope.
+func isPkgLevel(v *types.Var) bool {
+	if v.IsField() {
+		return false
+	}
+	pkg := v.Pkg()
+	return pkg != nil && pkg.Scope().Lookup(v.Name()) == v
+}
+
+// isRefType reports whether writes through a value of t alias memory the
+// caller can see: pointers, slices, maps, channels.
+func isRefType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	switch t.Underlying().(type) {
+	case *types.Pointer, *types.Slice, *types.Map, *types.Chan:
+		return true
+	}
+	return false
+}
+
+// qualifiedName renders pkg.Func or pkg.Type.Method for diagnostics.
+func qualifiedName(fn *types.Func) string {
+	name := fn.Name()
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		t := sig.Recv().Type()
+		if ptr, ok := t.(*types.Pointer); ok {
+			t = ptr.Elem()
+		}
+		if named, ok := t.(*types.Named); ok {
+			name = named.Obj().Name() + "." + name
+		}
+	}
+	if fn.Pkg() != nil {
+		return fn.Pkg().Name() + "." + name
+	}
+	return name
+}

@@ -1,0 +1,133 @@
+// Stdlib effect table: the standard library is loaded from export data
+// (no bodies), so its effect-relevant surface is curated here. The table
+// is deliberately coarse — whole packages where every entry point is
+// I/O- or sync-shaped, name patterns where a package mixes pure and
+// effectful API — and anything unmatched is assumed pure, which is the
+// index's documented trust boundary.
+package effects
+
+import (
+	"go/types"
+	"strings"
+)
+
+// ioPackages: every function/method reaching these packages performs
+// irreversible I/O or a syscall.
+var ioPackages = map[string]bool{
+	"syscall":       true,
+	"os/exec":       true,
+	"os/signal":     true,
+	"net":           true,
+	"net/http":      true,
+	"net/url":       false, // parsing only: pure
+	"io":            true,
+	"io/fs":         true,
+	"io/ioutil":     true,
+	"bufio":         true,
+	"log":           true,
+	"log/slog":      true,
+	"database/sql":  true,
+	"compress/gzip": true,
+	"archive/tar":   true,
+	"archive/zip":   true,
+}
+
+// osPure: read-only entry points of package os that are safe to
+// re-execute (environment and identity reads).
+var osPure = map[string]bool{
+	"Getenv": true, "LookupEnv": true, "Environ": true, "Expand": true,
+	"ExpandEnv": true, "Getpid": true, "Getppid": true, "Getuid": true,
+	"Geteuid": true, "Getgid": true, "Getegid": true, "Getgroups": true,
+	"Getpagesize": true, "Hostname": true, "TempDir": true,
+	"UserHomeDir": true, "UserCacheDir": true, "UserConfigDir": true,
+	"IsNotExist": true, "IsExist": true, "IsPermission": true,
+	"IsTimeout": true, "IsPathSeparator": true,
+}
+
+// timeNonIdempotent: results differ across re-executions.
+var timeNonIdempotent = map[string]bool{
+	"Now": true, "Since": true, "Until": true, "After": true,
+	"Tick": true, "NewTimer": true, "NewTicker": true, "AfterFunc": true,
+}
+
+// stdlibSummary classifies a function without source.
+func stdlibSummary(fn *types.Func) Summary {
+	pkg := fn.Pkg()
+	if pkg == nil {
+		return Summary{}
+	}
+	path, name := pkg.Path(), fn.Name()
+	mk := func(e Effect, via string) Summary {
+		return Summary{Effects: e, Via: map[Effect]string{e: via}}
+	}
+	q := pkg.Name() + "." + name
+
+	switch {
+	case ioPackages[path]:
+		return mk(DoesIO, q)
+	case path == "os":
+		if osPure[name] {
+			return Summary{}
+		}
+		return mk(DoesIO, q)
+	case path == "fmt":
+		switch {
+		case strings.HasPrefix(name, "Print"),
+			strings.HasPrefix(name, "Fprint"),
+			strings.HasPrefix(name, "Scan"),
+			strings.HasPrefix(name, "Fscan"):
+			return mk(DoesIO, q)
+		}
+		return Summary{}
+	case path == "sync":
+		// Mutex/RWMutex/WaitGroup/Cond/Once/Map traffic: a speculative
+		// thread that blocks can deadlock its own squash, and acquired
+		// locks are not released on rollback.
+		return mk(Blocks, q)
+	case path == "sync/atomic":
+		return atomicSummary(fn, name)
+	case path == "time":
+		if name == "Sleep" {
+			return mk(Blocks, q)
+		}
+		if timeNonIdempotent[name] {
+			return mk(NonIdempotent, q)
+		}
+		return Summary{}
+	case path == "math/rand", path == "math/rand/v2":
+		return mk(NonIdempotent, q)
+	case path == "crypto/rand":
+		s := mk(NonIdempotent, q)
+		if name == "Read" {
+			s.ParamWrites = 1 // fills the caller's buffer
+		}
+		return s
+	case path == "runtime":
+		switch name {
+		case "Gosched", "GC", "Goexit":
+			return mk(Blocks, q)
+		}
+		return Summary{}
+	}
+	return Summary{}
+}
+
+// atomicSummary: sync/atomic loads are pure; mutators write through
+// their pointer argument (package functions) or receiver (the atomic
+// wrapper types' methods).
+func atomicSummary(fn *types.Func, name string) Summary {
+	mutator := strings.HasPrefix(name, "Add") ||
+		strings.HasPrefix(name, "Store") ||
+		strings.HasPrefix(name, "Swap") ||
+		strings.HasPrefix(name, "CompareAndSwap") ||
+		strings.HasPrefix(name, "Or") ||
+		strings.HasPrefix(name, "And")
+	if !mutator {
+		return Summary{}
+	}
+	sig := fn.Type().(*types.Signature)
+	if sig.Recv() != nil {
+		return Summary{RecvWrite: true}
+	}
+	return Summary{ParamWrites: 1}
+}

@@ -3,14 +3,19 @@
 // (Acquire/Release) analyzers.
 //
 // For every acquire call bound to a local variable the enclosing
-// function must release the resource on every path: a defer of the
-// release (directly or inside a deferred closure) satisfies all paths at
-// once; otherwise each return reachable after the acquire needs a
-// release lexically between the acquire and the return. Two escapes are
-// deliberate: returns inside an error-check branch of the acquire's own
-// error value (the resource was never granted there), and ownership
-// transfer (the resource is returned, stored into a structure, aliased,
-// or sent away — some other scope releases it).
+// function must release the resource on every path. The check is
+// flow-sensitive: each acquire is tracked by a forward may-hold dataflow
+// over the function's CFG (internal/analysis/cfg), so release-on-all-
+// paths survives loops, early continue, and goto, and a handle that is
+// still held when its own acquire executes again (a loop-carried leak)
+// or when the variable is reassigned is reported even though a release
+// appears later in the text. A defer of the release (directly or inside
+// a deferred closure) satisfies all paths at once. Three escapes are
+// deliberate: paths where the acquire's error value is non-nil or the
+// handle is provably nil (the resource was never granted there),
+// ownership transfer (the handle is returned, aliased, sent away, or
+// captured by a closure — some other scope releases it), and
+// //lint:allow suppressions.
 package pairing
 
 import (
@@ -19,6 +24,8 @@ import (
 	"go/types"
 
 	"repro/internal/analysis"
+	"repro/internal/analysis/cfg"
+	"repro/internal/analysis/dataflow"
 )
 
 // A Spec configures one acquire/release pairing.
@@ -73,6 +80,7 @@ func acquireFunc(info *types.Info, spec Spec, call *ast.CallExpr) (release strin
 // (nested function literals get their own invocation).
 func checkBody(pass *analysis.Pass, spec Spec, body *ast.BlockStmt) {
 	info := pass.TypesInfo
+	var graph *cfg.Graph // built lazily, shared by every acquire in body
 	ast.Inspect(body, func(n ast.Node) bool {
 		if _, ok := n.(*ast.FuncLit); ok {
 			return false // nested literals run their own checkBody
@@ -116,139 +124,119 @@ func checkBody(pass *analysis.Pass, spec Spec, body *ast.BlockStmt) {
 					errObj = objOf(info, errID)
 				}
 			}
-			checkAcquire(pass, spec, body, call, release, res, errObj)
+			if graph == nil {
+				graph = cfg.New(body)
+			}
+			tk := &tracker{
+				info:    info,
+				fset:    pass.Fset,
+				acq:     st,
+				call:    call,
+				release: release,
+				res:     res,
+				errObj:  errObj,
+			}
+			tk.check(pass, spec, body, graph)
 		}
 		return true
 	})
 }
 
-// checkAcquire verifies one tracked acquire: res was bound at call and
-// must be released (method named release) on every path out of body.
-func checkAcquire(pass *analysis.Pass, spec Spec, body *ast.BlockStmt, call *ast.CallExpr, release string, res, errObj types.Object) {
-	info := pass.TypesInfo
-	after := call.End()
+// held is the dataflow fact: 1 when the tracked handle may hold an
+// unreleased resource on some path reaching this point.
+const heldBit uint8 = 1
 
-	isRes := func(e ast.Expr) bool {
-		id, ok := ast.Unparen(e).(*ast.Ident)
-		return ok && objOf(info, id) == res
-	}
-	isRelease := func(c *ast.CallExpr) bool {
-		sel, ok := ast.Unparen(c.Fun).(*ast.SelectorExpr)
-		if !ok || sel.Sel.Name != release {
-			return false
-		}
-		if isRes(sel.X) {
-			return true
-		}
-		for _, arg := range c.Args {
-			if isRes(arg) {
-				return true
-			}
-		}
-		return false
-	}
+// tracker is the flow analysis of one acquire statement.
+type tracker struct {
+	info    *types.Info
+	fset    *token.FileSet
+	acq     *ast.AssignStmt // the acquire assignment (identity-matched in the CFG)
+	call    *ast.CallExpr
+	release string
+	res     types.Object // the handle variable
+	errObj  types.Object // the acquire's error variable, if bound
+}
 
-	var (
-		deferred    bool
-		releases    []token.Pos // non-deferred release call positions
-		transferred bool
-		returns     []*ast.ReturnStmt
-		exemptRange []struct{ lo, hi token.Pos } // error-check branches
-	)
-	ast.Inspect(body, func(n ast.Node) bool {
-		switch n := n.(type) {
-		case *ast.DeferStmt:
-			if isRelease(n.Call) {
-				deferred = true
-				return false
-			}
-			if lit, ok := n.Call.Fun.(*ast.FuncLit); ok {
-				ast.Inspect(lit.Body, func(m ast.Node) bool {
-					if c, ok := m.(*ast.CallExpr); ok && isRelease(c) {
-						deferred = true
-					}
-					return !deferred
-				})
-				return false
-			}
-		case *ast.CallExpr:
-			if isRelease(n) {
-				releases = append(releases, n.Pos())
-				return false
-			}
-		case *ast.ReturnStmt:
-			if n.Pos() > after {
-				returns = append(returns, n)
-			}
-			for _, r := range n.Results {
-				if usesObj(info, r, res) {
-					transferred = true
-				}
-			}
-		case *ast.AssignStmt:
-			// v aliased or stored away: x := v, s.field = v, m[k] = v,
-			// ch <- v is a SendStmt below.
-			for _, rhs := range n.Rhs {
-				if isRes(rhs) && n.Pos() > after {
-					transferred = true
-				}
-			}
-		case *ast.SendStmt:
-			if isRes(n.Value) {
-				transferred = true
-			}
-		case *ast.IfStmt:
-			if errObj != nil && usesObj(info, n.Cond, errObj) && n.Pos() > after {
-				exemptRange = append(exemptRange, struct{ lo, hi token.Pos }{n.Body.Pos(), n.Body.End()})
-			}
-		}
-		return true
-	})
+// leak kinds, in reporting precedence order.
+const (
+	leakNone = iota
+	leakLoopCarried
+	leakReturn
+	leakReassign
+	leakFallThrough
+)
 
-	if deferred || transferred {
+type leakReport struct {
+	kind int
+	line int // return/reassign line for the message
+}
+
+func (tk *tracker) check(pass *analysis.Pass, spec Spec, body *ast.BlockStmt, g *cfg.Graph) {
+	// A deferred release (directly or inside a deferred closure) pairs
+	// every path, including panic unwinds, at once.
+	if tk.deferredRelease(body) {
 		return
 	}
-	exempt := func(pos token.Pos) bool {
-		for _, r := range exemptRange {
-			if pos >= r.lo && pos <= r.hi {
-				return true
+
+	prob := dataflow.Problem[uint8]{
+		Dir:      dataflow.Forward,
+		Boundary: 0,
+		Bottom:   func() uint8 { return 0 },
+		Join:     func(a, b uint8) uint8 { return a | b },
+		Equal:    func(a, b uint8) bool { return a == b },
+		Transfer: func(b *cfg.Block, in uint8) uint8 {
+			f := in
+			for _, n := range b.Nodes {
+				f = tk.transferNode(n, f, nil)
 			}
-		}
-		return false
+			return f
+		},
+		EdgeTransfer: tk.edgeTransfer,
 	}
-	releasedBefore := func(pos token.Pos) bool {
-		for _, p := range releases {
-			if p > after && p < pos {
-				return true
-			}
+	res := dataflow.Solve(g, prob)
+
+	// Re-walk the solved graph to place diagnostics. At most one leak is
+	// reported per acquire, by precedence: a loop-carried reacquire
+	// outranks a leaking return, which outranks a reassignment, which
+	// outranks the fall-through exit.
+	best := leakReport{kind: leakNone}
+	note := func(r leakReport) {
+		if best.kind == leakNone || r.kind < best.kind {
+			best = r
 		}
-		return false
+	}
+	for _, blk := range g.Blocks {
+		f := res.In[blk.Index]
+		for _, n := range blk.Nodes {
+			f = tk.transferNode(n, f, note)
+		}
+		// Natural fall-through into exit with the handle still held:
+		// return and panic terminators are handled elsewhere.
+		if f&heldBit != 0 && tk.fallsToExit(blk, g) {
+			note(leakReport{kind: leakFallThrough})
+		}
 	}
 
-	var leakAt *ast.ReturnStmt
-	checked := false
-	for _, ret := range returns {
-		if exempt(ret.Pos()) {
-			continue
-		}
-		checked = true
-		if !releasedBefore(ret.Pos()) {
-			leakAt = ret
-			break
-		}
-	}
-	if !checked {
-		// No (non-exempt) return after the acquire: the function falls off
-		// the end, which still needs a release somewhere after the call.
-		if !releasedBefore(body.End()) {
-			pass.Reportf(call.Pos(), spec.LeakCode,
-				"%s acquired by %s is never released (no %s on the fall-through path; add a defer)", spec.Noun, callName(call), release)
-			return
-		}
-	} else if leakAt != nil {
-		pass.Reportf(call.Pos(), spec.LeakCode,
+	switch best.kind {
+	case leakLoopCarried:
+		pass.Reportf(tk.call.Pos(), spec.LeakCode,
+			"%s acquired by %s is still unreleased when the loop reacquires it at line %d (loop-carried leak; release it before the next iteration, or defer inside the loop body)",
+			spec.Noun, callName(tk.call), best.line)
+		return
+	case leakReturn:
+		pass.Reportf(tk.call.Pos(), spec.LeakCode,
 			"%s acquired by %s is not released on the return path at line %d (call %s before returning, or defer it)",
-			spec.Noun, callName(call), pass.Fset.Position(leakAt.Pos()).Line, release)
+			spec.Noun, callName(tk.call), best.line, tk.release)
+		return
+	case leakReassign:
+		pass.Reportf(tk.call.Pos(), spec.LeakCode,
+			"%s acquired by %s is still unreleased when its variable is reassigned at line %d (the handle is overwritten; release it first)",
+			spec.Noun, callName(tk.call), best.line)
+		return
+	case leakFallThrough:
+		pass.Reportf(tk.call.Pos(), spec.LeakCode,
+			"%s acquired by %s is never released (no %s on the fall-through path; add a defer)",
+			spec.Noun, callName(tk.call), tk.release)
 		return
 	}
 
@@ -258,6 +246,259 @@ func checkAcquire(pass *analysis.Pass, spec Spec, body *ast.BlockStmt, call *ast
 	// contains the panic as a misspeculation or a KernelPanic, so the
 	// process survives with the resource pinned). Deferral is the only
 	// panic-proof pairing.
+	tk.panicAdvisory(pass, spec, body)
+}
+
+// transferNode applies one CFG node to the fact. When note is non-nil
+// the walk is the reporting pass and leak events are recorded; the
+// solver pass runs with note == nil.
+func (tk *tracker) transferNode(n ast.Node, f uint8, note func(leakReport)) uint8 {
+	line := func(p token.Pos) int { return tk.fset.Position(p).Line }
+
+	if n == ast.Node(tk.acq) {
+		if f&heldBit != 0 && note != nil {
+			note(leakReport{kind: leakLoopCarried, line: line(tk.acq.Pos())})
+		}
+		return f | heldBit
+	}
+
+	ast.Inspect(n, func(m ast.Node) bool {
+		switch m := m.(type) {
+		case *ast.DeferStmt:
+			// Deferred work runs at unwind; a deferred release was already
+			// credited globally, and mentions of the handle inside other
+			// defers neither release nor leak it here.
+			return false
+		case *ast.FuncLit:
+			// The handle escaping into a closure transfers ownership: the
+			// closure (or whoever it is handed to) releases it.
+			if tk.mentionsRes(m.Body) {
+				f &^= heldBit
+			}
+			return false
+		case *ast.CallExpr:
+			if tk.isRelease(m) {
+				f &^= heldBit
+				return false
+			}
+		case *ast.ReturnStmt:
+			escapes := false
+			for _, r := range m.Results {
+				if usesObj(tk.info, r, tk.res) {
+					escapes = true
+				}
+			}
+			if escapes {
+				f &^= heldBit // caller owns the handle now
+			} else if f&heldBit != 0 && note != nil {
+				note(leakReport{kind: leakReturn, line: line(m.Pos())})
+			}
+		case *ast.AssignStmt:
+			for _, rhs := range m.Rhs {
+				if tk.isRes(rhs) {
+					f &^= heldBit // aliased or stored away: ownership transferred
+				}
+			}
+			for _, lhs := range m.Lhs {
+				if id, ok := lhs.(*ast.Ident); ok && objOf(tk.info, id) == tk.res {
+					if f&heldBit != 0 && note != nil {
+						note(leakReport{kind: leakReassign, line: line(m.Pos())})
+					}
+					f &^= heldBit // the old handle value is gone
+				}
+			}
+		case *ast.SendStmt:
+			if tk.isRes(m.Value) {
+				f &^= heldBit
+			}
+		}
+		return true
+	})
+	return f
+}
+
+// edgeTransfer clears the held bit along edges that prove the handle was
+// never granted: the taken edge of an error check, or the nil side of a
+// nil comparison on the handle itself.
+func (tk *tracker) edgeTransfer(b *cfg.Block, succIdx int, out uint8) uint8 {
+	if out&heldBit == 0 || b.Branch == nil {
+		return out
+	}
+	if obj, eq, isNilCmp := tk.nilCompare(b.Branch); isNilCmp {
+		// For the error value, the acquire failed where the error is
+		// non-nil: err != nil clears on the true edge, err == nil on the
+		// false edge. For the handle, nothing is held where it is nil:
+		// res == nil clears on the true edge, res != nil on the false edge.
+		var clearOnTrue bool
+		if obj == tk.errObj && tk.errObj != nil {
+			clearOnTrue = !eq
+		} else {
+			clearOnTrue = eq
+		}
+		if clearOnTrue == (succIdx == 0) {
+			return out &^ heldBit
+		}
+		return out
+	}
+	// Any other condition mentioning the error value exempts its taken
+	// branch (the lexical engine's error-path escape, kept for compound
+	// conditions like `err != nil || retry`).
+	if tk.errObj != nil && succIdx == 0 && usesObj(tk.info, b.Branch, tk.errObj) {
+		return out &^ heldBit
+	}
+	return out
+}
+
+// nilCompare matches `x == nil` / `x != nil` (either operand order) where
+// x resolves to the handle or the error variable; eq reports ==.
+func (tk *tracker) nilCompare(cond ast.Expr) (obj types.Object, eq, ok bool) {
+	bin, isBin := ast.Unparen(cond).(*ast.BinaryExpr)
+	if !isBin || (bin.Op != token.EQL && bin.Op != token.NEQ) {
+		return nil, false, false
+	}
+	classify := func(e ast.Expr) (types.Object, bool) {
+		id, isID := ast.Unparen(e).(*ast.Ident)
+		if !isID {
+			return nil, false
+		}
+		o := objOf(tk.info, id)
+		if o == tk.res || (tk.errObj != nil && o == tk.errObj) {
+			return o, false
+		}
+		if id.Name == "nil" {
+			return nil, true
+		}
+		return nil, false
+	}
+	lo, lNil := classify(bin.X)
+	ro, rNil := classify(bin.Y)
+	switch {
+	case lo != nil && rNil:
+		return lo, bin.Op == token.EQL, true
+	case ro != nil && lNil:
+		return ro, bin.Op == token.EQL, true
+	}
+	return nil, false, false
+}
+
+// fallsToExit reports whether blk's edge into Exit is a natural
+// fall-through (not a return or an explicit panic, which carry their own
+// reporting rules).
+func (tk *tracker) fallsToExit(blk *cfg.Block, g *cfg.Graph) bool {
+	toExit := false
+	for _, s := range blk.Succs {
+		if s == g.Exit {
+			toExit = true
+		}
+	}
+	if !toExit || blk == g.Exit {
+		return false
+	}
+	if len(blk.Nodes) > 0 {
+		switch last := blk.Nodes[len(blk.Nodes)-1].(type) {
+		case *ast.ReturnStmt:
+			return false
+		case *ast.ExprStmt:
+			if call, ok := ast.Unparen(last.X).(*ast.CallExpr); ok {
+				if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "panic" {
+					return false // the panic advisory owns unwind leaks
+				}
+			}
+		}
+	}
+	return true
+}
+
+// deferredRelease reports whether body defers a release of the handle,
+// directly or inside a deferred closure.
+func (tk *tracker) deferredRelease(body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		d, ok := n.(*ast.DeferStmt)
+		if !ok {
+			return true
+		}
+		if tk.isRelease(d.Call) {
+			found = true
+			return false
+		}
+		if lit, ok := d.Call.Fun.(*ast.FuncLit); ok {
+			ast.Inspect(lit.Body, func(m ast.Node) bool {
+				if c, ok := m.(*ast.CallExpr); ok && tk.isRelease(c) {
+					found = true
+				}
+				return !found
+			})
+		}
+		return false
+	})
+	return found
+}
+
+func (tk *tracker) isRes(e ast.Expr) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	return ok && objOf(tk.info, id) == tk.res
+}
+
+func (tk *tracker) isRelease(c *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(c.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != tk.release {
+		return false
+	}
+	if tk.isRes(sel.X) {
+		return true
+	}
+	for _, arg := range c.Args {
+		if tk.isRes(arg) {
+			return true
+		}
+	}
+	return false
+}
+
+// mentionsRes reports whether the subtree mentions the handle variable.
+func (tk *tracker) mentionsRes(n ast.Node) bool {
+	return usesNode(tk.info, n, tk.res)
+}
+
+// panicAdvisory is the lexical may-panic check retained from the
+// pre-flow engine: when all paths are paired by non-deferred releases, a
+// dynamic call between the acquire and the first release can still
+// unwind past them.
+func (tk *tracker) panicAdvisory(pass *analysis.Pass, spec Spec, body *ast.BlockStmt) {
+	info := tk.info
+	after := tk.call.End()
+
+	var (
+		releases    []token.Pos
+		exemptRange []struct{ lo, hi token.Pos }
+	)
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if tk.isRelease(n) {
+				releases = append(releases, n.Pos())
+				return false
+			}
+		case *ast.IfStmt:
+			if tk.errObj != nil && usesObj(info, n.Cond, tk.errObj) && n.Pos() > after {
+				exemptRange = append(exemptRange, struct{ lo, hi token.Pos }{n.Body.Pos(), n.Body.End()})
+			}
+		}
+		return true
+	})
+	exempt := func(pos token.Pos) bool {
+		for _, r := range exemptRange {
+			if pos >= r.lo && pos <= r.hi {
+				return true
+			}
+		}
+		return false
+	}
+
 	first := token.Pos(-1)
 	for _, p := range releases {
 		if p > after && (first < 0 || p < first) {
@@ -277,7 +518,7 @@ func checkAcquire(pass *analysis.Pass, spec Spec, body *ast.BlockStmt, call *ast
 		if !ok {
 			return risky == nil
 		}
-		if c.Pos() <= after || c.Pos() >= first || exempt(c.Pos()) || isRelease(c) {
+		if c.Pos() <= after || c.Pos() >= first || exempt(c.Pos()) || tk.isRelease(c) {
 			return true
 		}
 		if risky == nil && mayPanic(info, c) {
@@ -286,9 +527,9 @@ func checkAcquire(pass *analysis.Pass, spec Spec, body *ast.BlockStmt, call *ast
 		return risky == nil
 	})
 	if risky != nil {
-		pass.Reportf(call.Pos(), spec.LeakCode,
+		pass.Reportf(tk.call.Pos(), spec.LeakCode,
 			"%s acquired by %s leaks if %s at line %d panics before the non-deferred %s; release it with defer",
-			spec.Noun, callName(call), callName(risky), pass.Fset.Position(risky.Pos()).Line, release)
+			spec.Noun, callName(tk.call), callName(risky), pass.Fset.Position(risky.Pos()).Line, tk.release)
 	}
 }
 
@@ -330,9 +571,13 @@ func objOf(info *types.Info, id *ast.Ident) types.Object {
 
 // usesObj reports whether expr mentions obj.
 func usesObj(info *types.Info, expr ast.Expr, obj types.Object) bool {
+	return usesNode(info, expr, obj)
+}
+
+func usesNode(info *types.Info, n ast.Node, obj types.Object) bool {
 	found := false
-	ast.Inspect(expr, func(n ast.Node) bool {
-		if id, ok := n.(*ast.Ident); ok && objOf(info, id) == obj {
+	ast.Inspect(n, func(m ast.Node) bool {
+		if id, ok := m.(*ast.Ident); ok && objOf(info, id) == obj {
 			found = true
 		}
 		return !found

@@ -74,4 +74,61 @@ func staticBetween(rt *core.Runtime) {
 	rt.FreePoint(p)
 }
 
+// loopCarried allocates a fresh point each iteration but frees only the
+// last: the flow engine follows the back edge to the reacquire.
+func loopCarried(rt *core.Runtime, n int) {
+	p := -1
+	for i := 0; i < n; i++ {
+		p = rt.AllocPoint() // want "POINT001"
+		touch(p)
+	}
+	rt.FreePoint(p)
+}
+
+// freedEachIteration pairs inside the loop body: clean.
+func freedEachIteration(rt *core.Runtime, n int) {
+	for i := 0; i < n; i++ {
+		p := rt.AllocPoint()
+		touch(p)
+		rt.FreePoint(p)
+	}
+}
+
+// earlyContinue leaks the point on the skip path; the next iteration
+// reallocates while the previous point is still live.
+func earlyContinue(rt *core.Runtime, n int, skip func(int) bool) {
+	for i := 0; i < n; i++ {
+		p := rt.AllocPoint() // want "POINT001"
+		if skip(i) {
+			continue
+		}
+		rt.FreePoint(p)
+	}
+}
+
+// gotoRetry re-enters the allocation via goto without freeing first.
+func gotoRetry(rt *core.Runtime) {
+again:
+	p := rt.AllocPoint() // want "POINT001"
+	if shouldRetry(p) {
+		goto again
+	}
+	rt.FreePoint(p)
+}
+
+// gotoRetryFreed releases before looping back: clean.
+func gotoRetryFreed(rt *core.Runtime) {
+again:
+	p := rt.AllocPoint()
+	if shouldRetry(p) {
+		rt.FreePoint(p)
+		goto again
+	}
+	rt.FreePoint(p)
+}
+
+func shouldRetry(int) bool { return false }
+
+func touch(int) {}
+
 func work() {}

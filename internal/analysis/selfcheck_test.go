@@ -5,8 +5,10 @@ import (
 	"runtime"
 	"testing"
 
+	"repro/internal/analysis"
 	"repro/internal/analysis/driver"
 	"repro/internal/analysis/load"
+	"repro/internal/analysis/specpure"
 )
 
 // TestNoFalsePositiveCorpus runs the whole suite over packages that obey
@@ -60,5 +62,33 @@ func TestWholeModuleClean(t *testing.T) {
 	}
 	for _, d := range diags {
 		t.Errorf("module regressed against the speculation contract: %s", d.Format(l.Fset))
+	}
+}
+
+// TestWholeModuleSpecpureClean pins the interprocedural purity gate on
+// its own: specpure runs alone, which also exercises the driver's path
+// where the effect index is built for a single NeedsInter analyzer, with
+// the runtime exemption installed. Every kernel in the tree — drivers,
+// benches, examples, the serving layer — must be effect-free.
+func TestWholeModuleSpecpureClean(t *testing.T) {
+	_, file, _, ok := runtime.Caller(0)
+	if !ok {
+		t.Fatal("no caller info")
+	}
+	root := filepath.Dir(filepath.Dir(filepath.Dir(file)))
+	l, err := load.New(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := l.Patterns([]string{"./..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := driver.Run(pkgs, []*analysis.Analyzer{specpure.Analyzer}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		t.Errorf("kernel reaches an irreversible effect: %s", d.Format(l.Fset))
 	}
 }

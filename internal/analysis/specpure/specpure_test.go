@@ -1,0 +1,43 @@
+package specpure_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/driver"
+	"repro/internal/analysis/load"
+	"repro/internal/analysis/specaccess"
+	"repro/internal/analysis/specpure"
+)
+
+func TestSpecpure(t *testing.T) {
+	analysistest.Run(t, specpure.Analyzer, analysistest.TestData(t, "a"))
+}
+
+// TestSpecaccessMissesCorpus is the other half of the acceptance
+// criterion: every violation in the specpure corpus hides behind a call
+// boundary (or a statement form specaccess never inspects), so the
+// lexical analyzer must report NOTHING on the exact package where
+// specpure reports fourteen findings. If specaccess ever learns to see
+// one of these, move that case to its own corpus and keep this pin green.
+func TestSpecaccessMissesCorpus(t *testing.T) {
+	l, err := load.New(analysistest.ModuleRoot(t))
+	if err != nil {
+		t.Fatalf("load.New: %v", err)
+	}
+	pkg, err := l.Dir(analysistest.TestData(t, "a"))
+	if err != nil {
+		t.Fatalf("load corpus: %v", err)
+	}
+	if len(pkg.TypeErrors) > 0 {
+		t.Fatalf("corpus does not type-check: %v", pkg.TypeErrors[0])
+	}
+	diags, err := driver.Run([]*load.Package{pkg}, []*analysis.Analyzer{specaccess.Analyzer}, true)
+	if err != nil {
+		t.Fatalf("specaccess run: %v", err)
+	}
+	for _, d := range diags {
+		t.Errorf("specaccess unexpectedly sees an interprocedural case: %s", d.Format(pkg.Fset))
+	}
+}

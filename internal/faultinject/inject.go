@@ -43,6 +43,9 @@ const (
 	KindCancel
 	// KindLeaseFail makes a pool Acquire fail with ErrOverloaded.
 	KindLeaseFail
+	// KindDegrade forces a zero-CPU grant at the pool's budget seam: the
+	// lease runs sequentially, as if the host budget were exhausted.
+	KindDegrade
 
 	numKinds
 )
@@ -64,6 +67,8 @@ func (k Kind) String() string {
 		return "cancel"
 	case KindLeaseFail:
 		return "leasefail"
+	case KindDegrade:
+		return "degrade"
 	}
 	return fmt.Sprintf("Kind(%d)", uint8(k))
 }
@@ -86,6 +91,11 @@ const (
 	SiteAlloc
 	// SiteAcquire is the pool lease-acquire seam.
 	SiteAcquire
+	// SiteQueue is the pool's queue-admission seam: an Acquire that missed
+	// the fast path decides here whether it queues, sheds or stalls.
+	SiteQueue
+	// SiteGrant is the pool's budget-grant seam inside the lease handshake.
+	SiteGrant
 
 	numSites
 )
@@ -107,6 +117,10 @@ func (s Site) String() string {
 		return "alloc"
 	case SiteAcquire:
 		return "acquire"
+	case SiteQueue:
+		return "queue"
+	case SiteGrant:
+		return "grant"
 	}
 	return fmt.Sprintf("Site(%d)", uint8(s))
 }

@@ -1,16 +1,19 @@
 package harness
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
 	"runtime"
+	"sync"
 	"text/tabwriter"
 	"time"
 
 	"repro/internal/bench"
 	"repro/internal/faultinject"
 	"repro/mutls"
+	"repro/mutls/pool"
 )
 
 // ChaosConfig drives RunChaos, the deterministic fault-injection sweep.
@@ -159,7 +162,131 @@ func RunChaos(cfg ChaosConfig, out io.Writer) error {
 			}
 		}
 	}
-	return tw.Flush()
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	return poolStorm(cfg, out, baseline)
+}
+
+// poolStorm is the admission-plane leg of the sweep: concurrent tenants
+// hammer a small pool whose acquire, queue-admission and budget-grant
+// seams are all armed. The invariants mirror the run-plane ones — a shed
+// Acquire may only fail with ErrOverloaded, a degraded (zero-CPU) lease
+// must still produce the sequential checksum, the budget high-water mark
+// never exceeds the host budget, a disarmed pool serves cleanly, and
+// nothing leaks on Close.
+func poolStorm(cfg ChaosConfig, out io.Writer, baseline int) error {
+	w := bench.X3P1
+	size := w.CISize
+	seq, err := bench.MeasureSeq(w, bench.RunConfig{CPUs: 1, Size: size, Timing: mutls.Virtual})
+	if err != nil {
+		return fmt.Errorf("chaos pool sequential: %w", err)
+	}
+
+	plan := faultinject.NewPlan(cfg.Seed^0xC0FFEE, []faultinject.Rule{
+		{Site: faultinject.SiteAcquire, Kind: faultinject.KindLeaseFail, Prob: 0.15},
+		{Site: faultinject.SiteQueue, Kind: faultinject.KindLeaseFail, Prob: 0.25},
+		{Site: faultinject.SiteQueue, Kind: faultinject.KindDelay, Prob: 0.25},
+		{Site: faultinject.SiteGrant, Kind: faultinject.KindDegrade, Prob: 0.5},
+	})
+	p, err := pool.New(pool.Options{
+		Runtimes:   2,
+		HostBudget: 4,
+		QueueLimit: 4,
+		Runtime: mutls.Options{
+			CPUs:      2,
+			HeapBytes: w.HeapBytes(size),
+			FaultPlan: plan,
+		},
+	})
+	if err != nil {
+		return fmt.Errorf("chaos pool: %w", err)
+	}
+
+	tenants := 24
+	if cfg.Quick {
+		tenants = 8
+	}
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		shed     int
+		degraded int
+		firstErr error
+	)
+	for i := 0; i < tenants; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			lease, err := p.Acquire(context.Background())
+			if err != nil {
+				mu.Lock()
+				if errors.Is(err, pool.ErrOverloaded) {
+					shed++
+				} else if firstErr == nil {
+					firstErr = fmt.Errorf("chaos pool: untyped acquire failure: %w", err)
+				}
+				mu.Unlock()
+				return
+			}
+			defer lease.Release()
+			var sum uint64
+			_, rerr := lease.Runtime().RunCtx(context.Background(), func(t *mutls.Thread) {
+				sum = w.Spec(t, size, bench.SpecOptions{Model: w.DefaultModel})
+			})
+			mu.Lock()
+			defer mu.Unlock()
+			if lease.Degraded() {
+				degraded++
+			}
+			switch {
+			case rerr != nil && firstErr == nil:
+				firstErr = fmt.Errorf("chaos pool tenant: %w", rerr)
+			case rerr == nil && sum != seq.Checksum && firstErr == nil:
+				firstErr = fmt.Errorf("chaos pool tenant: checksum %#x != sequential %#x (degraded=%v)",
+					sum, seq.Checksum, lease.Degraded())
+			}
+		}()
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return firstErr
+	}
+
+	st := p.Stats()
+	if st.MaxClaimedCPUs > st.HostBudget {
+		return fmt.Errorf("chaos pool: budget invariant broken: max claimed %d > budget %d",
+			st.MaxClaimedCPUs, st.HostBudget)
+	}
+	if st.Acquired != st.Released {
+		return fmt.Errorf("chaos pool: %d acquired but %d released", st.Acquired, st.Released)
+	}
+
+	// Post-storm: the disarmed pool serves a clean, verified tenant.
+	plan.Disarm()
+	lease, err := p.Acquire(context.Background())
+	if err != nil {
+		return fmt.Errorf("chaos pool disarmed acquire: %w", err)
+	}
+	var sum uint64
+	if _, err := lease.Runtime().RunCtx(context.Background(), func(t *mutls.Thread) {
+		sum = w.Spec(t, size, bench.SpecOptions{Model: w.DefaultModel})
+	}); err != nil {
+		lease.Release()
+		return fmt.Errorf("chaos pool disarmed run: %w", err)
+	}
+	lease.Release()
+	if sum != seq.Checksum {
+		return fmt.Errorf("chaos pool disarmed run: checksum %#x != sequential %#x", sum, seq.Checksum)
+	}
+
+	p.Close()
+	if leaked, n := goroutineLeak(baseline); leaked {
+		return fmt.Errorf("chaos pool: goroutine leak (%d > baseline %d)", n, baseline)
+	}
+	fmt.Fprintf(out, "POOL STORM. tenants=%d shed=%d degraded=%d injected=%d (%v)\n",
+		tenants, shed, degraded, plan.Total(), plan)
+	return nil
 }
 
 // isContained reports whether a run error is one of the typed containment

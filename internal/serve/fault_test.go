@@ -57,11 +57,17 @@ func TestFaultingKernelContained(t *testing.T) {
 	}
 
 	var st struct {
-		Faults int64 `json:"faults"`
+		Faults      int64            `json:"faults"`
+		PointFaults map[string]int64 `json:"point_faults"`
 	}
 	getJSON(t, ts.URL+"/stats", http.StatusOK, &st)
 	if st.Faults != 1 {
 		t.Errorf("/stats faults = %d, want 1", st.Faults)
+	}
+	// The kernel panicked on the non-speculative thread, outside any fork
+	// point: the per-point breakdown attributes it to "-1".
+	if st.PointFaults["-1"] != 1 {
+		t.Errorf("/stats point_faults = %v, want {\"-1\": 1}", st.PointFaults)
 	}
 
 	// The process survived: health stays green and the pooled runtime that

@@ -82,6 +82,14 @@ type Server struct {
 	// and the count is exposed in /stats.
 	faults atomic.Int64
 
+	// pointFaults accumulates contained faults per fork point (key -1 is
+	// the non-speculative thread outside any point) across the server's
+	// lifetime. The runtime's own counters reset when the pool recycles a
+	// lease, so each request's fault records are absorbed here before its
+	// Release; /stats exposes the aggregate as point_faults.
+	pfMu        sync.Mutex
+	pointFaults map[int]int64
+
 	// seqSums caches sequential reference checksums by kernel and size, so
 	// verification costs one extra run per distinct request shape, ever.
 	seqMu   sync.Mutex
@@ -114,10 +122,11 @@ func New(opts Options) (*Server, error) {
 		return nil, err
 	}
 	s := &Server{
-		pool:    p,
-		kernels: opts.Kernels,
-		mux:     http.NewServeMux(),
-		seqSums: make(map[string]uint64),
+		pool:        p,
+		kernels:     opts.Kernels,
+		mux:         http.NewServeMux(),
+		seqSums:     make(map[string]uint64),
+		pointFaults: make(map[int]int64),
 	}
 	s.mux.HandleFunc("/run", s.handleRun)
 	s.mux.HandleFunc("/stats", s.handleStats)
@@ -152,6 +161,35 @@ func (s *Server) recovered(next http.Handler) http.Handler {
 // Faults returns the contained-fault count (kernel panics and recovered
 // handler panics).
 func (s *Server) Faults() int64 { return s.faults.Load() }
+
+// absorbPointFaults folds the leased runtime's fault records — each
+// carries the fork point it was contained at — into the server's
+// per-point aggregate. Called just before a request releases its lease,
+// because Release recycles the runtime and resets its collector.
+func (s *Server) absorbPointFaults(rt *mutls.Runtime) {
+	recs := rt.Stats().Faults.Records
+	if len(recs) == 0 {
+		return
+	}
+	s.pfMu.Lock()
+	for _, rec := range recs {
+		s.pointFaults[rec.Point]++
+	}
+	s.pfMu.Unlock()
+}
+
+// PointFaults snapshots the per-fork-point contained-fault aggregate,
+// keyed by the point id rendered in decimal ("-1" is the non-speculative
+// thread outside any fork point) for JSON object compatibility.
+func (s *Server) PointFaults() map[string]int64 {
+	s.pfMu.Lock()
+	defer s.pfMu.Unlock()
+	out := make(map[string]int64, len(s.pointFaults))
+	for p, n := range s.pointFaults {
+		out[strconv.Itoa(p)] = n
+	}
+	return out
+}
 
 // Pool exposes the underlying pool (for tests and stats endpoints).
 func (s *Server) Pool() *pool.Pool { return s.pool }
@@ -279,6 +317,9 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	}
 	defer lease.Release()
 	rt := lease.Runtime()
+	// Registered after the Release defer so it runs first (LIFO): the
+	// records must be read before the recycle wipes them.
+	defer s.absorbPointFaults(rt)
 
 	want, err := s.seqChecksum(rt, name, k, size)
 	if err != nil {
@@ -330,15 +371,21 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-// statsResponse is the /stats document: the pool's admission counters
-// plus the server's contained-fault count.
+// statsResponse is the /stats document: the pool's admission counters,
+// the server's contained-fault count, and the per-fork-point breakdown
+// of where those faults were contained (key "-1": outside any point).
 type statsResponse struct {
 	pool.Stats
-	Faults int64 `json:"faults"`
+	Faults      int64            `json:"faults"`
+	PointFaults map[string]int64 `json:"point_faults"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, statsResponse{Stats: s.pool.Stats(), Faults: s.faults.Load()})
+	writeJSON(w, http.StatusOK, statsResponse{
+		Stats:       s.pool.Stats(),
+		Faults:      s.faults.Load(),
+		PointFaults: s.PointFaults(),
+	})
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {

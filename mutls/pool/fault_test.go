@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"repro/internal/bench"
+	"repro/internal/faultinject"
 	"repro/mutls"
 )
 
@@ -56,5 +57,117 @@ func TestLeaseReusableAfterKernelPanic(t *testing.T) {
 	}
 	if seq != spec {
 		t.Fatalf("post-panic tenant: speculative %#x != sequential %#x", spec, seq)
+	}
+}
+
+// TestInjectedQueueShed: a KindLeaseFail injected at the queue-admission
+// seam sheds exactly the contended Acquire — the fast path never consults
+// SiteQueue, so a free runtime is still leased normally — and the shed is
+// indistinguishable from a real full queue (ErrOverloaded + Rejected).
+func TestInjectedQueueShed(t *testing.T) {
+	opts := testOptions()
+	opts.Runtimes = 1
+	opts.HostBudget = 4
+	opts.Runtime.FaultPlan = faultinject.NewPlan(1, []faultinject.Rule{
+		{Site: faultinject.SiteQueue, Kind: faultinject.KindLeaseFail, Prob: 1},
+	})
+	p, err := New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	// Fast path: the single runtime is free, SiteQueue is never reached.
+	lease, err := p.Acquire(context.Background())
+	if err != nil {
+		t.Fatalf("fast-path acquire under a queue-seam plan: %v", err)
+	}
+	if n := opts.Runtime.FaultPlan.Seq(faultinject.SiteQueue); n != 0 {
+		t.Fatalf("fast path consumed %d queue-seam decisions, want 0", n)
+	}
+
+	// Contended path: the injection sheds before the waiter ever queues.
+	if _, err := p.Acquire(context.Background()); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("contended acquire error %v, want ErrOverloaded", err)
+	}
+	if got := p.Stats().Rejected; got != 1 {
+		t.Errorf("Rejected = %d after one injected shed, want 1", got)
+	}
+	if n := opts.Runtime.FaultPlan.Injected(faultinject.SiteQueue, faultinject.KindLeaseFail); n != 1 {
+		t.Errorf("queue/leasefail injections = %d, want 1", n)
+	}
+
+	// Disarmed, the same contended shape queues and is served on Release.
+	opts.Runtime.FaultPlan.Disarm()
+	done := make(chan error, 1)
+	go func() {
+		l2, err := p.Acquire(context.Background())
+		if err == nil {
+			l2.Release()
+		}
+		done <- err
+	}()
+	lease.Release()
+	if err := <-done; err != nil {
+		t.Fatalf("disarmed queued acquire: %v", err)
+	}
+}
+
+// TestInjectedGrantDegrade: a KindDegrade injected at the budget-grant
+// seam forces a zero-CPU lease that claims nothing from the host budget,
+// and the degraded tenant still produces the sequential checksum — the
+// graceful-degradation contract under fault injection.
+func TestInjectedGrantDegrade(t *testing.T) {
+	opts := testOptions()
+	opts.Runtimes = 1
+	opts.HostBudget = 4
+	opts.Runtime.FaultPlan = faultinject.NewPlan(2, []faultinject.Rule{
+		{Site: faultinject.SiteGrant, Kind: faultinject.KindDegrade, Prob: 1},
+	})
+	p, err := New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	lease, err := p.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !lease.Degraded() || lease.CPUs() != 0 {
+		t.Fatalf("injected degrade: CPUs()=%d Degraded()=%v, want 0/true", lease.CPUs(), lease.Degraded())
+	}
+	st := p.Stats()
+	if st.Degraded != 1 || st.ClaimedCPUs != 0 {
+		t.Errorf("stats after injected degrade: Degraded=%d ClaimedCPUs=%d, want 1/0", st.Degraded, st.ClaimedCPUs)
+	}
+
+	// The degraded lease still runs correctly, just sequentially.
+	k := stressKernels[0]
+	var seq, spec uint64
+	if _, err := lease.Runtime().RunCtx(context.Background(), func(th *mutls.Thread) {
+		seq = k.w.Seq(th, k.size)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := lease.Runtime().RunCtx(context.Background(), func(th *mutls.Thread) {
+		spec = k.w.Spec(th, k.size, bench.SpecOptions{Model: k.w.DefaultModel})
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if seq != spec {
+		t.Fatalf("degraded tenant: speculative %#x != sequential %#x", spec, seq)
+	}
+	lease.Release()
+
+	// Disarmed, the next lease gets a real grant again.
+	opts.Runtime.FaultPlan.Disarm()
+	lease, err = p.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lease.Release()
+	if lease.CPUs() == 0 {
+		t.Error("disarmed lease still degraded")
 	}
 }

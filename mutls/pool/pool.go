@@ -23,6 +23,7 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/faultinject"
 	"repro/mutls"
@@ -209,6 +210,20 @@ func (p *Pool) Acquire(ctx context.Context) (*Lease, error) {
 	default:
 	}
 
+	// Queue-admission seam: the fast path missed, so this Acquire is about
+	// to queue (or shed). An injected shed exercises the caller's
+	// backpressure handling on the contended path specifically; an injected
+	// delay widens the window in which the queue fills behind this waiter.
+	if plan := p.opts.Runtime.FaultPlan; plan != nil {
+		switch plan.Decide(faultinject.SiteQueue) {
+		case faultinject.KindLeaseFail:
+			p.rejected.Add(1)
+			return nil, ErrOverloaded
+		case faultinject.KindDelay:
+			time.Sleep(faultinject.Delay)
+		}
+	}
+
 	p.mu.Lock()
 	if p.closed {
 		p.mu.Unlock()
@@ -241,6 +256,14 @@ func (p *Pool) Acquire(ctx context.Context) (*Lease, error) {
 // while the runtime was in flight, it is handed back to the shutdown
 // collector instead.
 func (p *Pool) lease(rt *mutls.Runtime) (*Lease, error) {
+	// Budget-grant seam: an injected degrade is shaped exactly like an
+	// exhausted host budget — zero CPUs granted, nothing claimed, and the
+	// tenant's run must still complete sequentially with the right result.
+	forceDegrade := false
+	if plan := p.opts.Runtime.FaultPlan; plan != nil &&
+		plan.Decide(faultinject.SiteGrant) == faultinject.KindDegrade {
+		forceDegrade = true
+	}
 	p.mu.Lock()
 	if p.closed {
 		p.mu.Unlock()
@@ -251,7 +274,7 @@ func (p *Pool) lease(rt *mutls.Runtime) (*Lease, error) {
 	if grant > p.opts.Runtime.CPUs {
 		grant = p.opts.Runtime.CPUs
 	}
-	if grant < 0 {
+	if grant < 0 || forceDegrade {
 		grant = 0
 	}
 	p.claimed += grant
